@@ -1,0 +1,101 @@
+// Command bsanalyze unifies binary trace files from one or more monitors
+// and runs the paper's trace analyses on them.
+//
+// Usage:
+//
+//	bsanalyze [-dedup] [-report summary|table1|table2|fig4|fig5|fig6] FILE...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"bitswapmon/internal/analysis"
+	"bitswapmon/internal/geoip"
+	"bitswapmon/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bsanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bsanalyze", flag.ContinueOnError)
+	report := fs.String("report", "summary", "analysis to run: summary, table1, table2, fig4, fig5")
+	dedup := fs.Bool("dedup", true, "filter duplicates/rebroadcasts before analysis")
+	bucket := fs.Duration("bucket", time.Hour, "bucket size for fig4")
+	iters := fs.Int("iters", 50, "bootstrap iterations for fig5")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("no trace files given")
+	}
+
+	var traces [][]trace.Entry
+	for _, path := range files {
+		entries, err := loadTrace(path)
+		if err != nil {
+			return err
+		}
+		traces = append(traces, entries)
+	}
+	unified := trace.Unify(traces...)
+	entries := unified
+	if *dedup {
+		entries = trace.Deduplicated(unified)
+	}
+
+	switch *report {
+	case "summary":
+		s := trace.Summarize(unified)
+		fmt.Printf("entries: %d (requests %d), peers %d, CIDs %d\n", s.Entries, s.Requests, s.UniquePeers, s.UniqueCIDs)
+		fmt.Printf("rebroadcasts: %d, inter-monitor dups: %d\n", s.Rebroadcasts, s.InterMonDups)
+		fmt.Printf("window: %s .. %s\n", s.First.Format(time.RFC3339), s.Last.Format(time.RFC3339))
+		for mon, n := range s.PerMonitor {
+			fmt.Printf("  monitor %s: %d entries\n", mon, n)
+		}
+		for typ, n := range s.PerType {
+			fmt.Printf("  %s: %d\n", typ, n)
+		}
+	case "table1":
+		fmt.Println(analysis.ComputeTable1(unified).Render())
+	case "table2":
+		fmt.Println(analysis.ComputeTable2(entries, geoip.New()).Render())
+	case "fig4":
+		fmt.Println(analysis.ComputeFig4(entries, *bucket).Render())
+	case "fig5":
+		f, err := analysis.ComputeFig5(entries, *iters, rand.New(rand.NewSource(1)))
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Render())
+	default:
+		return fmt.Errorf("unknown report %q", *report)
+	}
+	return nil
+}
+
+func loadTrace(path string) ([]trace.Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open %s: %w", path, err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	entries, err := trace.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	return entries, nil
+}

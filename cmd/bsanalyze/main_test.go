@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+// writeTestTrace creates a small binary trace file.
+func writeTestTrace(t *testing.T, path, mon string, n int) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		var id simnet.NodeID
+		id[0] = byte(i % 7)
+		e := trace.Entry{
+			Timestamp: base.Add(time.Duration(i) * time.Minute),
+			Monitor:   mon,
+			NodeID:    id,
+			Addr:      "3.0.0.1:4001",
+			Type:      wire.WantHave,
+			CID:       cid.Sum(cid.DagProtobuf, []byte{byte(i % 30)}),
+		}
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBsanalyzeReports(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "us.trace")
+	p2 := filepath.Join(dir, "de.trace")
+	writeTestTrace(t, p1, "us", 120)
+	writeTestTrace(t, p2, "de", 80)
+
+	for _, report := range []string{"summary", "table1", "table2", "fig4"} {
+		if err := run([]string{"-report", report, p1, p2}); err != nil {
+			t.Errorf("report %s: %v", report, err)
+		}
+	}
+}
+
+func TestBsanalyzeErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no files accepted")
+	}
+	if err := run([]string{"-report", "nope", "x"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	p := filepath.Join(dir, "t.trace")
+	writeTestTrace(t, p, "us", 10)
+	if err := run([]string{"-report", "nope", p}); err == nil {
+		t.Error("unknown report accepted")
+	}
+	bad := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}

@@ -1,0 +1,60 @@
+// Command bsexperiments regenerates every table and figure of the paper
+// from simulated scenarios.
+//
+// Usage:
+//
+//	bsexperiments [-scale small|default] [-seed N] [-only week|upgrade]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bitswapmon/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bsexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bsexperiments", flag.ContinueOnError)
+	scaleName := fs.String("scale", "small", "scenario scale: small or default")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	only := fs.String("only", "", "run only one experiment: week or upgrade")
+	upgradeNodes := fs.Int("upgrade-nodes", 150, "population for the Fig. 4 scenario")
+	upgradeWeeks := fs.Int("upgrade-weeks", 3, "observed weeks for the Fig. 4 scenario")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	if *only == "" || *only == "week" {
+		rep, err := experiments.RunWeek(scale, *seed)
+		if err != nil {
+			return fmt.Errorf("week scenario: %w", err)
+		}
+		fmt.Println(rep.Render())
+	}
+	if *only == "" || *only == "upgrade" {
+		rep, err := experiments.RunUpgrade(*upgradeNodes, *upgradeWeeks, *seed)
+		if err != nil {
+			return fmt.Errorf("upgrade scenario: %w", err)
+		}
+		fmt.Println(rep.Render())
+	}
+	return nil
+}

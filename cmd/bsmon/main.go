@@ -1,0 +1,107 @@
+// Command bsmon runs a monitored scenario and writes each monitor's trace
+// to a binary trace file, mirroring the paper's collection infrastructure.
+//
+// Usage:
+//
+//	bsmon -out DIR [-nodes N] [-hours H] [-seed N]
+//
+// Output: DIR/<monitor>.trace (binary, gzip) and DIR/<monitor>.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bsmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bsmon", flag.ContinueOnError)
+	outDir := fs.String("out", "traces", "output directory")
+	nodes := fs.Int("nodes", 400, "population size")
+	hours := fs.Int("hours", 24, "measurement window in virtual hours")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	csv := fs.Bool("csv", true, "also write CSV exports")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+
+	w, err := workload.Build(workload.Config{
+		Seed:  *seed,
+		Nodes: *nodes,
+		Monitors: []workload.MonitorSpec{
+			{Name: "us", Region: simnet.RegionUS},
+			{Name: "de", Region: simnet.RegionDE},
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("build scenario: %w", err)
+	}
+
+	fmt.Printf("running %d nodes for %dh of virtual time...\n", *nodes, *hours)
+	w.Run(time.Duration(*hours) * time.Hour)
+
+	for _, m := range w.Monitors {
+		entries := m.Trace()
+		path := filepath.Join(*outDir, m.Name+".trace")
+		if err := writeTrace(path, entries); err != nil {
+			return err
+		}
+		fmt.Printf("monitor %s: %d entries -> %s\n", m.Name, len(entries), path)
+		if *csv {
+			csvPath := filepath.Join(*outDir, m.Name+".csv")
+			if err := writeCSV(csvPath, entries); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeTrace(path string, entries []trace.Entry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := tw.Write(e); err != nil {
+			return fmt.Errorf("write entry: %w", err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return fmt.Errorf("finalize trace: %w", err)
+	}
+	return f.Close()
+}
+
+func writeCSV(path string, entries []trace.Entry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, entries); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bitswapmon/internal/trace"
+)
+
+func TestBsmonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-nodes", "80", "-hours", "2", "-seed", "3"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"us.trace", "de.trace", "us.csv", "de.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing output %s: %v", name, err)
+		}
+	}
+	// The binary trace must be readable and non-empty.
+	f, err := os.Open(filepath.Join(dir, "us.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Error("empty trace written")
+	}
+}
+
+func TestBsmonBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

@@ -1,0 +1,11 @@
+// Package bitswapmon reproduces "Monitoring Data Requests in Decentralized
+// Data Storage Systems: A Case Study of IPFS" (ICDCS 2022): a passive
+// Bitswap monitoring methodology, its trace-processing pipeline, network
+// size estimators, content-popularity analysis and privacy attacks, all
+// running against a faithful discrete-event simulation of an IPFS-like
+// network.
+//
+// See README.md for the layout and DESIGN.md for the system inventory and
+// experiment index. The root package only hosts the benchmark harness
+// (bench_test.go), which regenerates every table and figure of the paper.
+package bitswapmon

@@ -1,0 +1,85 @@
+// Quickstart: build a small IPFS-like network, attach one passive monitor,
+// publish and fetch content, and print what the monitor observed — the core
+// of the paper's methodology in ~80 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bitswapmon/internal/dht"
+	"bitswapmon/internal/monitor"
+	"bitswapmon/internal/node"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+	net := simnet.New(start, 1, nil)
+	rng := net.NewRand("quickstart")
+
+	// A handful of regular nodes.
+	var nodes []*node.Node
+	for i := 0; i < 8; i++ {
+		id := simnet.RandomNodeID(rng)
+		nd, err := node.New(net, id, fmt.Sprintf("10.0.0.%d:4001", i+1), simnet.RegionDE, node.Config{})
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, nd)
+	}
+
+	// One passive monitor with unlimited connection capacity.
+	mon, err := monitor.New(net, "demo", "78.0.0.1:4001", simnet.RegionDE)
+	if err != nil {
+		return err
+	}
+
+	// Bootstrap everyone against node 0 and connect the overlay densely;
+	// every node also ends up connected to the monitor (as in the paper,
+	// where monitors reach >50% of the network).
+	boot := []dht.PeerInfo{nodes[0].Info()}
+	mon.Start(boot)
+	for _, nd := range nodes {
+		nd.Start(boot)
+		for _, other := range nodes {
+			if other.ID != nd.ID {
+				_ = net.Connect(nd.ID, other.ID)
+			}
+		}
+		_ = net.Connect(nd.ID, mon.ID())
+	}
+	net.Run(2 * time.Second)
+
+	// Node 0 publishes a file; node 5 fetches it.
+	root, err := nodes[0].Publish([]byte("hello from the interplanetary filesystem"))
+	if err != nil {
+		return err
+	}
+	net.Run(5 * time.Second)
+
+	nodes[5].FetchFile(root, func(data []byte, ok bool) {
+		fmt.Printf("node %s fetched %q (ok=%v)\n", nodes[5].ID, data, ok)
+	})
+	net.Run(30 * time.Second)
+
+	// The monitor saw the request — without participating in it.
+	fmt.Printf("\nmonitor %q observed %d want entries:\n", mon.Name, len(mon.Trace()))
+	for _, e := range mon.Trace() {
+		fmt.Printf("  %s  node=%s  addr=%s  %s  cid=%s\n",
+			e.Timestamp.Format("15:04:05.000"), e.NodeID, e.Addr, e.Type, e.CID)
+	}
+
+	sum := trace.Summarize(mon.Trace())
+	fmt.Printf("\nsummary: %d entries from %d peers over %d CIDs\n",
+		sum.Entries, sum.UniquePeers, sum.UniqueCIDs)
+	return nil
+}

@@ -1,0 +1,69 @@
+// Size estimation: run the paper's Sec. V-C experiment — two passive
+// monitors estimate the network size from their overlapping peer sets
+// (Eq. 1 and Eq. 3), compared against a DHT crawl and the simulation's
+// ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bitswapmon/internal/analysis"
+	"bitswapmon/internal/dht"
+	"bitswapmon/internal/monitor"
+	"bitswapmon/internal/node"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("building a 500-node network with two monitors (us, de)...")
+	w, err := workload.Build(workload.Config{
+		Seed:  7,
+		Nodes: 500,
+		Monitors: []workload.MonitorSpec{
+			{Name: "us", Region: simnet.RegionUS},
+			{Name: "de", Region: simnet.RegionDE},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	sampler := monitor.NewSampler(w.Net, w.Monitors, time.Hour)
+	sampler.Start()
+
+	fmt.Println("running 12 hours of virtual time...")
+	w.Run(12 * time.Hour)
+	sampler.Stop()
+
+	// Crawl the DHT for the comparison baseline.
+	crawlerID := simnet.DeriveNodeID([]byte("crawler"))
+	crawler, err := node.New(w.Net, crawlerID, "202.0.0.9:4001", simnet.RegionOther, node.Config{Mode: dht.ModeClient})
+	if err != nil {
+		return err
+	}
+	var crawlRes dht.CrawlResult
+	dht.Crawl(crawler.DHT, w.Bootstrap, 16, func(r dht.CrawlResult) { crawlRes = r })
+	w.Run(10 * time.Minute)
+
+	sec := analysis.ComputeSecVC(w.Monitors, sampler.Samples(), crawlRes,
+		float64(w.OnlineCount()), w.TotalPopulation())
+	fmt.Println()
+	fmt.Println(sec.Render())
+
+	fmt.Println("paper shape check:")
+	fmt.Printf("  - estimators agree with each other: Eq1=%.0f vs Eq3=%.0f\n", sec.Eq1Mean, sec.Eq3Mean)
+	fmt.Printf("  - correlated monitor connectivity makes them underestimate the truth (%.0f online)\n",
+		sec.TrueOnlineAvg)
+	fmt.Printf("  - the DHT crawl over the window sees more unique peers (%d) than are online at once\n",
+		sec.CrawlSeen)
+	return nil
+}

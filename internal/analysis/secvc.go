@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"bitswapmon/internal/dht"
+	"bitswapmon/internal/estimate"
+	"bitswapmon/internal/monitor"
+	"bitswapmon/internal/simnet"
+)
+
+// SecVC aggregates the Sec. V-C measurements: monitoring coverage and
+// network-size estimates from monitor peer sets, compared against a DHT
+// crawl and the simulation's ground truth.
+type SecVC struct {
+	// Window totals.
+	UniquePeers      map[string]int // per monitor, over the whole window
+	UnionUniquePeers int
+	ActivePeers      map[string]int // BitSwap-active per monitor
+	UnionActivePeers int
+
+	// Instantaneous averages (from the sampler).
+	AvgConns        []float64
+	AvgUnion        float64
+	AvgIntersection float64
+
+	// Size estimates: mean and std over per-sample estimates.
+	Eq1Mean, Eq1Std float64
+	Eq3Mean, Eq3Std float64
+
+	// Crawl comparison.
+	CrawlSeen      int
+	CrawlResponded int
+
+	// Ground truth (simulation only; the paper cannot know this).
+	TrueOnlineAvg  float64
+	TruePopulation int
+
+	// Coverage relative to the crawl-seen estimate, as in the paper.
+	CoveragePerMonitor []float64
+	CoverageUnion      float64
+}
+
+// ComputeSecVC assembles the Sec. V-C panel. samples come from a
+// monitor.Sampler run over the window; crawl from dht.Crawl; trueOnlineAvg
+// and truePopulation from the workload's ground truth.
+func ComputeSecVC(monitors []*monitor.Monitor, samples []monitor.Sample,
+	crawl dht.CrawlResult, trueOnlineAvg float64, truePopulation int) SecVC {
+
+	out := SecVC{
+		UniquePeers:    make(map[string]int, len(monitors)),
+		ActivePeers:    make(map[string]int, len(monitors)),
+		TrueOnlineAvg:  trueOnlineAvg,
+		TruePopulation: truePopulation,
+	}
+
+	// Window totals.
+	unionPeers := make(map[simnet.NodeID]bool)
+	unionActive := make(map[simnet.NodeID]bool)
+	for _, m := range monitors {
+		seen := m.PeersSeen()
+		out.UniquePeers[m.Name] = len(seen)
+		for id := range seen {
+			unionPeers[id] = true
+		}
+		act := m.BitswapActivePeers()
+		out.ActivePeers[m.Name] = len(act)
+		for id := range act {
+			unionActive[id] = true
+		}
+	}
+	out.UnionUniquePeers = len(unionPeers)
+	out.UnionActivePeers = len(unionActive)
+
+	// Sampler averages and per-sample estimates.
+	var eq1s, eq3s []float64
+	out.AvgConns = make([]float64, len(monitors))
+	for _, s := range samples {
+		for i, c := range s.PerMonitor {
+			out.AvgConns[i] += float64(c)
+		}
+		out.AvgUnion += float64(s.Union)
+		out.AvgIntersection += float64(s.Intersection)
+		if len(s.PerMonitor) == 2 && s.Intersection > 0 {
+			if e, err := estimate.Pairwise(float64(s.PerMonitor[0]), float64(s.PerMonitor[1]), float64(s.Intersection)); err == nil {
+				eq1s = append(eq1s, e)
+			}
+			w := (float64(s.PerMonitor[0]) + float64(s.PerMonitor[1])) / 2
+			if e, err := estimate.CommitteeOccupancy(float64(s.Union), 2, w); err == nil {
+				eq3s = append(eq3s, e)
+			}
+		}
+	}
+	if n := float64(len(samples)); n > 0 {
+		for i := range out.AvgConns {
+			out.AvgConns[i] /= n
+		}
+		out.AvgUnion /= n
+		out.AvgIntersection /= n
+	}
+	out.Eq1Mean, out.Eq1Std = estimate.MeanStd(eq1s)
+	out.Eq3Mean, out.Eq3Std = estimate.MeanStd(eq3s)
+
+	// Crawl.
+	out.CrawlSeen = len(crawl.Seen)
+	out.CrawlResponded = len(crawl.Responded)
+
+	// Coverage vs the crawl-seen count (the paper uses the larger,
+	// crawl-based estimate to avoid overstating coverage).
+	ref := float64(out.CrawlSeen)
+	if ref > 0 {
+		for i := range monitors {
+			out.CoveragePerMonitor = append(out.CoveragePerMonitor, out.AvgConns[i]/ref)
+		}
+		out.CoverageUnion = out.AvgUnion / ref
+	}
+	return out
+}
+
+// Render prints the panel.
+func (s SecVC) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Sec. V-C — monitoring coverage and network size\n")
+	for name, n := range s.UniquePeers {
+		fmt.Fprintf(&sb, "unique peers (%s): %d (bitswap-active: %d)\n", name, n, s.ActivePeers[name])
+	}
+	fmt.Fprintf(&sb, "union unique peers: %d (active: %d)\n", s.UnionUniquePeers, s.UnionActivePeers)
+	fmt.Fprintf(&sb, "avg connections: %v, avg union: %.1f, avg intersection: %.1f\n",
+		s.AvgConns, s.AvgUnion, s.AvgIntersection)
+	fmt.Fprintf(&sb, "Eq.(1) estimate: %.0f (std %.0f)\n", s.Eq1Mean, s.Eq1Std)
+	fmt.Fprintf(&sb, "Eq.(3) estimate: %.0f (std %.0f)\n", s.Eq3Mean, s.Eq3Std)
+	fmt.Fprintf(&sb, "DHT crawl: %d seen, %d responded\n", s.CrawlSeen, s.CrawlResponded)
+	fmt.Fprintf(&sb, "ground truth: avg online %.0f of %d total\n", s.TrueOnlineAvg, s.TruePopulation)
+	for i, c := range s.CoveragePerMonitor {
+		fmt.Fprintf(&sb, "coverage monitor %d: %.0f%%\n", i, 100*c)
+	}
+	fmt.Fprintf(&sb, "coverage union: %.0f%%\n", 100*s.CoverageUnion)
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+// Package attacks implements the privacy attacks of Sec. VI of the paper:
+// Identifying Data Wanters (IDW), Tracking Node Wants (TNW), Testing for
+// Past Interests (TPI), and the gateway-probing pipeline that uncovers the
+// IPFS node IDs behind public HTTP gateways.
+package attacks
+
+import (
+	"sort"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+// Sighting is one observed request by one node for one CID.
+type Sighting struct {
+	NodeID simnet.NodeID
+	Addr   string
+	At     time.Time
+	Type   wire.EntryType
+}
+
+// IDWIndex answers the Identifying-Data-Wanters query: which nodes are
+// interested in a given CID (Sec. VI-A1). The paper notes the deployed
+// monitoring setup "already collects the necessary information"; this index
+// is that inversion of the trace.
+type IDWIndex struct {
+	byCID map[cid.CID][]Sighting
+}
+
+// BuildIDW indexes a (typically deduplicated) trace by CID.
+func BuildIDW(entries []trace.Entry) *IDWIndex {
+	idx := &IDWIndex{byCID: make(map[cid.CID][]Sighting)}
+	for _, e := range entries {
+		if !e.IsRequest() {
+			continue
+		}
+		idx.byCID[e.CID] = append(idx.byCID[e.CID], Sighting{
+			NodeID: e.NodeID,
+			Addr:   e.Addr,
+			At:     e.Timestamp,
+			Type:   e.Type,
+		})
+	}
+	return idx
+}
+
+// Wanters returns every observed requester of c, in time order.
+func (x *IDWIndex) Wanters(c cid.CID) []Sighting {
+	out := append([]Sighting(nil), x.byCID[c]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// UniqueWanters returns the distinct node IDs that requested c.
+func (x *IDWIndex) UniqueWanters(c cid.CID) []simnet.NodeID {
+	seen := make(map[simnet.NodeID]bool)
+	var out []simnet.NodeID
+	for _, s := range x.byCID[c] {
+		if !seen[s.NodeID] {
+			seen[s.NodeID] = true
+			out = append(out, s.NodeID)
+		}
+	}
+	return out
+}
+
+// CIDCount returns the number of distinct CIDs in the index.
+func (x *IDWIndex) CIDCount() int { return len(x.byCID) }
+
+// TrackNodeWants implements TNW (Sec. VI-A2): the time-ordered stream of
+// data items a given target node asked for. Maintaining a connection to the
+// target suffices, since nodes broadcast to all connected peers; a monitor's
+// trace therefore already contains the stream.
+func TrackNodeWants(entries []trace.Entry, target simnet.NodeID) []trace.Entry {
+	out := trace.Filter(entries, func(e trace.Entry) bool {
+		return e.NodeID == target && e.IsRequest()
+	})
+	trace.Sort(out)
+	return out
+}
+
+// NodeProfile summarises a TNW observation window for one target.
+type NodeProfile struct {
+	Target      simnet.NodeID
+	Requests    int
+	UniqueCIDs  int
+	First, Last time.Time
+}
+
+// ProfileNode condenses TrackNodeWants output.
+func ProfileNode(entries []trace.Entry, target simnet.NodeID) NodeProfile {
+	wants := TrackNodeWants(entries, target)
+	p := NodeProfile{Target: target, Requests: len(wants)}
+	cids := make(map[cid.CID]bool)
+	for i, e := range wants {
+		cids[e.CID] = true
+		if i == 0 {
+			p.First = e.Timestamp
+		}
+		p.Last = e.Timestamp
+	}
+	p.UniqueCIDs = len(cids)
+	return p
+}

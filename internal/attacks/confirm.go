@@ -1,0 +1,81 @@
+package attacks
+
+import (
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+// Sec. IV-A: "No definite knowledge is gained about whether the data d
+// referenced by a CID c was downloaded successfully. [This] can be
+// determined by sending a request for c to the requesting peer after it has
+// issued a CANCEL for c." ConfirmDownloads implements that active
+// confirmation step on top of the passive trace.
+
+// DownloadConfirmation is the verdict for one (node, CID) pair.
+type DownloadConfirmation struct {
+	NodeID simnet.NodeID
+	CID    cid.CID
+	// Cancelled reports whether a CANCEL was observed (the trigger).
+	Cancelled bool
+	// Confirmed reports whether the follow-up probe found the data cached,
+	// i.e. the download succeeded (with negligible deniability).
+	Confirmed bool
+	// Answered reports whether the probe got any response.
+	Answered bool
+}
+
+// FindCancellations extracts (node, CID) pairs for which the trace shows a
+// want followed by a CANCEL — the candidates for download confirmation.
+func FindCancellations(entries []trace.Entry) []DownloadConfirmation {
+	type key struct {
+		node simnet.NodeID
+		c    cid.CID
+	}
+	wanted := make(map[key]bool)
+	cancelled := make(map[key]bool)
+	var order []key
+	for _, e := range entries {
+		k := key{node: e.NodeID, c: e.CID}
+		switch e.Type {
+		case wire.WantHave, wire.WantBlock:
+			wanted[k] = true
+		case wire.Cancel:
+			if wanted[k] && !cancelled[k] {
+				cancelled[k] = true
+				order = append(order, k)
+			}
+		}
+	}
+	out := make([]DownloadConfirmation, 0, len(order))
+	for _, k := range order {
+		out = append(out, DownloadConfirmation{NodeID: k.node, CID: k.c, Cancelled: true})
+	}
+	return out
+}
+
+// ConfirmDownloads probes each candidate's node for the cancelled CID and
+// fills in the verdicts. done fires once all probes resolved.
+func ConfirmDownloads(p *Prober, candidates []DownloadConfirmation, timeout time.Duration, done func([]DownloadConfirmation)) {
+	results := make([]DownloadConfirmation, len(candidates))
+	copy(results, candidates)
+	remaining := len(results)
+	if remaining == 0 {
+		done(results)
+		return
+	}
+	for i := range results {
+		idx := i
+		p.TestPastInterest(results[idx].NodeID, results[idx].CID, timeout, func(hasIt, answered bool) {
+			results[idx].Confirmed = hasIt
+			results[idx].Answered = answered
+			remaining--
+			if remaining == 0 {
+				done(results)
+			}
+		})
+	}
+}

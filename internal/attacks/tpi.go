@@ -1,0 +1,108 @@
+package attacks
+
+import (
+	"fmt"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/wire"
+)
+
+// Prober is a minimal node used for the Testing-for-Past-Interests attack
+// (Sec. VI-A3): it connects to a victim and sends a single WANT_HAVE; a HAVE
+// answer proves the victim cached (hence previously requested or published)
+// the data item. The prober is not a full node — it speaks just enough
+// Bitswap to ask.
+type Prober struct {
+	ID  simnet.NodeID
+	net *simnet.Network
+
+	pending map[cid.CID]*probe
+}
+
+type probe struct {
+	target simnet.NodeID
+	done   func(hasIt, answered bool)
+	fired  bool
+}
+
+var _ simnet.Handler = (*Prober)(nil)
+
+// NewProber registers a prober node on the network.
+func NewProber(net *simnet.Network, name, addr string, region simnet.Region) (*Prober, error) {
+	p := &Prober{
+		ID:      simnet.DeriveNodeID([]byte("prober:" + name)),
+		net:     net,
+		pending: make(map[cid.CID]*probe),
+	}
+	if err := net.AddNode(p.ID, addr, region, 0, p); err != nil {
+		return nil, fmt.Errorf("register prober: %w", err)
+	}
+	return p, nil
+}
+
+// TestPastInterest connects to target and probes for c. done receives
+// (hasIt, answered): answered is false when the probe timed out entirely.
+func (p *Prober) TestPastInterest(target simnet.NodeID, c cid.CID, timeout time.Duration, done func(hasIt, answered bool)) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	if err := p.net.Connect(p.ID, target); err != nil {
+		done(false, false)
+		return
+	}
+	pr := &probe{target: target, done: done}
+	p.pending[c] = pr
+	msg := &wire.Message{Wantlist: []wire.Entry{{
+		Type:         wire.WantHave,
+		CID:          c,
+		SendDontHave: true,
+	}}}
+	if err := p.net.Send(p.ID, target, msg); err != nil {
+		delete(p.pending, c)
+		done(false, false)
+		return
+	}
+	p.net.After(timeout, func() {
+		if !pr.fired {
+			pr.fired = true
+			delete(p.pending, c)
+			done(false, false)
+		}
+	})
+}
+
+// HandleMessage implements simnet.Handler: it matches presence answers to
+// outstanding probes.
+func (p *Prober) HandleMessage(from simnet.NodeID, msg any) {
+	m, ok := msg.(*wire.Message)
+	if !ok {
+		return
+	}
+	for _, pres := range m.Presences {
+		pr, ok := p.pending[pres.CID]
+		if !ok || pr.fired || pr.target != from {
+			continue
+		}
+		pr.fired = true
+		delete(p.pending, pres.CID)
+		pr.done(pres.Type == wire.Have, true)
+	}
+	// A full BLOCK answer also proves possession.
+	for _, b := range m.Blocks {
+		pr, ok := p.pending[b.CID]
+		if !ok || pr.fired || pr.target != from {
+			continue
+		}
+		pr.fired = true
+		delete(p.pending, b.CID)
+		pr.done(true, true)
+	}
+}
+
+// PeerConnected implements simnet.Handler.
+func (p *Prober) PeerConnected(simnet.NodeID) {}
+
+// PeerDisconnected implements simnet.Handler.
+func (p *Prober) PeerDisconnected(simnet.NodeID) {}

@@ -1,0 +1,576 @@
+// Package bitswap implements the Bitswap data-exchange protocol of IPFS
+// (Sec. III-D of the paper): want_list broadcasts, HAVE/DONT_HAVE inventory,
+// sessions, 30-second re-broadcasts, and block transfer.
+//
+// The content-retrieval strategy follows the paper's Fig. 1 exactly:
+//
+//  1. look in the local store;
+//  2. create a session S(c) and broadcast WANT_HAVE c to all connected peers;
+//  3. if no HAVEs arrive, search the DHT for providers P(c), connect to
+//     them, and send WANT_HAVE to the newly connected peers;
+//  4. send WANT_BLOCK to (some) peers in S(c);
+//  5. while unresolved, periodically re-broadcast and re-search ("idle
+//     looping state").
+//
+// All the phenomena the monitoring methodology relies on are emergent from
+// this implementation: requests reach every connected peer (including
+// passive monitors), re-broadcasts repeat every RebroadcastInterval, and
+// requests for non-root blocks stay scoped to session peers, which is why
+// monitors only observe root CIDs.
+package bitswap
+
+import (
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/dht"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/wire"
+)
+
+// BlockStore is the storage the engine reads and writes.
+type BlockStore interface {
+	Has(c cid.CID) bool
+	Get(c cid.CID) ([]byte, bool)
+	Put(c cid.CID, data []byte) error
+}
+
+// ProviderRouter is the DHT surface the engine uses for step 3 of Fig. 1 and
+// for reproviding fetched content. *dht.DHT satisfies it.
+type ProviderRouter interface {
+	FindProviders(key dht.Key, want int, done func([]dht.PeerInfo))
+	Provide(key dht.Key, done func())
+}
+
+// Config parametrises the engine.
+type Config struct {
+	// RebroadcastInterval is the idle-loop period: unresolved wants are
+	// re-broadcast this often. The real client uses 30 s; the paper's 31 s
+	// deduplication window is calibrated to it.
+	RebroadcastInterval time.Duration
+	// ProviderSearchDelay is how long to wait for HAVEs before falling
+	// back to the DHT (step 3 of Fig. 1).
+	ProviderSearchDelay time.Duration
+	// MaxProviders bounds the DHT provider search.
+	MaxProviders int
+	// WantBlockFanout is how many session peers receive WANT_BLOCK
+	// concurrently.
+	WantBlockFanout int
+	// SendDontHave asks responders for explicit DONT_HAVE answers.
+	SendDontHave bool
+	// Reprovide announces fetched roots to the DHT, turning this node into
+	// a provider (the caching/reproviding cornerstone of Sec. III-C, and
+	// what the TPI attack tests for).
+	Reprovide bool
+	// GiveUpAfter abandons a want after this much time; 0 keeps wanting
+	// forever (matching the real client's indefinite idle loop).
+	GiveUpAfter time.Duration
+	// LegacyWantBlock selects the pre-v0.5 behaviour: broadcasts carry
+	// WANT_BLOCK entries instead of WANT_HAVE (no inventory mechanism).
+	// Fig. 4 of the paper tracks the network-wide transition between the
+	// two.
+	LegacyWantBlock bool
+}
+
+// DefaultConfig mirrors the go-ipfs constants.
+func DefaultConfig() Config {
+	return Config{
+		RebroadcastInterval: 30 * time.Second,
+		ProviderSearchDelay: time.Second,
+		MaxProviders:        10,
+		WantBlockFanout:     2,
+		SendDontHave:        true,
+		Reprovide:           true,
+	}
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	BroadcastsSent   uint64 // WANT_HAVE broadcast rounds
+	Rebroadcasts     uint64 // idle-loop repetitions
+	WantHavesSent    uint64 // individual WANT_HAVE entries sent
+	WantBlocksSent   uint64
+	CancelsSent      uint64
+	BlocksReceived   uint64
+	BlocksServed     uint64
+	HavesServed      uint64
+	DontHavesServed  uint64
+	DHTSearches      uint64
+	ResolvedWants    uint64
+	AbandonedWants   uint64
+	DuplicateBlocks  uint64
+	SessionsCreated  uint64
+	SessionWantsSent uint64
+}
+
+// Session tracks the peers likely to have data related to one retrieval
+// (Sec. III-D2). Subsequent requests for blocks of the same DAG go to these
+// peers rather than being flooded.
+type Session struct {
+	Root  cid.CID
+	peers map[simnet.NodeID]bool
+}
+
+// Peers returns the session's peer set as a sorted slice.
+func (s *Session) Peers() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(s.peers))
+	for p := range s.peers {
+		out = append(out, p)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []simnet.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j].Less(ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// wantState tracks one outstanding local want.
+type wantState struct {
+	c         cid.CID
+	session   *Session
+	broadcast bool // root want: broadcast + DHT; false: session-scoped
+	started   time.Time
+
+	wantHaveSent  map[simnet.NodeID]bool
+	wantBlockSent map[simnet.NodeID]bool
+	resolved      bool
+	cancelled     bool
+	searching     bool // DHT search in flight
+
+	callbacks []func(data []byte, ok bool)
+}
+
+// Engine is one node's Bitswap implementation.
+type Engine struct {
+	net    *simnet.Network
+	self   simnet.NodeID
+	store  BlockStore
+	router ProviderRouter
+	cfg    Config
+
+	wants map[cid.CID]*wantState
+	// ledger holds, per connected peer, the entries of their want_list
+	// ("persisted for as long as the peer is connected").
+	ledger map[simnet.NodeID]map[cid.CID]wire.EntryType
+
+	stats Stats
+}
+
+// New creates an engine for node self.
+func New(net *simnet.Network, self simnet.NodeID, store BlockStore, router ProviderRouter, cfg Config) *Engine {
+	if cfg.RebroadcastInterval <= 0 {
+		cfg.RebroadcastInterval = 30 * time.Second
+	}
+	if cfg.ProviderSearchDelay <= 0 {
+		cfg.ProviderSearchDelay = time.Second
+	}
+	if cfg.MaxProviders <= 0 {
+		cfg.MaxProviders = 10
+	}
+	if cfg.WantBlockFanout <= 0 {
+		cfg.WantBlockFanout = 2
+	}
+	return &Engine{
+		net:    net,
+		self:   self,
+		store:  store,
+		router: router,
+		cfg:    cfg,
+		wants:  make(map[cid.CID]*wantState),
+		ledger: make(map[simnet.NodeID]map[cid.CID]wire.EntryType),
+	}
+}
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// WantlistOf returns the want entries a connected peer has announced to us.
+func (e *Engine) WantlistOf(p simnet.NodeID) map[cid.CID]wire.EntryType {
+	src := e.ledger[p]
+	out := make(map[cid.CID]wire.EntryType, len(src))
+	for c, t := range src {
+		out[c] = t
+	}
+	return out
+}
+
+// Get retrieves the block c following Fig. 1 and calls done exactly once.
+// Repeated Gets for the same CID coalesce onto one want. It returns the
+// session created (or joined) for the retrieval; cache hits return a fresh
+// empty session.
+func (e *Engine) Get(c cid.CID, done func(data []byte, ok bool)) *Session {
+	if data, ok := e.store.Get(c); ok {
+		done(data, true)
+		return e.newSession(c)
+	}
+	if w, ok := e.wants[c]; ok && !w.resolved && !w.cancelled {
+		w.callbacks = append(w.callbacks, done)
+		return w.session
+	}
+	w := &wantState{
+		c:             c,
+		session:       e.newSession(c),
+		broadcast:     true,
+		started:       e.net.Now(),
+		wantHaveSent:  make(map[simnet.NodeID]bool),
+		wantBlockSent: make(map[simnet.NodeID]bool),
+		callbacks:     []func([]byte, bool){done},
+	}
+	e.wants[c] = w
+	e.broadcastWantHave(w)
+	e.scheduleProviderSearch(w)
+	e.scheduleRebroadcast(w)
+	e.scheduleGiveUp(w)
+	return w.session
+}
+
+// GetFromSession retrieves c by asking only the session's peers: the request
+// pattern for non-root DAG blocks, invisible to passive monitors.
+func (e *Engine) GetFromSession(sess *Session, c cid.CID, done func(data []byte, ok bool)) {
+	if data, ok := e.store.Get(c); ok {
+		done(data, true)
+		return
+	}
+	if w, ok := e.wants[c]; ok && !w.resolved && !w.cancelled {
+		w.callbacks = append(w.callbacks, done)
+		return
+	}
+	w := &wantState{
+		c:             c,
+		session:       sess,
+		started:       e.net.Now(),
+		wantHaveSent:  make(map[simnet.NodeID]bool),
+		wantBlockSent: make(map[simnet.NodeID]bool),
+		callbacks:     []func([]byte, bool){done},
+	}
+	e.wants[c] = w
+	peers := sess.Peers()
+	if len(peers) == 0 {
+		e.resolve(w, nil, false)
+		return
+	}
+	sent := 0
+	for _, p := range peers {
+		if sent >= e.cfg.WantBlockFanout {
+			break
+		}
+		e.sendWantBlock(w, p)
+		sent++
+	}
+	e.stats.SessionWantsSent += uint64(sent)
+	e.scheduleRebroadcast(w)
+	e.scheduleGiveUp(w)
+}
+
+// Cancel abandons the want for c (user cancel), notifying peers via CANCEL.
+func (e *Engine) Cancel(c cid.CID) {
+	w, ok := e.wants[c]
+	if !ok || w.resolved || w.cancelled {
+		return
+	}
+	w.cancelled = true
+	e.sendCancels(w)
+	delete(e.wants, c)
+	e.stats.AbandonedWants++
+	for _, cb := range w.callbacks {
+		cb(nil, false)
+	}
+}
+
+func (e *Engine) newSession(root cid.CID) *Session {
+	e.stats.SessionsCreated++
+	return &Session{Root: root, peers: make(map[simnet.NodeID]bool)}
+}
+
+// broadcastWantHave sends WANT_HAVE c to every currently connected peer.
+func (e *Engine) broadcastWantHave(w *wantState) {
+	e.stats.BroadcastsSent++
+	for _, p := range e.net.Peers(e.self) {
+		e.sendWantHave(w, p)
+	}
+}
+
+func (e *Engine) sendWantHave(w *wantState, p simnet.NodeID) {
+	typ := wire.WantHave
+	if e.cfg.LegacyWantBlock {
+		typ = wire.WantBlock
+	}
+	msg := &wire.Message{Wantlist: []wire.Entry{{
+		Type:         typ,
+		CID:          w.c,
+		SendDontHave: e.cfg.SendDontHave,
+	}}}
+	if e.net.Send(e.self, p, msg) == nil {
+		w.wantHaveSent[p] = true
+		if typ == wire.WantHave {
+			e.stats.WantHavesSent++
+		} else {
+			e.stats.WantBlocksSent++
+		}
+	}
+}
+
+// SetLegacyWantBlock flips the pre-v0.5 broadcast behaviour at runtime,
+// modelling a client upgrade.
+func (e *Engine) SetLegacyWantBlock(legacy bool) {
+	e.cfg.LegacyWantBlock = legacy
+}
+
+func (e *Engine) sendWantBlock(w *wantState, p simnet.NodeID) {
+	if w.wantBlockSent[p] {
+		return
+	}
+	msg := &wire.Message{Wantlist: []wire.Entry{{
+		Type:         wire.WantBlock,
+		CID:          w.c,
+		SendDontHave: e.cfg.SendDontHave,
+	}}}
+	if e.net.Send(e.self, p, msg) == nil {
+		w.wantBlockSent[p] = true
+		e.stats.WantBlocksSent++
+	}
+}
+
+// sendCancels notifies every peer that received a want entry for w.c.
+func (e *Engine) sendCancels(w *wantState) {
+	notified := make(map[simnet.NodeID]bool)
+	for p := range w.wantHaveSent {
+		notified[p] = true
+	}
+	for p := range w.wantBlockSent {
+		notified[p] = true
+	}
+	ids := make([]simnet.NodeID, 0, len(notified))
+	for p := range notified {
+		ids = append(ids, p)
+	}
+	sortIDs(ids)
+	msg := &wire.Message{Wantlist: []wire.Entry{{Type: wire.Cancel, CID: w.c}}}
+	for _, p := range ids {
+		if e.net.Send(e.self, p, msg) == nil {
+			e.stats.CancelsSent++
+		}
+	}
+}
+
+// scheduleProviderSearch arms step 3 of Fig. 1: after ProviderSearchDelay,
+// if the session is still empty, search the DHT.
+func (e *Engine) scheduleProviderSearch(w *wantState) {
+	e.net.After(e.cfg.ProviderSearchDelay, func() {
+		if w.resolved || w.cancelled || len(w.session.peers) > 0 || w.searching {
+			return
+		}
+		e.searchProviders(w)
+	})
+}
+
+func (e *Engine) searchProviders(w *wantState) {
+	if e.router == nil {
+		return
+	}
+	w.searching = true
+	e.stats.DHTSearches++
+	e.router.FindProviders(dht.KeyForCID(w.c), e.cfg.MaxProviders, func(provs []dht.PeerInfo) {
+		w.searching = false
+		if w.resolved || w.cancelled {
+			return
+		}
+		for _, p := range provs {
+			if p.ID == e.self {
+				continue
+			}
+			// Establish connections to all p in P(c), then WANT_HAVE the
+			// newly connected peers.
+			if !e.net.Connected(e.self, p.ID) {
+				if e.net.Connect(e.self, p.ID) != nil {
+					continue
+				}
+			}
+			if !w.wantHaveSent[p.ID] {
+				e.sendWantHave(w, p.ID)
+			}
+		}
+	})
+}
+
+// scheduleRebroadcast arms the idle loop: every RebroadcastInterval an
+// unresolved broadcast-want re-broadcasts and re-searches the DHT.
+func (e *Engine) scheduleRebroadcast(w *wantState) {
+	e.net.After(e.cfg.RebroadcastInterval, func() {
+		if w.resolved || w.cancelled {
+			return
+		}
+		e.stats.Rebroadcasts++
+		if w.broadcast {
+			// Re-broadcast to all peers, including ones already asked:
+			// the real client's timers work per-peer and re-send entries.
+			for p := range w.wantHaveSent {
+				delete(w.wantHaveSent, p)
+			}
+			e.broadcastWantHave(w)
+			if len(w.session.peers) == 0 && !w.searching {
+				e.searchProviders(w)
+			}
+		} else {
+			for _, p := range w.session.Peers() {
+				delete(w.wantBlockSent, p)
+			}
+			for i, p := range w.session.Peers() {
+				if i >= e.cfg.WantBlockFanout {
+					break
+				}
+				e.sendWantBlock(w, p)
+			}
+		}
+		e.scheduleRebroadcast(w)
+	})
+}
+
+func (e *Engine) scheduleGiveUp(w *wantState) {
+	if e.cfg.GiveUpAfter <= 0 {
+		return
+	}
+	e.net.After(e.cfg.GiveUpAfter, func() {
+		if w.resolved || w.cancelled {
+			return
+		}
+		w.cancelled = true
+		e.sendCancels(w)
+		delete(e.wants, w.c)
+		e.stats.AbandonedWants++
+		for _, cb := range w.callbacks {
+			cb(nil, false)
+		}
+	})
+}
+
+func (e *Engine) resolve(w *wantState, data []byte, ok bool) {
+	if w.resolved || w.cancelled {
+		return
+	}
+	w.resolved = true
+	delete(e.wants, w.c)
+	if ok {
+		e.stats.ResolvedWants++
+	} else {
+		e.stats.AbandonedWants++
+	}
+	for _, cb := range w.callbacks {
+		cb(data, ok)
+	}
+}
+
+// HandleMessage processes an incoming Bitswap message. It reports whether
+// the message was a Bitswap message.
+func (e *Engine) HandleMessage(from simnet.NodeID, msg any) bool {
+	m, ok := msg.(*wire.Message)
+	if !ok {
+		return false
+	}
+	var reply wire.Message
+	for _, entry := range m.Wantlist {
+		switch entry.Type {
+		case wire.WantHave:
+			e.rememberWant(from, entry)
+			if e.store.Has(entry.CID) {
+				reply.Presences = append(reply.Presences, wire.Presence{Type: wire.Have, CID: entry.CID})
+				e.stats.HavesServed++
+			} else if entry.SendDontHave {
+				reply.Presences = append(reply.Presences, wire.Presence{Type: wire.DontHave, CID: entry.CID})
+				e.stats.DontHavesServed++
+			}
+		case wire.WantBlock:
+			e.rememberWant(from, entry)
+			if data, ok := e.store.Get(entry.CID); ok {
+				reply.Blocks = append(reply.Blocks, wire.Block{CID: entry.CID, Data: data})
+				e.stats.BlocksServed++
+			} else if entry.SendDontHave {
+				reply.Presences = append(reply.Presences, wire.Presence{Type: wire.DontHave, CID: entry.CID})
+				e.stats.DontHavesServed++
+			}
+		case wire.Cancel:
+			if lg, ok := e.ledger[from]; ok {
+				delete(lg, entry.CID)
+			}
+		}
+	}
+	for _, p := range m.Presences {
+		w, ok := e.wants[p.CID]
+		if !ok || w.resolved || w.cancelled {
+			continue
+		}
+		if p.Type == wire.Have {
+			// Add HAVE-sending peers to S(c); request the block.
+			w.session.peers[from] = true
+			if countTrue(w.wantBlockSent) < e.cfg.WantBlockFanout {
+				e.sendWantBlock(w, from)
+			}
+		}
+	}
+	for _, b := range m.Blocks {
+		e.receiveBlock(from, b)
+	}
+	if !reply.Empty() {
+		_ = e.net.Send(e.self, from, &reply)
+	}
+	return true
+}
+
+func countTrue(m map[simnet.NodeID]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) rememberWant(from simnet.NodeID, entry wire.Entry) {
+	lg, ok := e.ledger[from]
+	if !ok {
+		lg = make(map[cid.CID]wire.EntryType)
+		e.ledger[from] = lg
+	}
+	lg[entry.CID] = entry.Type
+}
+
+func (e *Engine) receiveBlock(from simnet.NodeID, b wire.Block) {
+	w, ok := e.wants[b.CID]
+	if !ok || w.resolved || w.cancelled {
+		e.stats.DuplicateBlocks++
+		return
+	}
+	// Verify content addressing: tampered blocks are dropped.
+	mh, err := b.CID.Hash()
+	if err != nil || mh.Verify(b.Data) != nil {
+		return
+	}
+	e.stats.BlocksReceived++
+	if err := e.store.Put(b.CID, b.Data); err == nil {
+		// By caching the block the node becomes a provider for it.
+		if e.cfg.Reprovide && w.broadcast && e.router != nil {
+			e.router.Provide(dht.KeyForCID(b.CID), nil)
+		}
+	}
+	w.session.peers[from] = true
+	e.sendCancels(w)
+	e.resolve(w, b.Data, true)
+}
+
+// PeerConnected implements the connection callback; nothing to do on the
+// engine side (the real client may push its want_list to new peers; our
+// broadcasts re-reach new peers at the next rebroadcast, matching the
+// paper's observed behaviour closely enough for trace purposes).
+func (e *Engine) PeerConnected(p simnet.NodeID) {}
+
+// PeerDisconnected drops the peer's want_list ledger, matching "persisted
+// for as long as the peer is connected".
+func (e *Engine) PeerDisconnected(p simnet.NodeID) {
+	delete(e.ledger, p)
+}

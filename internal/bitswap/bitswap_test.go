@@ -1,0 +1,371 @@
+package bitswap
+
+import (
+	"testing"
+	"time"
+
+	"bitswapmon/internal/blockstore"
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/dht"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/wire"
+)
+
+var t0 = time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+
+// fakeRouter is a canned ProviderRouter.
+type fakeRouter struct {
+	providers map[dht.Key][]dht.PeerInfo
+	provides  []dht.Key
+	searches  int
+}
+
+func (f *fakeRouter) FindProviders(key dht.Key, want int, done func([]dht.PeerInfo)) {
+	f.searches++
+	done(f.providers[key])
+}
+
+func (f *fakeRouter) Provide(key dht.Key, done func()) {
+	f.provides = append(f.provides, key)
+	if done != nil {
+		done()
+	}
+}
+
+// bsNode wires an engine into simnet for unit tests.
+type bsNode struct {
+	engine *Engine
+	store  *blockstore.Store
+}
+
+func (n *bsNode) HandleMessage(from simnet.NodeID, msg any) { n.engine.HandleMessage(from, msg) }
+func (n *bsNode) PeerConnected(p simnet.NodeID)             { n.engine.PeerConnected(p) }
+func (n *bsNode) PeerDisconnected(p simnet.NodeID)          { n.engine.PeerDisconnected(p) }
+
+func newBSNode(t *testing.T, net *simnet.Network, name string, router ProviderRouter, cfg Config) *bsNode {
+	t.Helper()
+	id := simnet.DeriveNodeID([]byte(name))
+	st := blockstore.New(1 << 20)
+	n := &bsNode{store: st}
+	n.engine = New(net, id, st, router, cfg)
+	if err := net.AddNode(id, name+":4001", simnet.RegionUS, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func (n *bsNode) id() simnet.NodeID { return n.engine.self }
+
+func TestGetFromConnectedPeer(t *testing.T) {
+	net := simnet.New(t0, 1, simnet.Fixed(time.Millisecond))
+	a := newBSNode(t, net, "a", &fakeRouter{}, DefaultConfig())
+	b := newBSNode(t, net, "b", &fakeRouter{}, DefaultConfig())
+	if err := net.Connect(a.id(), b.id()); err != nil {
+		t.Fatal(err)
+	}
+
+	data := []byte("the block")
+	c := cid.Sum(cid.Raw, data)
+	if err := b.store.Put(c, data); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []byte
+	a.engine.Get(c, func(d []byte, ok bool) {
+		if ok {
+			got = d
+		}
+	})
+	net.Run(time.Second)
+	if string(got) != string(data) {
+		t.Fatalf("got %q", got)
+	}
+	st := a.engine.Stats()
+	if st.WantHavesSent == 0 || st.WantBlocksSent == 0 || st.BlocksReceived != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.CancelsSent == 0 {
+		t.Error("no CANCEL sent after receipt")
+	}
+	// The block must now be cached.
+	if !a.store.Has(c) {
+		t.Error("fetched block not cached")
+	}
+}
+
+func TestGetCoalescesCallbacks(t *testing.T) {
+	net := simnet.New(t0, 2, simnet.Fixed(time.Millisecond))
+	a := newBSNode(t, net, "a", &fakeRouter{}, DefaultConfig())
+	b := newBSNode(t, net, "b", &fakeRouter{}, DefaultConfig())
+	if err := net.Connect(a.id(), b.id()); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("shared want")
+	c := cid.Sum(cid.Raw, data)
+	if err := b.store.Put(c, data); err != nil {
+		t.Fatal(err)
+	}
+
+	calls := 0
+	a.engine.Get(c, func(_ []byte, ok bool) { calls++ })
+	a.engine.Get(c, func(_ []byte, ok bool) { calls++ })
+	net.Run(time.Second)
+	if calls != 2 {
+		t.Errorf("callbacks = %d, want 2", calls)
+	}
+	if a.engine.Stats().SessionsCreated != 1 {
+		t.Errorf("sessions = %d, want 1 (coalesced)", a.engine.Stats().SessionsCreated)
+	}
+}
+
+func TestDHTFallbackAfterBroadcastFails(t *testing.T) {
+	net := simnet.New(t0, 3, simnet.Fixed(time.Millisecond))
+	data := []byte("dht only")
+	c := cid.Sum(cid.Raw, data)
+
+	provider := newBSNode(t, net, "provider", &fakeRouter{}, DefaultConfig())
+	if err := provider.store.Put(c, data); err != nil {
+		t.Fatal(err)
+	}
+	router := &fakeRouter{providers: map[dht.Key][]dht.PeerInfo{
+		dht.KeyForCID(c): {{ID: provider.id(), Addr: "provider:4001"}},
+	}}
+	a := newBSNode(t, net, "a", router, DefaultConfig())
+	// No connection between a and provider: broadcast cannot reach it.
+
+	var ok bool
+	a.engine.Get(c, func(_ []byte, o bool) { ok = o })
+	net.Run(10 * time.Second)
+	if !ok {
+		t.Fatal("DHT fallback did not resolve the want")
+	}
+	if router.searches != 1 {
+		t.Errorf("searches = %d", router.searches)
+	}
+	if !net.Connected(a.id(), provider.id()) {
+		t.Error("provider connection not opened/persisted")
+	}
+}
+
+func TestNoDHTSearchWhenSessionFormsQuickly(t *testing.T) {
+	net := simnet.New(t0, 4, simnet.Fixed(time.Millisecond))
+	router := &fakeRouter{}
+	a := newBSNode(t, net, "a", router, DefaultConfig())
+	b := newBSNode(t, net, "b", &fakeRouter{}, DefaultConfig())
+	if err := net.Connect(a.id(), b.id()); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("nearby")
+	c := cid.Sum(cid.Raw, data)
+	if err := b.store.Put(c, data); err != nil {
+		t.Fatal(err)
+	}
+	a.engine.Get(c, func([]byte, bool) {})
+	net.Run(10 * time.Second)
+	if router.searches != 0 {
+		t.Errorf("DHT searched %d times despite fast HAVE", router.searches)
+	}
+}
+
+func TestReprovideAnnouncesFetchedRoot(t *testing.T) {
+	net := simnet.New(t0, 5, simnet.Fixed(time.Millisecond))
+	router := &fakeRouter{}
+	cfg := DefaultConfig()
+	a := newBSNode(t, net, "a", router, cfg)
+	b := newBSNode(t, net, "b", &fakeRouter{}, DefaultConfig())
+	if err := net.Connect(a.id(), b.id()); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("reprovide me")
+	c := cid.Sum(cid.Raw, data)
+	if err := b.store.Put(c, data); err != nil {
+		t.Fatal(err)
+	}
+	a.engine.Get(c, func([]byte, bool) {})
+	net.Run(time.Second)
+	if len(router.provides) != 1 || router.provides[0] != dht.KeyForCID(c) {
+		t.Errorf("provides = %v", router.provides)
+	}
+
+	// With Reprovide off, no announcement.
+	cfg2 := DefaultConfig()
+	cfg2.Reprovide = false
+	router2 := &fakeRouter{}
+	x := newBSNode(t, net, "x", router2, cfg2)
+	if err := net.Connect(x.id(), b.id()); err != nil {
+		t.Fatal(err)
+	}
+	x.engine.Get(c, func([]byte, bool) {})
+	net.Run(time.Second)
+	if len(router2.provides) != 0 {
+		t.Error("Reprovide=false still announced")
+	}
+}
+
+func TestTamperedBlockRejected(t *testing.T) {
+	net := simnet.New(t0, 6, simnet.Fixed(time.Millisecond))
+	a := newBSNode(t, net, "a", &fakeRouter{}, DefaultConfig())
+	evil := simnet.DeriveNodeID([]byte("evil"))
+	// Register a raw handler that answers WANT_HAVE with HAVE and
+	// WANT_BLOCK with corrupted data.
+	h := &tamperNode{net: net, id: evil}
+	if err := net.AddNode(evil, "evil:4001", simnet.RegionOther, 0, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(a.id(), evil); err != nil {
+		t.Fatal(err)
+	}
+
+	c := cid.Sum(cid.Raw, []byte("true data"))
+	resolved := false
+	a.engine.Get(c, func(_ []byte, ok bool) { resolved = ok })
+	net.Run(5 * time.Second)
+	if resolved {
+		t.Fatal("tampered block accepted")
+	}
+	if a.store.Has(c) {
+		t.Error("tampered block stored")
+	}
+}
+
+// tamperNode serves corrupted blocks.
+type tamperNode struct {
+	net *simnet.Network
+	id  simnet.NodeID
+}
+
+func (n *tamperNode) HandleMessage(from simnet.NodeID, msg any) {
+	m, ok := msg.(*wire.Message)
+	if !ok {
+		return
+	}
+	var reply wire.Message
+	for _, e := range m.Wantlist {
+		switch e.Type {
+		case wire.WantHave:
+			reply.Presences = append(reply.Presences, wire.Presence{Type: wire.Have, CID: e.CID})
+		case wire.WantBlock:
+			reply.Blocks = append(reply.Blocks, wire.Block{CID: e.CID, Data: []byte("FORGED")})
+		}
+	}
+	if !reply.Empty() {
+		_ = n.net.Send(n.id, from, &reply)
+	}
+}
+func (n *tamperNode) PeerConnected(simnet.NodeID)    {}
+func (n *tamperNode) PeerDisconnected(simnet.NodeID) {}
+
+func TestLegacyWantBlockBroadcast(t *testing.T) {
+	net := simnet.New(t0, 7, simnet.Fixed(time.Millisecond))
+	cfg := DefaultConfig()
+	cfg.LegacyWantBlock = true
+	a := newBSNode(t, net, "a", &fakeRouter{}, cfg)
+	b := newBSNode(t, net, "b", &fakeRouter{}, DefaultConfig())
+	if err := net.Connect(a.id(), b.id()); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("legacy fetch")
+	c := cid.Sum(cid.Raw, data)
+	if err := b.store.Put(c, data); err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	a.engine.Get(c, func(_ []byte, o bool) { ok = o })
+	net.Run(time.Second)
+	if !ok {
+		t.Fatal("legacy fetch failed")
+	}
+	// The ledger of b must show a WANT_BLOCK entry type... it was
+	// cancelled on receipt, so check stats instead: no WANT_HAVEs sent.
+	if a.engine.Stats().WantHavesSent != 0 {
+		t.Error("legacy node sent WANT_HAVE")
+	}
+
+	// Upgrade at runtime.
+	a.engine.SetLegacyWantBlock(false)
+	data2 := []byte("post upgrade")
+	c2 := cid.Sum(cid.Raw, data2)
+	if err := b.store.Put(c2, data2); err != nil {
+		t.Fatal(err)
+	}
+	a.engine.Get(c2, func([]byte, bool) {})
+	net.Run(time.Second)
+	if a.engine.Stats().WantHavesSent == 0 {
+		t.Error("upgraded node still broadcasting WANT_BLOCK")
+	}
+}
+
+func TestSessionScopedFetchInvisibleToNonMembers(t *testing.T) {
+	net := simnet.New(t0, 8, simnet.Fixed(time.Millisecond))
+	a := newBSNode(t, net, "a", &fakeRouter{}, DefaultConfig())
+	b := newBSNode(t, net, "b", &fakeRouter{}, DefaultConfig())
+	mon := newBSNode(t, net, "mon", &fakeRouter{}, DefaultConfig()) // stand-in monitor
+	if err := net.Connect(a.id(), b.id()); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(a.id(), mon.id()); err != nil {
+		t.Fatal(err)
+	}
+
+	rootData := []byte("root block")
+	rootCID := cid.Sum(cid.Raw, rootData)
+	childData := []byte("child block")
+	childCID := cid.Sum(cid.Raw, childData)
+	if err := b.store.Put(rootCID, rootData); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.store.Put(childCID, childData); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fetch the root via broadcast: the monitor sees it.
+	sess := a.engine.Get(rootCID, func([]byte, bool) {})
+	net.Run(time.Second)
+	if _, seen := mon.engine.WantlistOf(a.id())[rootCID]; !seen {
+		t.Log("note: want cancelled after resolve clears ledger; checking child only")
+	}
+
+	// Fetch the child session-scoped: only b (the session peer) is asked.
+	monWantsBefore := len(mon.engine.WantlistOf(a.id()))
+	a.engine.GetFromSession(sess, childCID, func([]byte, bool) {})
+	net.Run(time.Second)
+	if !a.store.Has(childCID) {
+		t.Fatal("session fetch failed")
+	}
+	if got := len(mon.engine.WantlistOf(a.id())); got > monWantsBefore {
+		t.Error("session-scoped request leaked to a non-session peer")
+	}
+}
+
+func TestGetFromEmptySessionFails(t *testing.T) {
+	net := simnet.New(t0, 9, simnet.Fixed(time.Millisecond))
+	a := newBSNode(t, net, "a", &fakeRouter{}, DefaultConfig())
+	sess := a.engine.newSession(cid.Sum(cid.Raw, []byte("root")))
+	done, ok := false, true
+	a.engine.GetFromSession(sess, cid.Sum(cid.Raw, []byte("child")), func(_ []byte, o bool) {
+		done, ok = true, o
+	})
+	net.Run(time.Second)
+	if !done || ok {
+		t.Errorf("empty-session fetch: done=%v ok=%v, want done,!ok", done, ok)
+	}
+}
+
+func TestWantlistLedgerClearedOnDisconnect(t *testing.T) {
+	net := simnet.New(t0, 10, simnet.Fixed(time.Millisecond))
+	a := newBSNode(t, net, "a", &fakeRouter{}, DefaultConfig())
+	b := newBSNode(t, net, "b", &fakeRouter{}, DefaultConfig())
+	if err := net.Connect(a.id(), b.id()); err != nil {
+		t.Fatal(err)
+	}
+	ghost := cid.Sum(cid.Raw, []byte("never found"))
+	a.engine.Get(ghost, func([]byte, bool) {})
+	net.Run(time.Second)
+	if len(b.engine.WantlistOf(a.id())) != 1 {
+		t.Fatal("want not recorded")
+	}
+	net.Disconnect(a.id(), b.id())
+	if len(b.engine.WantlistOf(a.id())) != 0 {
+		t.Error("ledger survived disconnect")
+	}
+}

@@ -1,0 +1,88 @@
+package bitswap
+
+import (
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/merkledag"
+)
+
+// FetchDAG retrieves the entire DAG rooted at root and calls done once with
+// the outcome.
+//
+// The root block is retrieved with the full Fig. 1 strategy (broadcast, DHT
+// fallback) — this is the request passive monitors can observe. Child blocks
+// are requested only from the root's session peers, so they never reach
+// monitors: "passive monitors will generally only detect requests for root
+// hashes of a Merkle DAG" (Sec. IV-A).
+func (e *Engine) FetchDAG(root cid.CID, done func(ok bool)) {
+	var sess *Session
+	sess = e.Get(root, func(data []byte, ok bool) {
+		if !ok {
+			done(false)
+			return
+		}
+		node, err := merkledag.DecodeNode(root.Codec(), data)
+		if err != nil {
+			done(false)
+			return
+		}
+		s := sess
+		if s == nil {
+			// The root was served synchronously from the local store; the
+			// children are expected there too.
+			s = e.newSession(root)
+		}
+		e.fetchChildren(s, node, done)
+	})
+}
+
+// fetchChildren walks a decoded node's links, fetching each via the session.
+func (e *Engine) fetchChildren(sess *Session, node *merkledag.Node, done func(ok bool)) {
+	if len(node.Links) == 0 {
+		done(true)
+		return
+	}
+	remaining := len(node.Links)
+	failed := false
+	complete := func(ok bool) {
+		if !ok {
+			failed = true
+		}
+		remaining--
+		if remaining == 0 {
+			done(!failed)
+		}
+	}
+	for _, l := range node.Links {
+		link := l
+		e.GetFromSession(sess, link.CID, func(data []byte, ok bool) {
+			if !ok {
+				complete(false)
+				return
+			}
+			child, err := merkledag.DecodeNode(link.CID.Codec(), data)
+			if err != nil {
+				complete(false)
+				return
+			}
+			e.fetchChildren(sess, child, complete)
+		})
+	}
+}
+
+// Assemble fetches the DAG rooted at root and reconstructs the file bytes.
+// done receives the assembled content, or ok=false when any block could not
+// be retrieved or the root is not a file.
+func (e *Engine) Assemble(root cid.CID, store merkledag.BlockSource, done func(data []byte, ok bool)) {
+	e.FetchDAG(root, func(ok bool) {
+		if !ok {
+			done(nil, false)
+			return
+		}
+		data, err := merkledag.Assemble(store, root)
+		if err != nil {
+			done(nil, false)
+			return
+		}
+		done(data, true)
+	})
+}

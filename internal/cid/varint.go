@@ -1,0 +1,59 @@
+package cid
+
+import "errors"
+
+// Varint handling for the multiformats family. These are unsigned LEB128
+// varints as used by multihash, multicodec and CID binary encodings.
+
+var (
+	// ErrVarintOverflow is returned when a varint does not fit in a uint64.
+	ErrVarintOverflow = errors.New("cid: varint overflows uint64")
+	// ErrVarintTruncated is returned when the buffer ends mid-varint.
+	ErrVarintTruncated = errors.New("cid: truncated varint")
+	// ErrVarintNotMinimal is returned for non-canonical (padded) varints.
+	ErrVarintNotMinimal = errors.New("cid: varint not minimally encoded")
+)
+
+// PutUvarint appends v to buf as an unsigned LEB128 varint and returns the
+// extended buffer.
+func PutUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// Uvarint decodes an unsigned LEB128 varint from the start of buf. It returns
+// the value and the number of bytes consumed. Unlike encoding/binary, it
+// rejects non-minimal encodings, which are invalid in the multiformats spec.
+func Uvarint(buf []byte) (uint64, int, error) {
+	var (
+		x     uint64
+		shift uint
+	)
+	for i, b := range buf {
+		if i >= 10 || (i == 9 && b > 1) {
+			return 0, 0, ErrVarintOverflow
+		}
+		if b < 0x80 {
+			if b == 0 && i > 0 {
+				return 0, 0, ErrVarintNotMinimal
+			}
+			return x | uint64(b)<<shift, i + 1, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0, ErrVarintTruncated
+}
+
+// UvarintLen reports the number of bytes PutUvarint would use for v.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,464 @@
+package dht
+
+import (
+	"time"
+
+	"bitswapmon/internal/simnet"
+)
+
+// Mode selects DHT participation.
+type Mode int
+
+// DHT participation modes (Sec. III-A): servers store records and answer
+// RPCs; clients only query and are invisible to crawlers.
+const (
+	ModeServer Mode = iota + 1
+	ModeClient
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeServer:
+		return "server"
+	case ModeClient:
+		return "client"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultAlpha is the lookup concurrency factor.
+const DefaultAlpha = 3
+
+// DefaultRPCTimeout is how long a single RPC may take before it is counted
+// as failed.
+const DefaultRPCTimeout = 2 * time.Second
+
+// RPC message types exchanged over the simulated network.
+type (
+	findNodeReq struct {
+		RPCID  uint64
+		Target simnet.NodeID
+		From   PeerInfo
+	}
+	findNodeResp struct {
+		RPCID  uint64
+		Closer []PeerInfo
+	}
+	getProvidersReq struct {
+		RPCID uint64
+		Key   Key
+		From  PeerInfo
+	}
+	getProvidersResp struct {
+		RPCID     uint64
+		Providers []PeerInfo
+		Closer    []PeerInfo
+	}
+	addProviderReq struct {
+		Key      Key
+		Provider PeerInfo
+	}
+)
+
+type pendingRPC struct {
+	onFindNode     func(findNodeResp, bool)
+	onGetProviders func(getProvidersResp, bool)
+	expired        bool
+}
+
+// Config parametrises a DHT instance.
+type Config struct {
+	// Mode selects server or client participation. Zero selects ModeServer.
+	Mode Mode
+	// K is the bucket / closest-set size; 0 selects DefaultK.
+	K int
+	// Alpha is the lookup concurrency; 0 selects DefaultAlpha.
+	Alpha int
+	// RPCTimeout bounds individual RPCs; 0 selects DefaultRPCTimeout.
+	RPCTimeout time.Duration
+	// ProviderTTL bounds provider record lifetime; 0 selects the default.
+	ProviderTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == 0 {
+		c.Mode = ModeServer
+	}
+	if c.K == 0 {
+		c.K = DefaultK
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = DefaultRPCTimeout
+	}
+	if c.ProviderTTL == 0 {
+		c.ProviderTTL = DefaultProviderTTL
+	}
+	return c
+}
+
+// DHT is one node's view of the Kademlia overlay. It is driven entirely by
+// the simnet event loop (no goroutines): RPC replies and timeouts arrive as
+// events, lookups are callback state machines.
+type DHT struct {
+	net  *simnet.Network
+	self PeerInfo
+	cfg  Config
+
+	rt      *RoutingTable
+	provs   *ProviderStore
+	nextRPC uint64
+	pending map[uint64]*pendingRPC
+
+	// stats
+	lookupsStarted uint64
+	rpcsSent       uint64
+	rpcsTimedOut   uint64
+}
+
+// New creates a DHT for the node identified by self.
+func New(net *simnet.Network, self PeerInfo, cfg Config) *DHT {
+	cfg = cfg.withDefaults()
+	self.Server = cfg.Mode == ModeServer
+	return &DHT{
+		net:     net,
+		self:    self,
+		cfg:     cfg,
+		rt:      NewRoutingTable(self.ID, cfg.K),
+		provs:   NewProviderStore(cfg.ProviderTTL),
+		pending: make(map[uint64]*pendingRPC),
+	}
+}
+
+// Self returns the local peer info.
+func (d *DHT) Self() PeerInfo { return d.self }
+
+// Mode returns the participation mode.
+func (d *DHT) Mode() Mode { return d.cfg.Mode }
+
+// RoutingTable exposes the routing table (read-mostly; used by the crawler
+// responder and by diagnostics).
+func (d *DHT) RoutingTable() *RoutingTable { return d.rt }
+
+// Observe records a peer we learned about (e.g. via an inbound connection),
+// feeding the routing table.
+func (d *DHT) Observe(p PeerInfo) { d.rt.Add(p) }
+
+// HandleMessage processes a DHT RPC delivered by the network. It reports
+// whether the message was a DHT message.
+func (d *DHT) HandleMessage(from simnet.NodeID, msg any) bool {
+	switch m := msg.(type) {
+	case findNodeReq:
+		d.rt.Add(m.From)
+		if d.cfg.Mode != ModeServer {
+			return true // clients do not answer
+		}
+		closer := d.rt.Closest(m.Target, d.cfg.K)
+		d.reply(from, findNodeResp{RPCID: m.RPCID, Closer: closer})
+		return true
+	case getProvidersReq:
+		d.rt.Add(m.From)
+		if d.cfg.Mode != ModeServer {
+			return true
+		}
+		resp := getProvidersResp{
+			RPCID:     m.RPCID,
+			Providers: d.provs.Get(m.Key, d.net.Now()),
+			Closer:    d.rt.Closest(m.Key.AsNodeID(), d.cfg.K),
+		}
+		d.reply(from, resp)
+		return true
+	case addProviderReq:
+		if d.cfg.Mode == ModeServer {
+			d.provs.Add(m.Key, m.Provider, d.net.Now())
+		}
+		return true
+	case findNodeResp:
+		if p, ok := d.pending[m.RPCID]; ok && p.onFindNode != nil {
+			delete(d.pending, m.RPCID)
+			p.onFindNode(m, true)
+		}
+		return true
+	case getProvidersResp:
+		if p, ok := d.pending[m.RPCID]; ok && p.onGetProviders != nil {
+			delete(d.pending, m.RPCID)
+			p.onGetProviders(m, true)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (d *DHT) reply(to simnet.NodeID, msg any) {
+	// The connection may already be gone; replies are best-effort.
+	_ = d.net.Send(d.self.ID, to, msg)
+}
+
+// dial ensures a connection to p exists. DHT RPCs ride on real connections;
+// connections opened during searches persist, which is the mechanism that
+// lets passive monitors see DHT clients (Sec. IV-C).
+func (d *DHT) dial(p PeerInfo) bool {
+	if d.net.Connected(d.self.ID, p.ID) {
+		return true
+	}
+	return d.net.Connect(d.self.ID, p.ID) == nil
+}
+
+func (d *DHT) sendFindNode(p PeerInfo, target simnet.NodeID, cb func(findNodeResp, bool)) {
+	if !p.Server || !d.dial(p) {
+		cb(findNodeResp{}, false)
+		return
+	}
+	d.nextRPC++
+	id := d.nextRPC
+	d.pending[id] = &pendingRPC{onFindNode: cb}
+	d.rpcsSent++
+	if err := d.net.Send(d.self.ID, p.ID, findNodeReq{RPCID: id, Target: target, From: d.self}); err != nil {
+		delete(d.pending, id)
+		cb(findNodeResp{}, false)
+		return
+	}
+	d.expireAfter(id)
+}
+
+func (d *DHT) sendGetProviders(p PeerInfo, key Key, cb func(getProvidersResp, bool)) {
+	if !p.Server || !d.dial(p) {
+		cb(getProvidersResp{}, false)
+		return
+	}
+	d.nextRPC++
+	id := d.nextRPC
+	d.pending[id] = &pendingRPC{onGetProviders: cb}
+	d.rpcsSent++
+	if err := d.net.Send(d.self.ID, p.ID, getProvidersReq{RPCID: id, Key: key, From: d.self}); err != nil {
+		delete(d.pending, id)
+		cb(getProvidersResp{}, false)
+		return
+	}
+	d.expireAfter(id)
+}
+
+func (d *DHT) expireAfter(id uint64) {
+	d.net.After(d.cfg.RPCTimeout, func() {
+		p, ok := d.pending[id]
+		if !ok {
+			return
+		}
+		delete(d.pending, id)
+		d.rpcsTimedOut++
+		p.expired = true
+		if p.onFindNode != nil {
+			p.onFindNode(findNodeResp{}, false)
+		}
+		if p.onGetProviders != nil {
+			p.onGetProviders(getProvidersResp{}, false)
+		}
+	})
+}
+
+// lookup is the iterative Kademlia search state machine shared by
+// FindClosest and FindProviders.
+type lookup struct {
+	d         *DHT
+	target    simnet.NodeID
+	key       Key
+	providers bool // query providers instead of find-node
+	wantProvs int
+
+	seen     map[simnet.NodeID]PeerInfo
+	queried  map[simnet.NodeID]bool
+	inflight int
+
+	foundProvs map[simnet.NodeID]PeerInfo
+	finished   bool
+	onDone     func(closest []PeerInfo, providers []PeerInfo)
+}
+
+func (l *lookup) addCandidates(peers []PeerInfo) {
+	for _, p := range peers {
+		if p.ID == l.d.self.ID {
+			continue
+		}
+		if _, ok := l.seen[p.ID]; !ok {
+			l.seen[p.ID] = p
+		}
+	}
+}
+
+func (l *lookup) candidates() []PeerInfo {
+	out := make([]PeerInfo, 0, len(l.seen))
+	for _, p := range l.seen {
+		out = append(out, p)
+	}
+	SortByDistance(out, l.target)
+	return out
+}
+
+func (l *lookup) step() {
+	if l.finished {
+		return
+	}
+	if l.providers && len(l.foundProvs) >= l.wantProvs {
+		l.finish()
+		return
+	}
+	cands := l.candidates()
+	// The lookup terminates when the k closest known peers have all been
+	// queried (or failed).
+	kClosest := cands
+	if len(kClosest) > l.d.cfg.K {
+		kClosest = kClosest[:l.d.cfg.K]
+	}
+	allQueried := true
+	for _, p := range kClosest {
+		if p.Server && !l.queried[p.ID] {
+			allQueried = false
+			break
+		}
+	}
+	if allQueried && l.inflight == 0 {
+		l.finish()
+		return
+	}
+	for _, p := range cands {
+		if l.inflight >= l.d.cfg.Alpha {
+			break
+		}
+		if !p.Server || l.queried[p.ID] {
+			continue
+		}
+		l.queried[p.ID] = true
+		l.inflight++
+		if l.providers {
+			peer := p
+			l.d.sendGetProviders(peer, l.key, func(resp getProvidersResp, ok bool) {
+				l.inflight--
+				if ok {
+					l.d.rt.Add(peer)
+					for _, prov := range resp.Providers {
+						l.foundProvs[prov.ID] = prov
+					}
+					l.addCandidates(resp.Closer)
+				}
+				l.step()
+			})
+		} else {
+			peer := p
+			l.d.sendFindNode(peer, l.target, func(resp findNodeResp, ok bool) {
+				l.inflight--
+				if ok {
+					l.d.rt.Add(peer)
+					l.addCandidates(resp.Closer)
+				}
+				l.step()
+			})
+		}
+	}
+	if l.inflight == 0 {
+		// No queryable candidates remain.
+		l.finish()
+	}
+}
+
+func (l *lookup) finish() {
+	if l.finished {
+		return
+	}
+	l.finished = true
+	closest := l.candidates()
+	if len(closest) > l.d.cfg.K {
+		closest = closest[:l.d.cfg.K]
+	}
+	provs := make([]PeerInfo, 0, len(l.foundProvs))
+	for _, p := range l.foundProvs {
+		provs = append(provs, p)
+	}
+	SortByDistance(provs, l.target)
+	l.onDone(closest, provs)
+}
+
+// FindClosest runs an iterative lookup for the k peers closest to target and
+// invokes done with the result. Newly discovered peers enter the routing
+// table; connections opened along the way persist.
+func (d *DHT) FindClosest(target simnet.NodeID, done func([]PeerInfo)) {
+	d.lookupsStarted++
+	l := &lookup{
+		d:       d,
+		target:  target,
+		seen:    make(map[simnet.NodeID]PeerInfo),
+		queried: make(map[simnet.NodeID]bool),
+		onDone:  func(closest, _ []PeerInfo) { done(closest) },
+	}
+	l.addCandidates(d.rt.Closest(target, d.cfg.K))
+	l.step()
+}
+
+// FindProviders searches provider records for key, stopping early once want
+// providers are known (want <= 0 means exhaust the lookup).
+func (d *DHT) FindProviders(key Key, want int, done func([]PeerInfo)) {
+	if want <= 0 {
+		want = 1 << 30
+	}
+	d.lookupsStarted++
+	l := &lookup{
+		d:          d,
+		target:     key.AsNodeID(),
+		key:        key,
+		providers:  true,
+		wantProvs:  want,
+		seen:       make(map[simnet.NodeID]PeerInfo),
+		queried:    make(map[simnet.NodeID]bool),
+		foundProvs: make(map[simnet.NodeID]PeerInfo),
+		onDone:     func(_, provs []PeerInfo) { done(provs) },
+	}
+	l.addCandidates(d.rt.Closest(l.target, d.cfg.K))
+	l.step()
+}
+
+// Provide announces the local node as a provider for key: it locates the k
+// closest servers and sends them ADD_PROVIDER records. done (optional) fires
+// when the announcement finishes.
+func (d *DHT) Provide(key Key, done func()) {
+	d.FindClosest(key.AsNodeID(), func(closest []PeerInfo) {
+		for _, p := range closest {
+			if !p.Server || !d.dial(p) {
+				continue
+			}
+			_ = d.net.Send(d.self.ID, p.ID, addProviderReq{Key: key, Provider: d.self})
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Bootstrap seeds the routing table with the given peers and performs a
+// self-lookup, populating nearby buckets.
+func (d *DHT) Bootstrap(peers []PeerInfo, done func()) {
+	for _, p := range peers {
+		d.rt.Add(p)
+		d.dial(p)
+	}
+	d.FindClosest(d.self.ID, func([]PeerInfo) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Refresh performs the periodic routing-table refresh: a self-lookup plus a
+// lookup for a random target.
+func (d *DHT) Refresh(random simnet.NodeID) {
+	d.FindClosest(d.self.ID, func([]PeerInfo) {})
+	d.FindClosest(random, func([]PeerInfo) {})
+}
+
+// Stats reports lookup/RPC counters.
+func (d *DHT) Stats() (lookups, rpcs, timeouts uint64) {
+	return d.lookupsStarted, d.rpcsSent, d.rpcsTimedOut
+}

@@ -1,0 +1,80 @@
+package dht
+
+import (
+	"crypto/sha256"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+)
+
+// Key is a point in the DHT keyspace. Provider records for a CID live at the
+// sha2-256 of the CID's bytes.
+type Key [32]byte
+
+// KeyForCID maps a CID to its DHT key.
+func KeyForCID(c cid.CID) Key {
+	return Key(sha256.Sum256(c.Bytes()))
+}
+
+// AsNodeID reinterprets the key as a NodeID for XOR-distance routing.
+func (k Key) AsNodeID() simnet.NodeID { return simnet.NodeID(k) }
+
+// DefaultProviderTTL is how long provider records are kept. go-ipfs uses 24h
+// with a 12h reprovide interval.
+const DefaultProviderTTL = 24 * time.Hour
+
+type providerRecord struct {
+	info    PeerInfo
+	expires time.Time
+}
+
+// ProviderStore holds provider records on a DHT server.
+type ProviderStore struct {
+	ttl     time.Duration
+	records map[Key]map[simnet.NodeID]providerRecord
+}
+
+// NewProviderStore creates a store with the given TTL (<= 0 selects
+// DefaultProviderTTL).
+func NewProviderStore(ttl time.Duration) *ProviderStore {
+	if ttl <= 0 {
+		ttl = DefaultProviderTTL
+	}
+	return &ProviderStore{ttl: ttl, records: make(map[Key]map[simnet.NodeID]providerRecord)}
+}
+
+// Add records that p provides key, as of now.
+func (s *ProviderStore) Add(key Key, p PeerInfo, now time.Time) {
+	m, ok := s.records[key]
+	if !ok {
+		m = make(map[simnet.NodeID]providerRecord)
+		s.records[key] = m
+	}
+	m[p.ID] = providerRecord{info: p, expires: now.Add(s.ttl)}
+}
+
+// Get returns the unexpired providers for key, sorted by ID for determinism.
+func (s *ProviderStore) Get(key Key, now time.Time) []PeerInfo {
+	m, ok := s.records[key]
+	if !ok {
+		return nil
+	}
+	out := make([]PeerInfo, 0, len(m))
+	for id, rec := range m {
+		if rec.expires.Before(now) {
+			delete(m, id)
+			continue
+		}
+		out = append(out, rec.info)
+	}
+	if len(m) == 0 {
+		delete(s.records, key)
+	}
+	SortByDistance(out, simnet.NodeID{})
+	return out
+}
+
+// Len returns the number of keys with at least one record (possibly expired;
+// expiry is lazy).
+func (s *ProviderStore) Len() int { return len(s.records) }

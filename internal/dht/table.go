@@ -1,0 +1,137 @@
+// Package dht implements the Kademlia-based distributed hash table used by
+// IPFS for provider routing (Sec. III-A of the paper).
+//
+// Nodes operate as DHT servers (store records, answer RPCs, appear in other
+// nodes' k-buckets) or DHT clients (query only; invisible to crawlers). The
+// package also provides the k-bucket crawler used as the alternative network
+// size indicator in Sec. V-C.
+package dht
+
+import (
+	"sort"
+
+	"bitswapmon/internal/simnet"
+)
+
+// DefaultK is the Kademlia bucket size (and closest-set size); IPFS uses 20.
+const DefaultK = 20
+
+// PeerInfo identifies a DHT participant.
+type PeerInfo struct {
+	ID   simnet.NodeID
+	Addr string
+	// Server reports whether the peer operates in server mode. Client
+	// peers are never stored in k-buckets.
+	Server bool
+}
+
+// RoutingTable is a set of k-buckets indexed by the length of the common
+// prefix with the local node ID.
+type RoutingTable struct {
+	self    simnet.NodeID
+	k       int
+	buckets [257][]PeerInfo // index = LeadingZeros of XOR distance
+	size    int
+}
+
+// NewRoutingTable creates a routing table for self with bucket size k
+// (k <= 0 selects DefaultK).
+func NewRoutingTable(self simnet.NodeID, k int) *RoutingTable {
+	if k <= 0 {
+		k = DefaultK
+	}
+	return &RoutingTable{self: self, k: k}
+}
+
+func (rt *RoutingTable) bucketIndex(id simnet.NodeID) int {
+	return rt.self.XOR(id).LeadingZeros()
+}
+
+// Add inserts a peer. Client peers and self are ignored; full buckets keep
+// their existing members (classic Kademlia favours long-lived contacts).
+// It reports whether the peer was newly inserted.
+func (rt *RoutingTable) Add(p PeerInfo) bool {
+	if !p.Server || p.ID == rt.self {
+		return false
+	}
+	idx := rt.bucketIndex(p.ID)
+	bucket := rt.buckets[idx]
+	for _, existing := range bucket {
+		if existing.ID == p.ID {
+			return false
+		}
+	}
+	if len(bucket) >= rt.k {
+		return false
+	}
+	rt.buckets[idx] = append(bucket, p)
+	rt.size++
+	return true
+}
+
+// Remove drops a peer (e.g. observed dead).
+func (rt *RoutingTable) Remove(id simnet.NodeID) {
+	idx := rt.bucketIndex(id)
+	bucket := rt.buckets[idx]
+	for i, p := range bucket {
+		if p.ID == id {
+			rt.buckets[idx] = append(bucket[:i], bucket[i+1:]...)
+			rt.size--
+			return
+		}
+	}
+}
+
+// Contains reports whether id is present.
+func (rt *RoutingTable) Contains(id simnet.NodeID) bool {
+	for _, p := range rt.buckets[rt.bucketIndex(id)] {
+		if p.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the number of stored peers.
+func (rt *RoutingTable) Size() int { return rt.size }
+
+// Closest returns up to n peers closest to target in XOR distance.
+func (rt *RoutingTable) Closest(target simnet.NodeID, n int) []PeerInfo {
+	all := rt.All()
+	SortByDistance(all, target)
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// All returns every stored peer, ordered by bucket then insertion.
+func (rt *RoutingTable) All() []PeerInfo {
+	out := make([]PeerInfo, 0, rt.size)
+	for i := range rt.buckets {
+		out = append(out, rt.buckets[i]...)
+	}
+	return out
+}
+
+// Bucket returns a copy of the bucket holding peers at common-prefix-length
+// cpl (used by the crawler to enumerate tables).
+func (rt *RoutingTable) Bucket(cpl int) []PeerInfo {
+	if cpl < 0 || cpl > 256 {
+		return nil
+	}
+	return append([]PeerInfo(nil), rt.buckets[cpl]...)
+}
+
+// SortByDistance sorts peers in place by XOR distance to target, tie-breaking
+// on ID for determinism.
+func SortByDistance(peers []PeerInfo, target simnet.NodeID) {
+	sort.Slice(peers, func(i, j int) bool {
+		di := peers[i].ID.XOR(target)
+		dj := peers[j].ID.XOR(target)
+		if di != dj {
+			return di.Less(dj)
+		}
+		return peers[i].ID.Less(peers[j].ID)
+	})
+}

@@ -1,0 +1,94 @@
+package dht
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bitswapmon/internal/simnet"
+)
+
+// TestQuickBucketInvariant: no bucket ever exceeds k, and Size matches the
+// number of Contains-able peers, under arbitrary Add/Remove sequences.
+func TestQuickBucketInvariant(t *testing.T) {
+	f := func(seed int64, ops []bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		self := simnet.RandomNodeID(rng)
+		rt := NewRoutingTable(self, 4)
+		var present []simnet.NodeID
+		for _, add := range ops {
+			if add || len(present) == 0 {
+				id := simnet.RandomNodeID(rng)
+				if rt.Add(PeerInfo{ID: id, Server: true}) {
+					present = append(present, id)
+				}
+			} else {
+				idx := rng.Intn(len(present))
+				rt.Remove(present[idx])
+				present = append(present[:idx], present[idx+1:]...)
+			}
+		}
+		if rt.Size() != len(present) {
+			return false
+		}
+		for cpl := 0; cpl <= 256; cpl++ {
+			if len(rt.Bucket(cpl)) > 4 {
+				return false
+			}
+		}
+		for _, id := range present {
+			if !rt.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClosestSorted: Closest always returns peers in nondecreasing XOR
+// distance to the target.
+func TestQuickClosestSorted(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		self := simnet.RandomNodeID(rng)
+		rt := NewRoutingTable(self, 20)
+		for i := 0; i < int(n); i++ {
+			rt.Add(PeerInfo{ID: simnet.RandomNodeID(rng), Server: true})
+		}
+		target := simnet.RandomNodeID(rng)
+		closest := rt.Closest(target, 10)
+		for i := 1; i < len(closest); i++ {
+			di := closest[i-1].ID.XOR(target)
+			dj := closest[i].ID.XOR(target)
+			if dj.Less(di) {
+				return false
+			}
+		}
+		return len(closest) <= 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProviderStoreNeverReturnsExpired: Get never returns a record
+// older than the TTL.
+func TestQuickProviderStore(t *testing.T) {
+	f := func(seed int64, adds uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewProviderStore(0)
+		key := Key(simnet.RandomNodeID(rng))
+		for i := 0; i < int(adds); i++ {
+			s.Add(key, PeerInfo{ID: simnet.RandomNodeID(rng)}, t0)
+		}
+		within := s.Get(key, t0.Add(DefaultProviderTTL-1))
+		after := s.Get(key, t0.Add(DefaultProviderTTL+1))
+		return len(within) == int(adds) && len(after) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package estimate implements the network-size estimators of Sec. IV-C:
+// the pairwise hypergeometric MLE (Eq. 1) and the committee-occupancy MLE
+// for r monitors (Eq. 3), plus the uniformity diagnostics behind Fig. 3.
+package estimate
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"bitswapmon/internal/simnet"
+)
+
+// Errors reported by the estimators.
+var (
+	// ErrNoOverlap is returned when monitor peer sets do not intersect:
+	// the estimators diverge.
+	ErrNoOverlap = errors.New("estimate: monitor peer sets do not overlap")
+	// ErrBadInput is returned for non-positive set sizes and similar.
+	ErrBadInput = errors.New("estimate: invalid input")
+)
+
+// Pairwise computes Eq. (1): NE = |P1|·|P2| / |P1 ∩ P2|, the maximum
+// likelihood estimate of the population size from two uniform independent
+// draws (derived from the hypergeometric distribution with the Stirling
+// approximation).
+func Pairwise(p1, p2, intersection float64) (float64, error) {
+	if p1 <= 0 || p2 <= 0 {
+		return 0, ErrBadInput
+	}
+	if intersection <= 0 {
+		return 0, ErrNoOverlap
+	}
+	return p1 * p2 / intersection, nil
+}
+
+// PairwiseSets applies Eq. (1) to concrete peer sets.
+func PairwiseSets(a, b map[simnet.NodeID]bool) (float64, error) {
+	inter := 0
+	for id := range a {
+		if b[id] {
+			inter++
+		}
+	}
+	return Pairwise(float64(len(a)), float64(len(b)), float64(inter))
+}
+
+// CommitteeOccupancy computes Eq. (3): given m distinct peers observed over
+// r monitor "draws" of w connections each, it solves
+//
+//	N − N·(1 − m/N)^(1/r) − w = 0
+//
+// for N by bisection. This is the MLE under the committee occupancy model
+// (coupon collector with group drawings).
+func CommitteeOccupancy(m float64, r int, w float64) (float64, error) {
+	if m <= 0 || w <= 0 || r < 1 {
+		return 0, ErrBadInput
+	}
+	if m <= w {
+		// All draws saw the same peers: N is indistinguishable from w.
+		return w, nil
+	}
+	if m >= float64(r)*w {
+		// No overlap at all: the MLE diverges.
+		return 0, ErrNoOverlap
+	}
+	f := func(n float64) float64 {
+		return n - n*math.Pow(1-m/n, 1/float64(r)) - w
+	}
+	lo := m * (1 + 1e-12)
+	hi := m * 2
+	for f(hi) > 0 {
+		hi *= 2
+		if hi > 1e18 {
+			return 0, ErrNoOverlap
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// CommitteeOccupancySets applies Eq. (3) to concrete peer sets, using the
+// average draw size as w (the paper's treatment of heterogeneous monitors).
+func CommitteeOccupancySets(sets []map[simnet.NodeID]bool) (float64, error) {
+	if len(sets) == 0 {
+		return 0, ErrBadInput
+	}
+	union := make(map[simnet.NodeID]bool)
+	var wSum float64
+	for _, s := range sets {
+		wSum += float64(len(s))
+		for id := range s {
+			union[id] = true
+		}
+	}
+	w := wSum / float64(len(sets))
+	return CommitteeOccupancy(float64(len(union)), len(sets), w)
+}
+
+// MeanStd returns the sample mean and (population) standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// QQPoint is one point of a quantile-quantile plot.
+type QQPoint struct {
+	Theoretical float64
+	Sample      float64
+}
+
+// QQUniform computes the quantile-quantile plot of samples (values in [0,1))
+// against the standard uniform distribution: the paper's Fig. 3. points
+// selects the plot resolution.
+func QQUniform(samples []float64, points int) []QQPoint {
+	if len(samples) == 0 || points <= 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	out := make([]QQPoint, points)
+	for i := 0; i < points; i++ {
+		q := (float64(i) + 0.5) / float64(points)
+		idx := int(q * float64(len(sorted)))
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = QQPoint{Theoretical: q, Sample: sorted[idx]}
+	}
+	return out
+}
+
+// KSUniform returns the Kolmogorov–Smirnov distance between the sample and
+// the standard uniform distribution: a quantitative companion to Fig. 3.
+func KSUniform(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		lo := math.Abs(x - float64(i)/n)
+		hi := math.Abs(x - float64(i+1)/n)
+		d = math.Max(d, math.Max(lo, hi))
+	}
+	return d
+}

@@ -1,0 +1,194 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bitswapmon/internal/simnet"
+)
+
+func TestPairwiseExact(t *testing.T) {
+	// |P1|=|P2|=w, intersection k: NE = w²/k.
+	ne, err := Pairwise(100, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne != 1000 {
+		t.Errorf("NE = %v, want 1000", ne)
+	}
+}
+
+func TestPairwiseErrors(t *testing.T) {
+	if _, err := Pairwise(0, 10, 1); err == nil {
+		t.Error("zero set size accepted")
+	}
+	if _, err := Pairwise(10, 10, 0); err != ErrNoOverlap {
+		t.Error("zero intersection accepted")
+	}
+}
+
+func TestCommitteeMatchesPairwiseForTwoEqualMonitors(t *testing.T) {
+	// For r=2 with equal w, Eq. (3) reduces to Eq. (1): N = w²/k where
+	// m = 2w − k.
+	w, k := 1000.0, 80.0
+	m := 2*w - k
+	want := w * w / k
+	got, err := CommitteeOccupancy(m, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("committee = %v, pairwise = %v", got, want)
+	}
+}
+
+func TestCommitteeOccupancyRecoversTruth(t *testing.T) {
+	// Simulate r draws of w from N and check the estimate.
+	const (
+		N = 5000
+		w = 900
+		r = 3
+	)
+	rng := rand.New(rand.NewSource(7))
+	seen := make(map[int]bool)
+	for i := 0; i < r; i++ {
+		perm := rng.Perm(N)[:w]
+		for _, p := range perm {
+			seen[p] = true
+		}
+	}
+	est, err := CommitteeOccupancy(float64(len(seen)), r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-N)/N > 0.15 {
+		t.Errorf("estimate %v too far from truth %v", est, N)
+	}
+}
+
+func TestCommitteeEdgeCases(t *testing.T) {
+	if _, err := CommitteeOccupancy(0, 2, 10); err == nil {
+		t.Error("m=0 accepted")
+	}
+	// m == r*w: disjoint draws diverge.
+	if _, err := CommitteeOccupancy(20, 2, 10); err != ErrNoOverlap {
+		t.Error("disjoint draws accepted")
+	}
+	// m <= w: full overlap collapses to w.
+	got, err := CommitteeOccupancy(10, 3, 10)
+	if err != nil || got != 10 {
+		t.Errorf("full overlap: got %v, %v", got, err)
+	}
+}
+
+func TestPairwiseSets(t *testing.T) {
+	mk := func(ids ...byte) map[simnet.NodeID]bool {
+		m := make(map[simnet.NodeID]bool)
+		for _, b := range ids {
+			var id simnet.NodeID
+			id[0] = b
+			m[id] = true
+		}
+		return m
+	}
+	a := mk(1, 2, 3, 4)
+	b := mk(3, 4, 5, 6)
+	ne, err := PairwiseSets(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne != 8 { // 4*4/2
+		t.Errorf("NE = %v, want 8", ne)
+	}
+}
+
+func TestCommitteeOccupancySets(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const N, w, r = 2000, 400, 2
+	var ids []simnet.NodeID
+	for i := 0; i < N; i++ {
+		ids = append(ids, simnet.RandomNodeID(rng))
+	}
+	sets := make([]map[simnet.NodeID]bool, r)
+	for i := range sets {
+		sets[i] = make(map[simnet.NodeID]bool)
+		for _, j := range rng.Perm(N)[:w] {
+			sets[i][ids[j]] = true
+		}
+	}
+	est, err := CommitteeOccupancySets(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-N)/N > 0.25 {
+		t.Errorf("estimate %v too far from %v", est, N)
+	}
+	if _, err := CommitteeOccupancySets(nil); err == nil {
+		t.Error("empty sets accepted")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Errorf("mean=%v std=%v, want 5, 2", mean, std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Error("empty input should return zeros")
+	}
+}
+
+func TestQQUniformStraightLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = rng.Float64()
+	}
+	pts := QQUniform(samples, 100)
+	if len(pts) != 100 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.Theoretical-p.Sample) > 0.02 {
+			t.Errorf("uniform sample deviates: theo=%v sample=%v", p.Theoretical, p.Sample)
+		}
+	}
+}
+
+func TestQQUniformDetectsSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = rng.Float64() * rng.Float64() // skewed toward 0
+	}
+	pts := QQUniform(samples, 50)
+	deviation := 0.0
+	for _, p := range pts {
+		deviation += math.Abs(p.Theoretical - p.Sample)
+	}
+	if deviation/50 < 0.05 {
+		t.Error("QQ failed to detect a clearly skewed distribution")
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	uniform := make([]float64, 10000)
+	for i := range uniform {
+		uniform[i] = rng.Float64()
+	}
+	if d := KSUniform(uniform); d > 0.03 {
+		t.Errorf("KS of uniform sample = %v", d)
+	}
+	skewed := make([]float64, 10000)
+	for i := range skewed {
+		skewed[i] = rng.Float64() * 0.5
+	}
+	if d := KSUniform(skewed); d < 0.3 {
+		t.Errorf("KS of half-range sample = %v, want large", d)
+	}
+	if KSUniform(nil) != 0 {
+		t.Error("empty KS should be 0")
+	}
+}

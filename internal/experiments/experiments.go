@@ -1,0 +1,317 @@
+// Package experiments orchestrates full reproduction runs: it builds a
+// workload scenario, operates the monitoring pipeline over a measurement
+// window, and computes every table and figure of the paper's evaluation.
+// The cmd/bsexperiments binary, the benchmark harness and the integration
+// tests all share this code.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bitswapmon/internal/analysis"
+	"bitswapmon/internal/attacks"
+	"bitswapmon/internal/dht"
+	"bitswapmon/internal/monitor"
+	"bitswapmon/internal/node"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/workload"
+)
+
+// Scale selects how large a reproduction run is.
+type Scale struct {
+	// Nodes is the population size.
+	Nodes int
+	// Window is the measured virtual-time window (the paper's "week").
+	Window time.Duration
+	// Warmup runs before measurement starts.
+	Warmup time.Duration
+	// SampleEvery is the sampler tick.
+	SampleEvery time.Duration
+	// BootstrapIters bounds the CSN bootstrap for Fig. 5.
+	BootstrapIters int
+	// CatalogItems sizes the content population.
+	CatalogItems int
+}
+
+// SmallScale is fast enough for tests and benchmarks.
+func SmallScale() Scale {
+	return Scale{
+		Nodes:          250,
+		Window:         8 * time.Hour,
+		Warmup:         time.Hour,
+		SampleEvery:    30 * time.Minute,
+		BootstrapIters: 30,
+		CatalogItems:   3000,
+	}
+}
+
+// DefaultScale is the documented reproduction scale (minutes of wall time).
+func DefaultScale() Scale {
+	return Scale{
+		Nodes:          1200,
+		Window:         7 * 24 * time.Hour,
+		Warmup:         6 * time.Hour,
+		SampleEvery:    2 * time.Hour,
+		BootstrapIters: 100,
+		CatalogItems:   10000,
+	}
+}
+
+// WeekReport carries every artifact computed from the main scenario.
+type WeekReport struct {
+	Fig3us analysis.Fig3
+	SecVC  analysis.SecVC
+	Tab1   analysis.Table1
+	Tab2   analysis.Table2
+	Fig5   analysis.Fig5
+	Fig6   analysis.Fig6
+
+	GatewaysProbed     int
+	GatewaysIdentified int
+	GatewayIDsFound    int
+	GatewayIDsCorrect  int
+
+	RawEntries   int
+	DedupEntries int
+	RebroadShare float64
+
+	Elapsed time.Duration
+}
+
+// Data is the raw output of one measurement run: everything needed to
+// compute any table or figure. The benchmark harness collects Data once and
+// recomputes individual artifacts per iteration.
+type Data struct {
+	World     *workload.World
+	Unified   []trace.Entry
+	Dedup     []trace.Entry
+	Samples   []monitor.Sample
+	Crawl     dht.CrawlResult
+	OnlineAvg float64
+	Probes    []attacks.ProbeResult
+}
+
+// CollectWeek runs the main scenario and gathers raw measurement data.
+func CollectWeek(scale Scale, seed int64) (*Data, error) {
+	w, err := workload.Build(workload.Config{
+		Seed:  seed,
+		Nodes: scale.Nodes,
+		Catalog: workload.CatalogConfig{
+			Items: scale.CatalogItems,
+		},
+		Monitors: []workload.MonitorSpec{
+			{Name: "us", Region: simnet.RegionUS},
+			{Name: "de", Region: simnet.RegionDE},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("build world: %w", err)
+	}
+
+	// Warm up, then reset traces so the window is clean.
+	w.Run(scale.Warmup)
+	for _, m := range w.Monitors {
+		m.ResetTrace()
+	}
+
+	sampler := monitor.NewSampler(w.Net, w.Monitors, scale.SampleEvery)
+	sampler.Start()
+
+	// Track ground-truth online population at each sampler tick.
+	var onlineSamples []float64
+	var trackOnline func()
+	trackOnline = func() {
+		onlineSamples = append(onlineSamples, float64(w.OnlineCount()))
+		w.Net.After(scale.SampleEvery, trackOnline)
+	}
+	w.Net.After(scale.SampleEvery, trackOnline)
+
+	// Run the measurement window.
+	w.Run(scale.Window)
+	sampler.Stop()
+
+	// Crawl the DHT at the end of the window (the paper crawls repeatedly;
+	// one crawl suffices for the comparison).
+	crawlRes, err := crawlNetwork(w)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gateway probing (Sec. VI-B).
+	prober := attacks.NewGatewayProber(w.Net, w.Monitors, w.Net.NewRand("gwprobe"))
+	var probeResults []attacks.ProbeResult
+	prober.ProbeAll(w.Registry, func(r []attacks.ProbeResult) { probeResults = r })
+	w.Run(time.Duration(len(w.Registry.All())+2) * prober.WaitFor)
+
+	unified := trace.Unify(w.Monitors[0].Trace(), w.Monitors[1].Trace())
+	var onlineAvg float64
+	for _, v := range onlineSamples {
+		onlineAvg += v
+	}
+	if len(onlineSamples) > 0 {
+		onlineAvg /= float64(len(onlineSamples))
+	}
+	return &Data{
+		World:     w,
+		Unified:   unified,
+		Dedup:     trace.Deduplicated(unified),
+		Samples:   sampler.Samples(),
+		Crawl:     crawlRes,
+		OnlineAvg: onlineAvg,
+		Probes:    probeResults,
+	}, nil
+}
+
+// MegagateIDs returns the large operator's gateway node IDs.
+func (d *Data) MegagateIDs() map[simnet.NodeID]bool { return megagateIDs(d.World) }
+
+// ComputeReport derives the full report from collected data.
+func ComputeReport(d *Data, bootstrapIters int) (*WeekReport, error) {
+	start := time.Now()
+	w := d.World
+	rep := &WeekReport{
+		Fig3us:       analysis.ComputeFig3(w.Monitors[0], 50),
+		Tab1:         analysis.ComputeTable1(d.Unified),
+		Tab2:         analysis.ComputeTable2(d.Dedup, w.Geo),
+		Fig6:         analysis.ComputeFig6(d.Dedup, w.GatewayNodeIDs(), megagateIDs(w), time.Hour),
+		RawEntries:   len(d.Unified),
+		DedupEntries: len(d.Dedup),
+	}
+	if len(d.Unified) > 0 {
+		rep.RebroadShare = 1 - float64(len(d.Dedup))/float64(len(d.Unified))
+	}
+	rep.SecVC = analysis.ComputeSecVC(w.Monitors, d.Samples, d.Crawl, d.OnlineAvg, w.TotalPopulation())
+
+	fig5, err := analysis.ComputeFig5(d.Dedup, bootstrapIters, w.Net.NewRand("fig5"))
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	rep.Fig5 = fig5
+
+	identified, total, correct := attacks.CrossReference(d.Probes, w.Registry.NodeIDs())
+	rep.GatewaysProbed = len(d.Probes)
+	rep.GatewaysIdentified = identified
+	rep.GatewayIDsFound = total
+	rep.GatewayIDsCorrect = correct
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// RunWeek executes the main scenario (Sec. V-C/V-D/V-E and VI-B artifacts).
+func RunWeek(scale Scale, seed int64) (*WeekReport, error) {
+	start := time.Now()
+	data, err := CollectWeek(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := ComputeReport(data, scale.BootstrapIters)
+	if err != nil {
+		return nil, err
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+func megagateIDs(w *workload.World) map[simnet.NodeID]bool {
+	out := make(map[simnet.NodeID]bool)
+	for _, g := range w.Gateways {
+		if g.Operator == "megagate" {
+			out[g.Node.ID] = true
+		}
+	}
+	return out
+}
+
+// crawlNetwork runs one DHT crawl from a dedicated client node.
+func crawlNetwork(w *workload.World) (dht.CrawlResult, error) {
+	id := simnet.DeriveNodeID([]byte("experiment-crawler"))
+	nd, err := node.New(w.Net, id, "202.0.0.1:4001", simnet.RegionOther, node.Config{Mode: dht.ModeClient})
+	if err != nil {
+		return dht.CrawlResult{}, fmt.Errorf("crawler node: %w", err)
+	}
+	var res dht.CrawlResult
+	got := false
+	dht.Crawl(nd.DHT, w.Bootstrap, 16, func(r dht.CrawlResult) {
+		res = r
+		got = true
+	})
+	w.Run(10 * time.Minute)
+	if !got {
+		return dht.CrawlResult{}, fmt.Errorf("crawl did not complete")
+	}
+	return res, nil
+}
+
+// Render prints the whole report.
+func (r *WeekReport) Render() string {
+	var sb strings.Builder
+	sb.WriteString("==== Week scenario report ====\n\n")
+	fmt.Fprintf(&sb, "trace: %d raw entries, %d after dedup (%.0f%% duplicates/rebroadcasts)\n\n",
+		r.RawEntries, r.DedupEntries, 100*r.RebroadShare)
+	sb.WriteString(r.SecVC.Render())
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "Fig. 3: %d peers, KS distance to uniform = %.4f\n\n", r.Fig3us.Peers, r.Fig3us.KS)
+	sb.WriteString(r.Tab1.Render())
+	sb.WriteString("\n")
+	sb.WriteString(r.Tab2.Render())
+	sb.WriteString("\n")
+	sb.WriteString(r.Fig5.Render())
+	sb.WriteString("\n")
+	gw, mg, ng := r.Fig6.Totals()
+	fmt.Fprintf(&sb, "Fig. 6 averages: all-gateways %.3f req/s, megagate %.3f req/s, non-gateway %.3f req/s\n",
+		gw, mg, ng)
+	fmt.Fprintf(&sb, "\nSec. VI-B: probed %d gateways, identified %d; discovered %d node IDs (%d correct)\n",
+		r.GatewaysProbed, r.GatewaysIdentified, r.GatewayIDsFound, r.GatewayIDsCorrect)
+	fmt.Fprintf(&sb, "\nwall time: %v\n", r.Elapsed.Round(time.Millisecond))
+	return sb.String()
+}
+
+// UpgradeReport carries the Fig. 4 artifact.
+type UpgradeReport struct {
+	Fig4    analysis.Fig4
+	Elapsed time.Duration
+}
+
+// RunUpgrade executes the Fig. 4 scenario: a population starting almost
+// entirely on the pre-v0.5 client (WANT_BLOCK broadcasts), upgrading in a
+// wave after the release date, observed over several weeks.
+func RunUpgrade(nodes int, weeks int, seed int64) (*UpgradeReport, error) {
+	start := time.Now()
+	simStart := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	w, err := workload.Build(workload.Config{
+		Seed:  seed,
+		Start: simStart,
+		Nodes: nodes,
+		Catalog: workload.CatalogConfig{
+			Items: nodes,
+		},
+		Monitors: []workload.MonitorSpec{
+			{Name: "us", Region: simnet.RegionUS},
+		},
+		Operators:        []workload.OperatorSpec{}, // no gateways: cleaner series
+		LegacyFrac:       0.95,
+		UpgradeStart:     simStart.Add(time.Duration(weeks) * 7 * 24 * time.Hour / 3),
+		UpgradeDailyFrac: 0.18,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("build world: %w", err)
+	}
+	w.Run(time.Duration(weeks) * 7 * 24 * time.Hour)
+	unified := trace.Unify(w.Monitors[0].Trace())
+	return &UpgradeReport{
+		Fig4:    analysis.ComputeFig4(unified, 24*time.Hour),
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// Render prints the report.
+func (r *UpgradeReport) Render() string {
+	var sb strings.Builder
+	sb.WriteString("==== Upgrade (Fig. 4) scenario report ====\n\n")
+	sb.WriteString(r.Fig4.Render())
+	fmt.Fprintf(&sb, "\nwall time: %v\n", r.Elapsed.Round(time.Millisecond))
+	return sb.String()
+}

@@ -1,0 +1,245 @@
+// Package gateway models public HTTP/IPFS gateways (Sec. VI-B of the paper):
+// HTTP-fronted IPFS nodes with an aggressive response cache, whose node IDs
+// are normally hidden and whose traffic the paper's probing methodology
+// uncovers.
+package gateway
+
+import (
+	"container/list"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/node"
+	"bitswapmon/internal/simnet"
+)
+
+// Config parametrises a gateway.
+type Config struct {
+	// CacheCapacity bounds the response cache in entries (default 4096).
+	CacheCapacity int
+	// CacheTTL is the time-to-live after which cached content is
+	// re-validated via a fresh Bitswap request — the mechanism that lets
+	// monitors observe even heavily cached CIDs (Sec. VI-B3).
+	CacheTTL time.Duration
+	// FetchTimeout bounds IPFS-side retrievals (default 30 s).
+	FetchTimeout time.Duration
+	// Functional models the HTTP frontend state: non-functional gateways
+	// fail HTTP requests yet still emit Bitswap traffic (the paper's
+	// "misconfiguration on the HTTP end").
+	Functional bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 4096
+	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = time.Hour
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Status codes reported by Retrieve, mirroring HTTP semantics.
+const (
+	StatusOK             = 200
+	StatusNotFound       = 404
+	StatusBadGateway     = 502
+	StatusGatewayTimeout = 504
+)
+
+// Result is the outcome of one gateway retrieval.
+type Result struct {
+	Status   int
+	Body     []byte
+	CacheHit bool
+}
+
+// Stats counts gateway activity.
+type Stats struct {
+	Requests      uint64
+	CacheHits     uint64
+	CacheMisses   uint64
+	Revalidations uint64
+	Failures      uint64
+}
+
+type cacheEntry struct {
+	c         cid.CID
+	data      []byte
+	fetchedAt time.Time
+	elem      *list.Element
+}
+
+// Gateway is one public gateway: a DNS name plus a (hidden) IPFS node.
+type Gateway struct {
+	// Name is the public DNS name ("gw3.example.org").
+	Name string
+	// Operator groups gateways run by the same organisation (the paper's
+	// Cloudflare analogue operates 13 nodes).
+	Operator string
+	// Node is the IPFS side. Its ID is what the probing attack uncovers.
+	Node *node.Node
+
+	net   *simnet.Network
+	cfg   Config
+	cache map[cid.CID]*cacheEntry
+	lru   *list.List
+	stats Stats
+}
+
+// New wraps an existing node as a gateway.
+func New(net *simnet.Network, nd *node.Node, name, operator string, cfg Config) *Gateway {
+	return &Gateway{
+		Name:     name,
+		Operator: operator,
+		Node:     nd,
+		net:      net,
+		cfg:      cfg.withDefaults(),
+		cache:    make(map[cid.CID]*cacheEntry),
+		lru:      list.New(),
+	}
+}
+
+// Functional reports the HTTP frontend state.
+func (g *Gateway) Functional() bool { return g.cfg.Functional }
+
+// Stats returns a copy of the counters.
+func (g *Gateway) Stats() Stats { return g.stats }
+
+// CacheHitRatio returns hits/(hits+misses), the figure Cloudflare quotes as
+// 97% for its gateway.
+func (g *Gateway) CacheHitRatio() float64 {
+	total := g.stats.CacheHits + g.stats.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(g.stats.CacheHits) / float64(total)
+}
+
+// Retrieve serves one HTTP-side request for c, calling done exactly once.
+//
+// Fresh cache hits answer immediately with no network traffic (invisible to
+// monitors). Stale hits answer from cache but trigger an asynchronous
+// re-validation request. Misses fetch via Bitswap, which broadcasts the CID
+// to all connected peers, including monitors.
+func (g *Gateway) Retrieve(c cid.CID, done func(Result)) {
+	g.stats.Requests++
+	if !g.cfg.Functional {
+		// Broken HTTP frontend: the client sees an error, yet the IPFS
+		// side still issues the request (observed in the wild, Sec. VI-B2).
+		g.stats.Failures++
+		g.fetch(c, func(Result) {})
+		done(Result{Status: StatusBadGateway})
+		return
+	}
+	if e, ok := g.cache[c]; ok {
+		g.stats.CacheHits++
+		g.lru.MoveToFront(e.elem)
+		age := g.net.Now().Sub(e.fetchedAt)
+		if age > g.cfg.CacheTTL {
+			g.stats.Revalidations++
+			g.fetch(c, func(Result) {}) // async revalidation
+		}
+		done(Result{Status: StatusOK, Body: e.data, CacheHit: true})
+		return
+	}
+	g.stats.CacheMisses++
+	g.fetch(c, done)
+}
+
+// fetch retrieves c via the IPFS node with a timeout, caching successes.
+func (g *Gateway) fetch(c cid.CID, done func(Result)) {
+	finished := false
+	finish := func(r Result) {
+		if finished {
+			return
+		}
+		finished = true
+		done(r)
+	}
+	g.net.After(g.cfg.FetchTimeout, func() {
+		if !finished {
+			g.Node.CancelRequest(c)
+			g.stats.Failures++
+			finish(Result{Status: StatusGatewayTimeout})
+		}
+	})
+	g.Node.FetchFile(c, func(data []byte, ok bool) {
+		if finished {
+			return
+		}
+		if !ok {
+			g.stats.Failures++
+			finish(Result{Status: StatusNotFound})
+			return
+		}
+		g.cachePut(c, data)
+		finish(Result{Status: StatusOK, Body: data})
+	})
+}
+
+func (g *Gateway) cachePut(c cid.CID, data []byte) {
+	if e, ok := g.cache[c]; ok {
+		e.data = data
+		e.fetchedAt = g.net.Now()
+		g.lru.MoveToFront(e.elem)
+		return
+	}
+	for len(g.cache) >= g.cfg.CacheCapacity {
+		back := g.lru.Back()
+		if back == nil {
+			break
+		}
+		if victim, ok := back.Value.(*cacheEntry); ok {
+			g.lru.Remove(back)
+			delete(g.cache, victim.c)
+		}
+	}
+	e := &cacheEntry{c: c, data: data, fetchedAt: g.net.Now()}
+	e.elem = g.lru.PushFront(e)
+	g.cache[c] = e
+}
+
+// Registry is the public gateway list (the paper's
+// public-gateway-checker analogue): the attack surface enumerated by the
+// probing methodology.
+type Registry struct {
+	gateways []*Gateway
+}
+
+// Add lists a gateway.
+func (r *Registry) Add(g *Gateway) { r.gateways = append(r.gateways, g) }
+
+// All returns the listed gateways.
+func (r *Registry) All() []*Gateway { return r.gateways }
+
+// Names returns the listed DNS names.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.gateways))
+	for i, g := range r.gateways {
+		out[i] = g.Name
+	}
+	return out
+}
+
+// ByOperator groups listed gateways by operator.
+func (r *Registry) ByOperator() map[string][]*Gateway {
+	out := make(map[string][]*Gateway)
+	for _, g := range r.gateways {
+		out[g.Operator] = append(out[g.Operator], g)
+	}
+	return out
+}
+
+// NodeIDs returns the (ground-truth) IPFS node IDs behind all gateways,
+// used to validate the probing attack's findings.
+func (r *Registry) NodeIDs() map[simnet.NodeID]*Gateway {
+	out := make(map[simnet.NodeID]*Gateway, len(r.gateways))
+	for _, g := range r.gateways {
+		out[g.Node.ID] = g
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/dht"
+	"bitswapmon/internal/node"
+	"bitswapmon/internal/simnet"
+)
+
+var t0 = time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+
+type world struct {
+	net   *simnet.Network
+	nodes []*node.Node
+	gw    *Gateway
+}
+
+func build(t *testing.T, gwCfg Config) *world {
+	t.Helper()
+	net := simnet.New(t0, 1, simnet.Fixed(5*time.Millisecond))
+	rng := net.NewRand("gwtest")
+	w := &world{net: net}
+	for i := 0; i < 5; i++ {
+		id := simnet.RandomNodeID(rng)
+		nd, err := node.New(net, id, fmt.Sprintf("10.3.0.%d:4001", i), simnet.RegionUS, node.Config{ChunkSize: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.nodes = append(w.nodes, nd)
+	}
+	boot := []dht.PeerInfo{w.nodes[0].Info()}
+	for _, nd := range w.nodes {
+		nd.Start(boot)
+		net.Run(100 * time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			_ = net.Connect(w.nodes[i].ID, w.nodes[j].ID)
+		}
+	}
+	w.gw = New(net, w.nodes[4], "gw0.example.org", "example", gwCfg)
+	net.Run(time.Second)
+	return w
+}
+
+func TestGatewayMissThenHit(t *testing.T) {
+	w := build(t, Config{Functional: true, CacheTTL: time.Hour})
+	content := []byte("gateway content")
+	root, err := w.nodes[0].Publish(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.net.Run(5 * time.Second)
+
+	var r1 Result
+	w.gw.Retrieve(root, func(r Result) { r1 = r })
+	w.net.Run(30 * time.Second)
+	if r1.Status != StatusOK || r1.CacheHit {
+		t.Fatalf("first retrieve: %+v", r1)
+	}
+	if !bytes.Equal(r1.Body, content) {
+		t.Error("body mismatch")
+	}
+
+	var r2 Result
+	w.gw.Retrieve(root, func(r Result) { r2 = r })
+	// No Run needed: cache hits answer synchronously.
+	if r2.Status != StatusOK || !r2.CacheHit {
+		t.Fatalf("second retrieve: %+v", r2)
+	}
+	if got := w.gw.CacheHitRatio(); got != 0.5 {
+		t.Errorf("hit ratio = %v", got)
+	}
+}
+
+func TestGatewayRevalidatesAfterTTL(t *testing.T) {
+	w := build(t, Config{Functional: true, CacheTTL: time.Minute})
+	root, err := w.nodes[0].Publish([]byte("short ttl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.net.Run(5 * time.Second)
+
+	w.gw.Retrieve(root, func(Result) {})
+	w.net.Run(30 * time.Second)
+
+	// Age the cache entry beyond the TTL.
+	w.net.Run(2 * time.Minute)
+	var r Result
+	w.gw.Retrieve(root, func(res Result) { r = res })
+	if r.Status != StatusOK || !r.CacheHit {
+		t.Fatalf("stale hit: %+v", r)
+	}
+	w.net.Run(10 * time.Second)
+	if w.gw.Stats().Revalidations != 1 {
+		t.Errorf("revalidations = %d, want 1", w.gw.Stats().Revalidations)
+	}
+}
+
+func TestGatewayNotFound(t *testing.T) {
+	w := build(t, Config{Functional: true, FetchTimeout: 20 * time.Second})
+	ghost := cid.Sum(cid.Raw, []byte("nothing here"))
+	var r Result
+	done := false
+	w.gw.Retrieve(ghost, func(res Result) { r, done = res, true })
+	w.net.Run(2 * time.Minute)
+	if !done {
+		t.Fatal("retrieve never finished")
+	}
+	if r.Status != StatusGatewayTimeout && r.Status != StatusNotFound {
+		t.Errorf("status = %d", r.Status)
+	}
+}
+
+func TestNonFunctionalGatewayStillEmitsBitswap(t *testing.T) {
+	w := build(t, Config{Functional: false})
+	ghost := cid.Sum(cid.Raw, []byte("probe block"))
+	var r Result
+	w.gw.Retrieve(ghost, func(res Result) { r = res })
+	if r.Status != StatusBadGateway {
+		t.Fatalf("status = %d, want 502", r.Status)
+	}
+	w.net.Run(5 * time.Second)
+	// The IPFS side must still have broadcast the request: other nodes see
+	// the want in their ledgers.
+	seen := false
+	for _, nd := range w.nodes[:4] {
+		if _, ok := nd.Bitswap.WantlistOf(w.gw.Node.ID)[ghost]; ok {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("non-functional gateway did not emit Bitswap request")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	w := build(t, Config{Functional: true, CacheCapacity: 2})
+	var roots []cid.CID
+	for i := 0; i < 3; i++ {
+		root, err := w.nodes[i].Publish([]byte(fmt.Sprintf("content %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots = append(roots, root)
+	}
+	w.net.Run(5 * time.Second)
+	for _, root := range roots {
+		w.gw.Retrieve(root, func(Result) {})
+		w.net.Run(30 * time.Second)
+	}
+	// Capacity 2: the oldest entry must have been evicted.
+	if len(w.gw.cache) != 2 {
+		t.Errorf("cache size = %d, want 2", len(w.gw.cache))
+	}
+	if _, ok := w.gw.cache[roots[0]]; ok {
+		t.Error("LRU entry not evicted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	w := build(t, Config{Functional: true})
+	var reg Registry
+	reg.Add(w.gw)
+	gw2 := New(w.net, w.nodes[3], "gw1.example.org", "example", Config{Functional: true})
+	reg.Add(gw2)
+	gw3 := New(w.net, w.nodes[2], "mg0.megagate.net", "megagate", Config{Functional: true})
+	reg.Add(gw3)
+
+	if len(reg.All()) != 3 || len(reg.Names()) != 3 {
+		t.Error("registry listing wrong")
+	}
+	ops := reg.ByOperator()
+	if len(ops["example"]) != 2 || len(ops["megagate"]) != 1 {
+		t.Errorf("operators: %v", ops)
+	}
+	ids := reg.NodeIDs()
+	if ids[w.gw.Node.ID] != w.gw {
+		t.Error("NodeIDs mapping wrong")
+	}
+}
+
+func TestHTTPFrontend(t *testing.T) {
+	w := build(t, Config{Functional: true})
+	content := []byte("served over real http")
+	root, err := w.nodes[0].Publish(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.net.Run(5 * time.Second)
+
+	fe := &Frontend{GW: w.gw, Pump: func() { w.net.Run(time.Minute) }}
+	srv := httptest.NewServer(fe)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/ipfs/" + root.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, content) {
+		t.Error("http body mismatch")
+	}
+	if resp.Header.Get("X-Cache") != "MISS" {
+		t.Errorf("X-Cache = %q", resp.Header.Get("X-Cache"))
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "/ipfs/" + root.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Cache") != "HIT" {
+		t.Errorf("second X-Cache = %q", resp2.Header.Get("X-Cache"))
+	}
+
+	// Error paths.
+	for _, path := range []string{"/", "/ipfs/", "/ipfs/notacid"} {
+		r, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode == 200 {
+			t.Errorf("GET %s succeeded", path)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"bitswapmon/internal/cid"
+)
+
+// Frontend adapts a Gateway to net/http. Because the underlying network is
+// a single-threaded virtual-time simulator, the frontend serialises requests
+// and advances the simulation via the Pump callback until the retrieval
+// completes.
+//
+// This is how the examples expose a simulated gateway on a real HTTP port —
+// probing it with curl reproduces the paper's gateway experiment end to end.
+type Frontend struct {
+	// GW is the gateway to serve.
+	GW *Gateway
+	// Pump advances the simulation far enough to deliver outstanding
+	// messages (e.g. func() { net.Run(time.Minute) }).
+	Pump func()
+
+	mu sync.Mutex
+}
+
+var _ http.Handler = (*Frontend)(nil)
+
+// ServeHTTP handles GET /ipfs/<cid>.
+func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/ipfs/")
+	if !ok || rest == "" {
+		http.Error(w, "expected /ipfs/<cid>", http.StatusBadRequest)
+		return
+	}
+	c, err := cid.Parse(strings.TrimSuffix(rest, "/"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("invalid CID: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var res Result
+	got := false
+	f.GW.Retrieve(c, func(r Result) {
+		res = r
+		got = true
+	})
+	if !got && f.Pump != nil {
+		f.Pump()
+	}
+	if !got {
+		http.Error(w, "retrieval did not complete", http.StatusGatewayTimeout)
+		return
+	}
+	switch res.Status {
+	case StatusOK:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if res.CacheHit {
+			w.Header().Set("X-Cache", "HIT")
+		} else {
+			w.Header().Set("X-Cache", "MISS")
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(res.Body)
+	default:
+		http.Error(w, http.StatusText(res.Status), res.Status)
+	}
+}

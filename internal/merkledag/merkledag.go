@@ -1,0 +1,346 @@
+// Package merkledag implements the IPFS data model: content-addressed blocks
+// organised as a Merkle DAG (Sec. III-B of the paper).
+//
+// Files are chunked into Raw leaf blocks linked from DagProtobuf interior
+// nodes; directories are DagProtobuf nodes whose links carry entry names.
+// Nodes may have multiple parents (deduplication), and non-leaf nodes may
+// carry data, which distinguishes the structure from a Merkle tree.
+package merkledag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bitswapmon/internal/cid"
+)
+
+// DefaultChunkSize is the chunk size used by the builder when none is given.
+// (go-ipfs uses 256 KiB; scaled workloads may choose smaller chunks.)
+const DefaultChunkSize = 256 * 1024
+
+// Link references a child node in the DAG.
+type Link struct {
+	// Name is the directory entry name; empty for file-chunk links.
+	Name string
+	// CID addresses the child.
+	CID cid.CID
+	// Size is the cumulative size of the subgraph under the child.
+	Size uint64
+}
+
+// NodeKind distinguishes the UnixFS-like node flavours.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindRaw NodeKind = iota + 1
+	KindFile
+	KindDirectory
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindRaw:
+		return "raw"
+	case KindFile:
+		return "file"
+	case KindDirectory:
+		return "directory"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// Node is one DAG node prior to serialisation.
+type Node struct {
+	Kind  NodeKind
+	Data  []byte
+	Links []Link
+}
+
+// Codec returns the multicodec under which this node serialises.
+func (n *Node) Codec() cid.Codec {
+	if n.Kind == KindRaw {
+		return cid.Raw
+	}
+	return cid.DagProtobuf
+}
+
+// ErrCorruptNode is returned when node bytes cannot be parsed.
+var ErrCorruptNode = errors.New("merkledag: corrupt node")
+
+// Encode serialises the node deterministically.
+//
+// Raw nodes serialise as their bare data (codec Raw). File and directory
+// nodes use a compact length-prefixed encoding (standing in for the
+// DagProtobuf encoding; the codec reported to CIDs is DagProtobuf).
+func (n *Node) Encode() []byte {
+	if n.Kind == KindRaw {
+		return append([]byte(nil), n.Data...)
+	}
+	buf := []byte{byte(n.Kind)}
+	buf = cid.PutUvarint(buf, uint64(len(n.Data)))
+	buf = append(buf, n.Data...)
+	buf = cid.PutUvarint(buf, uint64(len(n.Links)))
+	for _, l := range n.Links {
+		buf = cid.PutUvarint(buf, uint64(len(l.Name)))
+		buf = append(buf, l.Name...)
+		raw := l.CID.Key()
+		buf = cid.PutUvarint(buf, uint64(len(raw)))
+		buf = append(buf, raw...)
+		buf = cid.PutUvarint(buf, l.Size)
+	}
+	return buf
+}
+
+// DecodeNode parses node bytes under the given codec.
+func DecodeNode(codec cid.Codec, data []byte) (*Node, error) {
+	if codec == cid.Raw {
+		return &Node{Kind: KindRaw, Data: append([]byte(nil), data...)}, nil
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrCorruptNode)
+	}
+	kind := NodeKind(data[0])
+	if kind != KindFile && kind != KindDirectory {
+		return nil, fmt.Errorf("%w: kind %d", ErrCorruptNode, data[0])
+	}
+	pos := 1
+	dataLen, n, err := cid.Uvarint(data[pos:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: data length: %v", ErrCorruptNode, err)
+	}
+	pos += n
+	if pos+int(dataLen) > len(data) {
+		return nil, fmt.Errorf("%w: data overruns", ErrCorruptNode)
+	}
+	node := &Node{Kind: kind, Data: append([]byte(nil), data[pos:pos+int(dataLen)]...)}
+	pos += int(dataLen)
+	linkCount, n, err := cid.Uvarint(data[pos:])
+	if err != nil || linkCount > 1<<20 {
+		return nil, fmt.Errorf("%w: link count", ErrCorruptNode)
+	}
+	pos += n
+	for i := uint64(0); i < linkCount; i++ {
+		var l Link
+		nameLen, n, err := cid.Uvarint(data[pos:])
+		if err != nil || nameLen > 4096 {
+			return nil, fmt.Errorf("%w: name length", ErrCorruptNode)
+		}
+		pos += n
+		if pos+int(nameLen) > len(data) {
+			return nil, fmt.Errorf("%w: name overruns", ErrCorruptNode)
+		}
+		l.Name = string(data[pos : pos+int(nameLen)])
+		pos += int(nameLen)
+		cidLen, n, err := cid.Uvarint(data[pos:])
+		if err != nil || cidLen > 256 {
+			return nil, fmt.Errorf("%w: cid length", ErrCorruptNode)
+		}
+		pos += n
+		if pos+int(cidLen) > len(data) {
+			return nil, fmt.Errorf("%w: cid overruns", ErrCorruptNode)
+		}
+		l.CID, err = cid.Decode(data[pos : pos+int(cidLen)])
+		if err != nil {
+			return nil, fmt.Errorf("%w: cid: %v", ErrCorruptNode, err)
+		}
+		pos += int(cidLen)
+		l.Size, n, err = cid.Uvarint(data[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: link size: %v", ErrCorruptNode, err)
+		}
+		pos += n
+		node.Links = append(node.Links, l)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorruptNode)
+	}
+	return node, nil
+}
+
+// CID computes the node's content identifier.
+func (n *Node) CID() cid.CID {
+	return cid.Sum(n.Codec(), n.Encode())
+}
+
+// BlockSink receives the blocks produced by the builder.
+type BlockSink interface {
+	// PutBlock stores a block under its CID.
+	PutBlock(c cid.CID, data []byte) error
+}
+
+// Builder constructs file and directory DAGs, writing blocks to a sink.
+type Builder struct {
+	sink      BlockSink
+	chunkSize int
+	fanout    int
+}
+
+// NewBuilder returns a Builder writing to sink. chunkSize <= 0 selects
+// DefaultChunkSize; fanout <= 1 selects 174 (go-ipfs' default link width).
+func NewBuilder(sink BlockSink, chunkSize, fanout int) *Builder {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if fanout <= 1 {
+		fanout = 174
+	}
+	return &Builder{sink: sink, chunkSize: chunkSize, fanout: fanout}
+}
+
+// AddFile chunks content into Raw leaves and builds a balanced DagProtobuf
+// tree above them, returning the root CID and total DAG size in bytes.
+func (b *Builder) AddFile(content []byte) (cid.CID, uint64, error) {
+	if len(content) <= b.chunkSize {
+		// Single-chunk files are a single Raw block.
+		node := &Node{Kind: KindRaw, Data: content}
+		c := node.CID()
+		if err := b.sink.PutBlock(c, node.Encode()); err != nil {
+			return cid.CID{}, 0, fmt.Errorf("put leaf: %w", err)
+		}
+		return c, uint64(len(content)), nil
+	}
+	var level []Link
+	for off := 0; off < len(content); off += b.chunkSize {
+		end := off + b.chunkSize
+		if end > len(content) {
+			end = len(content)
+		}
+		node := &Node{Kind: KindRaw, Data: content[off:end]}
+		c := node.CID()
+		if err := b.sink.PutBlock(c, node.Encode()); err != nil {
+			return cid.CID{}, 0, fmt.Errorf("put leaf: %w", err)
+		}
+		level = append(level, Link{CID: c, Size: uint64(end - off)})
+	}
+	for len(level) > 1 {
+		var next []Link
+		for i := 0; i < len(level); i += b.fanout {
+			end := i + b.fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			node := &Node{Kind: KindFile, Links: level[i:end]}
+			enc := node.Encode()
+			c := cid.Sum(cid.DagProtobuf, enc)
+			if err := b.sink.PutBlock(c, enc); err != nil {
+				return cid.CID{}, 0, fmt.Errorf("put interior: %w", err)
+			}
+			var sz uint64
+			for _, l := range level[i:end] {
+				sz += l.Size
+			}
+			next = append(next, Link{CID: c, Size: sz})
+		}
+		level = next
+	}
+	return level[0].CID, level[0].Size, nil
+}
+
+// AddDirectory builds a directory node from name → child CID+size entries,
+// returning the directory's root CID. Entries are sorted by name so the CID
+// is deterministic.
+func (b *Builder) AddDirectory(entries map[string]Link) (cid.CID, error) {
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	node := &Node{Kind: KindDirectory}
+	for _, name := range names {
+		l := entries[name]
+		l.Name = name
+		node.Links = append(node.Links, l)
+	}
+	enc := node.Encode()
+	c := cid.Sum(cid.DagProtobuf, enc)
+	if err := b.sink.PutBlock(c, enc); err != nil {
+		return cid.CID{}, fmt.Errorf("put directory: %w", err)
+	}
+	return c, nil
+}
+
+// BlockSource resolves CIDs to block bytes.
+type BlockSource interface {
+	// GetBlock returns the block stored under c.
+	GetBlock(c cid.CID) ([]byte, bool)
+}
+
+// ErrMissingBlock is returned by Walk and Assemble when the source lacks a
+// referenced block.
+var ErrMissingBlock = errors.New("merkledag: missing block")
+
+// Walk traverses the DAG rooted at root in depth-first order, invoking visit
+// for every node. Shared subgraphs are visited once.
+func Walk(src BlockSource, root cid.CID, visit func(c cid.CID, n *Node) error) error {
+	seen := make(map[cid.CID]bool)
+	var rec func(c cid.CID) error
+	rec = func(c cid.CID) error {
+		if seen[c] {
+			return nil
+		}
+		seen[c] = true
+		data, ok := src.GetBlock(c)
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrMissingBlock, c)
+		}
+		node, err := DecodeNode(c.Codec(), data)
+		if err != nil {
+			return err
+		}
+		if err := visit(c, node); err != nil {
+			return err
+		}
+		for _, l := range node.Links {
+			if err := rec(l.CID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(root)
+}
+
+// Assemble reconstructs the file content rooted at root by concatenating its
+// leaves in order. It errors on directory roots.
+func Assemble(src BlockSource, root cid.CID) ([]byte, error) {
+	data, ok := src.GetBlock(root)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrMissingBlock, root)
+	}
+	node, err := DecodeNode(root.Codec(), data)
+	if err != nil {
+		return nil, err
+	}
+	switch node.Kind {
+	case KindRaw:
+		return node.Data, nil
+	case KindFile:
+		var out []byte
+		for _, l := range node.Links {
+			part, err := Assemble(src, l.CID)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("merkledag: cannot assemble %s node", node.Kind)
+	}
+}
+
+// Leaves returns the CIDs of all leaf (Raw) blocks under root, in file order.
+func Leaves(src BlockSource, root cid.CID) ([]cid.CID, error) {
+	var out []cid.CID
+	err := Walk(src, root, func(c cid.CID, n *Node) error {
+		if n.Kind == KindRaw {
+			out = append(out, c)
+		}
+		return nil
+	})
+	return out, err
+}

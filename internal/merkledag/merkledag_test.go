@@ -1,0 +1,246 @@
+package merkledag
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bitswapmon/internal/cid"
+)
+
+type memSink map[cid.CID][]byte
+
+func (m memSink) PutBlock(c cid.CID, data []byte) error {
+	m[c] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m memSink) GetBlock(c cid.CID) ([]byte, bool) {
+	d, ok := m[c]
+	return d, ok
+}
+
+func TestSingleChunkFile(t *testing.T) {
+	sink := memSink{}
+	b := NewBuilder(sink, 1024, 4)
+	content := []byte("small file")
+	root, size, err := b.AddFile(content)
+	if err != nil {
+		t.Fatalf("AddFile: %v", err)
+	}
+	if size != uint64(len(content)) {
+		t.Errorf("size = %d, want %d", size, len(content))
+	}
+	if root.Codec() != cid.Raw {
+		t.Errorf("single-chunk root codec = %v, want Raw", root.Codec())
+	}
+	got, err := Assemble(sink, root)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("assembled content mismatch")
+	}
+}
+
+func TestMultiChunkFile(t *testing.T) {
+	sink := memSink{}
+	b := NewBuilder(sink, 16, 3)
+	content := make([]byte, 1000)
+	rand.New(rand.NewSource(7)).Read(content)
+	root, size, err := b.AddFile(content)
+	if err != nil {
+		t.Fatalf("AddFile: %v", err)
+	}
+	if size != 1000 {
+		t.Errorf("size = %d", size)
+	}
+	if root.Codec() != cid.DagProtobuf {
+		t.Errorf("multi-chunk root codec = %v, want DagProtobuf", root.Codec())
+	}
+	got, err := Assemble(sink, root)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("assembled content mismatch")
+	}
+	leaves, err := Leaves(sink, root)
+	if err != nil {
+		t.Fatalf("Leaves: %v", err)
+	}
+	if want := (1000 + 15) / 16; len(leaves) != want {
+		t.Errorf("leaves = %d, want %d", len(leaves), want)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	sink := memSink{}
+	b := NewBuilder(sink, 16, 4)
+	// Two files sharing the same repeated chunk content dedup on leaves.
+	chunk := bytes.Repeat([]byte{0xAA}, 16)
+	content := bytes.Repeat(chunk, 20)
+	if _, _, err := b.AddFile(content); err != nil {
+		t.Fatal(err)
+	}
+	// 1 unique leaf + interior nodes; without dedup there would be 20 leaves.
+	leafCount := 0
+	for c := range sink {
+		if c.Codec() == cid.Raw {
+			leafCount++
+		}
+	}
+	if leafCount != 1 {
+		t.Errorf("unique leaves = %d, want 1 (dedup)", leafCount)
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	sink := memSink{}
+	b := NewBuilder(sink, 64, 4)
+	f1, s1, err := b.AddFile([]byte("file one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, s2, err := b.AddFile(bytes.Repeat([]byte("x"), 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := b.AddDirectory(map[string]Link{
+		"a.txt": {CID: f1, Size: s1},
+		"b.bin": {CID: f2, Size: s2},
+	})
+	if err != nil {
+		t.Fatalf("AddDirectory: %v", err)
+	}
+	data, ok := sink.GetBlock(dir)
+	if !ok {
+		t.Fatal("directory block missing")
+	}
+	node, err := DecodeNode(dir.Codec(), data)
+	if err != nil {
+		t.Fatalf("DecodeNode: %v", err)
+	}
+	if node.Kind != KindDirectory || len(node.Links) != 2 {
+		t.Fatalf("directory node: kind=%v links=%d", node.Kind, len(node.Links))
+	}
+	if node.Links[0].Name != "a.txt" || node.Links[1].Name != "b.bin" {
+		t.Error("directory entries not sorted by name")
+	}
+}
+
+func TestDirectoryDeterminism(t *testing.T) {
+	mk := func() cid.CID {
+		sink := memSink{}
+		b := NewBuilder(sink, 64, 4)
+		f, s, err := b.AddFile([]byte("content"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, err := b.AddDirectory(map[string]Link{"z": {CID: f, Size: s}, "a": {CID: f, Size: s}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	if !mk().Equal(mk()) {
+		t.Error("directory CID not deterministic")
+	}
+}
+
+func TestNodeRoundTrip(t *testing.T) {
+	n := &Node{
+		Kind: KindFile,
+		Data: []byte("inline"),
+		Links: []Link{
+			{Name: "", CID: cid.Sum(cid.Raw, []byte("l1")), Size: 10},
+			{Name: "named", CID: cid.Sum(cid.DagProtobuf, []byte("l2")), Size: 99},
+		},
+	}
+	dec, err := DecodeNode(cid.DagProtobuf, n.Encode())
+	if err != nil {
+		t.Fatalf("DecodeNode: %v", err)
+	}
+	if dec.Kind != n.Kind || !bytes.Equal(dec.Data, n.Data) || len(dec.Links) != 2 {
+		t.Fatal("node round trip mismatch")
+	}
+	for i := range n.Links {
+		if dec.Links[i] != n.Links[i] {
+			t.Errorf("link %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeNodeCorrupt(t *testing.T) {
+	enc := (&Node{Kind: KindDirectory, Links: []Link{{Name: "x", CID: cid.Sum(cid.Raw, []byte("y")), Size: 1}}}).Encode()
+	for i := 1; i < len(enc); i++ {
+		if _, err := DecodeNode(cid.DagProtobuf, enc[:i]); err == nil {
+			t.Errorf("truncation at %d decoded successfully", i)
+		}
+	}
+	if _, err := DecodeNode(cid.DagProtobuf, []byte{77}); err == nil {
+		t.Error("bad kind accepted")
+	}
+}
+
+func TestWalkMissingBlock(t *testing.T) {
+	sink := memSink{}
+	b := NewBuilder(sink, 16, 4)
+	content := make([]byte, 200)
+	root, _, err := b.AddFile(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves, err := Leaves(sink, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(sink, leaves[0])
+	if _, err := Assemble(sink, root); err == nil {
+		t.Error("expected ErrMissingBlock")
+	}
+}
+
+func TestAssembleQuick(t *testing.T) {
+	f := func(content []byte) bool {
+		sink := memSink{}
+		b := NewBuilder(sink, 32, 3)
+		root, _, err := b.AddFile(content)
+		if err != nil {
+			return false
+		}
+		got, err := Assemble(sink, root)
+		return err == nil && bytes.Equal(got, content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkVisitsEveryBlockOnce(t *testing.T) {
+	sink := memSink{}
+	b := NewBuilder(sink, 8, 2)
+	content := make([]byte, 300)
+	rand.New(rand.NewSource(3)).Read(content)
+	root, _, err := b.AddFile(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := map[cid.CID]int{}
+	err = Walk(sink, root, func(c cid.CID, n *Node) error {
+		visits[c]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != len(sink) {
+		t.Errorf("visited %d blocks, store has %d", len(visits), len(sink))
+	}
+	for c, n := range visits {
+		if n != 1 {
+			t.Errorf("block %s visited %d times", c, n)
+		}
+	}
+}

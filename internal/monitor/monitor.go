@@ -1,0 +1,161 @@
+// Package monitor implements the paper's core contribution (Sec. IV-A): a
+// passive monitoring node that exploits Bitswap's broadcast behaviour to
+// record which node requested which CID at what time.
+//
+// A monitor is a regular node with infinite connection capacity that accepts
+// all incoming connections, never evicts peers, never requests data, and
+// logs every want_list entry it receives. It remains indistinguishable from
+// an ordinary (empty) node: it answers WANT_HAVEs with DONT_HAVE like any
+// node that does not store the block.
+package monitor
+
+import (
+	"fmt"
+	"time"
+
+	"bitswapmon/internal/dht"
+	"bitswapmon/internal/node"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+// Monitor is one passive monitoring node.
+type Monitor struct {
+	// Name labels this monitor's trace entries (the paper's "us"/"de").
+	Name string
+	// Node is the underlying IPFS node (DHT server, unlimited connections).
+	Node *node.Node
+
+	net     *simnet.Network
+	entries []trace.Entry
+
+	// peersSeen records every peer ever connected while monitoring, with
+	// first-seen time: the per-monitor peer sets of Sec. V-C.
+	peersSeen map[simnet.NodeID]time.Time
+	// active records peers that sent at least one Bitswap entry.
+	active map[simnet.NodeID]bool
+}
+
+// New creates and registers a monitor. Monitors run as DHT clients: they
+// bootstrap and can announce provider records (needed for gateway probing),
+// but they do not enter other nodes' k-buckets — so the connections they
+// hold are exactly the inbound ones the network chooses to open, matching
+// the passive posture of Sec. IV-A.
+func New(net *simnet.Network, name, addr string, region simnet.Region) (*Monitor, error) {
+	id := simnet.DeriveNodeID([]byte("monitor:" + name))
+	nd, err := node.New(net, id, addr, region, node.Config{
+		Mode:     dht.ModeClient,
+		MaxConns: 0, // infinite connection capacity
+	})
+	if err != nil {
+		return nil, fmt.Errorf("monitor %s: %w", name, err)
+	}
+	m := &Monitor{
+		Name:      name,
+		Node:      nd,
+		net:       net,
+		peersSeen: make(map[simnet.NodeID]time.Time),
+		active:    make(map[simnet.NodeID]bool),
+	}
+	nd.MessageTap = m.tapMessage
+	nd.ConnTap = m.tapConn
+	return m, nil
+}
+
+// Start connects the monitor to its bootstrap peers and seeds its routing
+// table, without running iterative lookups or periodic refreshes: outbound
+// dialing must stay minimal, or the monitor's own maintenance would inflate
+// its peer set in a scaled-down network (the real network is three orders of
+// magnitude larger than a lookup's footprint, so refreshes are harmless
+// there).
+func (m *Monitor) Start(bootstrap []dht.PeerInfo) {
+	for _, p := range bootstrap {
+		m.Node.DHT.Observe(p)
+		_ = m.Node.ConnectTo(p.ID)
+	}
+}
+
+// ID returns the monitor's (normally hidden) node ID.
+func (m *Monitor) ID() simnet.NodeID { return m.Node.ID }
+
+// Info returns the monitor's DHT identity.
+func (m *Monitor) Info() dht.PeerInfo { return m.Node.Info() }
+
+func (m *Monitor) tapConn(peer simnet.NodeID, connected bool) {
+	if !connected {
+		return
+	}
+	if _, seen := m.peersSeen[peer]; !seen {
+		m.peersSeen[peer] = m.net.Now()
+	}
+}
+
+func (m *Monitor) tapMessage(from simnet.NodeID, msg any) {
+	bm, ok := msg.(*wire.Message)
+	if !ok {
+		return
+	}
+	if len(bm.Wantlist) == 0 {
+		return
+	}
+	addr, _ := m.net.Addr(from)
+	now := m.net.Now()
+	for _, entry := range bm.Wantlist {
+		m.active[from] = true
+		m.entries = append(m.entries, trace.Entry{
+			Timestamp: now,
+			Monitor:   m.Name,
+			NodeID:    from,
+			Addr:      addr,
+			Type:      entry.Type,
+			CID:       entry.CID,
+		})
+	}
+}
+
+// Trace returns the recorded entries (live slice; callers must not mutate).
+func (m *Monitor) Trace() []trace.Entry { return m.entries }
+
+// ResetTrace clears recorded entries (e.g. after a warm-up phase) and
+// returns the discarded entries.
+func (m *Monitor) ResetTrace() []trace.Entry {
+	old := m.entries
+	m.entries = nil
+	return old
+}
+
+// PeersSeen returns every peer that connected at least once while
+// monitoring.
+func (m *Monitor) PeersSeen() map[simnet.NodeID]time.Time {
+	out := make(map[simnet.NodeID]time.Time, len(m.peersSeen))
+	for k, v := range m.peersSeen {
+		out[k] = v
+	}
+	return out
+}
+
+// BitswapActivePeers returns the peers that sent at least one want entry.
+func (m *Monitor) BitswapActivePeers() map[simnet.NodeID]bool {
+	out := make(map[simnet.NodeID]bool, len(m.active))
+	for k := range m.active {
+		out[k] = true
+	}
+	return out
+}
+
+// CurrentPeers returns the instantaneous connection table.
+func (m *Monitor) CurrentPeers() []simnet.NodeID {
+	return m.net.Peers(m.Node.ID)
+}
+
+// PeerIDUniform01 returns the current peers' IDs mapped to [0,1): the data
+// behind the paper's Fig. 3 QQ uniformity diagnostic.
+func (m *Monitor) PeerIDUniform01() []float64 {
+	peers := m.CurrentPeers()
+	out := make([]float64, len(peers))
+	for i, p := range peers {
+		out[i] = p.Uniform01()
+	}
+	return out
+}

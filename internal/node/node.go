@@ -1,0 +1,221 @@
+// Package node composes blockstore, DHT and Bitswap into a full IPFS-like
+// node, the unit the workload generator deploys and the monitor observes.
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bitswapmon/internal/bitswap"
+	"bitswapmon/internal/blockstore"
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/dht"
+	"bitswapmon/internal/merkledag"
+	"bitswapmon/internal/simnet"
+)
+
+// Config parametrises a node.
+type Config struct {
+	// Mode selects DHT server or client participation. The real client
+	// chooses based on reachability; the workload generator chooses based
+	// on the scenario's NAT fraction. Zero selects ModeServer.
+	Mode dht.Mode
+	// StoreCapacity bounds the blockstore in bytes (0 selects the
+	// blockstore default).
+	StoreCapacity int64
+	// MaxConns caps the connection table (0 = unlimited).
+	MaxConns int
+	// Bitswap configures the exchange engine; zero values select defaults.
+	Bitswap bitswap.Config
+	// DHT configures the routing layer; zero values select defaults.
+	DHT dht.Config
+	// RefreshInterval is the periodic DHT refresh period (0 selects 10
+	// minutes, as in go-ipfs).
+	RefreshInterval time.Duration
+	// ChunkSize configures the DAG builder for published content.
+	ChunkSize int
+}
+
+// Node is one IPFS participant.
+type Node struct {
+	ID     simnet.NodeID
+	Addr   string
+	Region simnet.Region
+
+	net     *simnet.Network
+	Store   *blockstore.Store
+	DHT     *dht.DHT
+	Bitswap *bitswap.Engine
+
+	cfg     Config
+	rng     *rand.Rand
+	builder *merkledag.Builder
+	running bool
+
+	// MessageTap, when set, observes every inbound message before normal
+	// processing. Monitors use it to record Bitswap traffic.
+	MessageTap func(from simnet.NodeID, msg any)
+	// ConnTap, when set, observes connection table changes.
+	ConnTap func(peer simnet.NodeID, connected bool)
+}
+
+var _ simnet.Handler = (*Node)(nil)
+
+// New creates a node and registers it with the network.
+func New(net *simnet.Network, id simnet.NodeID, addr string, region simnet.Region, cfg Config) (*Node, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = dht.ModeServer
+	}
+	if cfg.RefreshInterval <= 0 {
+		cfg.RefreshInterval = 10 * time.Minute
+	}
+	dhtCfg := cfg.DHT
+	dhtCfg.Mode = cfg.Mode
+	n := &Node{
+		ID:     id,
+		Addr:   addr,
+		Region: region,
+		net:    net,
+		Store:  blockstore.New(cfg.StoreCapacity),
+		cfg:    cfg,
+		rng:    net.NewRand("node-" + id.HexFull()),
+	}
+	n.DHT = dht.New(net, dht.PeerInfo{ID: id, Addr: addr, Server: cfg.Mode == dht.ModeServer}, dhtCfg)
+	n.Bitswap = bitswap.New(net, id, n.Store, n.DHT, cfg.Bitswap)
+	n.builder = merkledag.NewBuilder(n.Store, cfg.ChunkSize, 0)
+	if err := net.AddNode(id, addr, region, cfg.MaxConns, n); err != nil {
+		return nil, fmt.Errorf("register node: %w", err)
+	}
+	return n, nil
+}
+
+// HandleMessage dispatches to the DHT and Bitswap subsystems.
+func (n *Node) HandleMessage(from simnet.NodeID, msg any) {
+	if n.MessageTap != nil {
+		n.MessageTap(from, msg)
+	}
+	if n.DHT.HandleMessage(from, msg) {
+		return
+	}
+	n.Bitswap.HandleMessage(from, msg)
+}
+
+// PeerConnected implements simnet.Handler.
+func (n *Node) PeerConnected(p simnet.NodeID) {
+	if n.ConnTap != nil {
+		n.ConnTap(p, true)
+	}
+	n.Bitswap.PeerConnected(p)
+}
+
+// PeerDisconnected implements simnet.Handler.
+func (n *Node) PeerDisconnected(p simnet.NodeID) {
+	if n.ConnTap != nil {
+		n.ConnTap(p, false)
+	}
+	n.Bitswap.PeerDisconnected(p)
+}
+
+// Start bootstraps the DHT and arms the periodic refresh loop.
+func (n *Node) Start(bootstrap []dht.PeerInfo) {
+	n.running = true
+	n.DHT.Bootstrap(bootstrap, nil)
+	n.scheduleRefresh()
+}
+
+// Stop halts periodic maintenance (used before taking the node offline).
+func (n *Node) Stop() { n.running = false }
+
+// Online reports whether the node is online in the network.
+func (n *Node) Online() bool { return n.net.IsOnline(n.ID) }
+
+// GoOffline models churn: the node leaves the network, dropping all
+// connections. Its blockstore persists (as on a real host).
+func (n *Node) GoOffline() {
+	n.Stop()
+	_ = n.net.SetOnline(n.ID, false)
+}
+
+// GoOnline rejoins the network and re-bootstraps.
+func (n *Node) GoOnline(bootstrap []dht.PeerInfo) {
+	_ = n.net.SetOnline(n.ID, true)
+	n.Start(bootstrap)
+}
+
+func (n *Node) scheduleRefresh() {
+	// Jitter the period ±10% so refreshes don't synchronise network-wide.
+	jitter := 0.9 + 0.2*n.rng.Float64()
+	d := time.Duration(float64(n.cfg.RefreshInterval) * jitter)
+	n.net.After(d, func() {
+		if !n.running || !n.Online() {
+			return
+		}
+		n.DHT.Refresh(simnet.RandomNodeID(n.rng))
+		n.scheduleRefresh()
+	})
+}
+
+// Publish chunks content into the local store, announces the root to the
+// DHT, and pins it locally. It returns the root CID.
+func (n *Node) Publish(content []byte) (cid.CID, error) {
+	root, _, err := n.builder.AddFile(content)
+	if err != nil {
+		return cid.CID{}, fmt.Errorf("build dag: %w", err)
+	}
+	if err := n.Store.Pin(root); err != nil {
+		return cid.CID{}, err
+	}
+	n.DHT.Provide(dht.KeyForCID(root), nil)
+	return root, nil
+}
+
+// PublishDirectory publishes a set of named files as one directory DAG.
+func (n *Node) PublishDirectory(files map[string][]byte) (cid.CID, error) {
+	entries := make(map[string]merkledag.Link, len(files))
+	for name, content := range files {
+		root, size, err := n.builder.AddFile(content)
+		if err != nil {
+			return cid.CID{}, fmt.Errorf("build file %q: %w", name, err)
+		}
+		entries[name] = merkledag.Link{CID: root, Size: size}
+	}
+	root, err := n.builder.AddDirectory(entries)
+	if err != nil {
+		return cid.CID{}, err
+	}
+	if err := n.Store.Pin(root); err != nil {
+		return cid.CID{}, err
+	}
+	n.DHT.Provide(dht.KeyForCID(root), nil)
+	return root, nil
+}
+
+// Fetch retrieves the whole DAG rooted at c (Fig. 1 + session-scoped
+// children) and reports completion.
+func (n *Node) Fetch(c cid.CID, done func(ok bool)) {
+	n.Bitswap.FetchDAG(c, done)
+}
+
+// FetchFile retrieves and reassembles the file rooted at c.
+func (n *Node) FetchFile(c cid.CID, done func(data []byte, ok bool)) {
+	n.Bitswap.Assemble(c, n.Store, done)
+}
+
+// Request issues a bare root-block want (no DAG walk). Gateways and probing
+// tools use this directly.
+func (n *Node) Request(c cid.CID, done func(data []byte, ok bool)) {
+	n.Bitswap.Get(c, done)
+}
+
+// CancelRequest abandons an outstanding want.
+func (n *Node) CancelRequest(c cid.CID) { n.Bitswap.Cancel(c) }
+
+// Info returns the node's DHT identity.
+func (n *Node) Info() dht.PeerInfo { return n.DHT.Self() }
+
+// ConnectTo dials another node directly.
+func (n *Node) ConnectTo(p simnet.NodeID) error { return n.net.Connect(n.ID, p) }
+
+// Peers returns the current connection table.
+func (n *Node) Peers() []simnet.NodeID { return n.net.Peers(n.ID) }

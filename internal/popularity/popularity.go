@@ -1,0 +1,101 @@
+// Package popularity implements the content-popularity analysis of
+// Sec. IV-D and V-E: raw request popularity (RRP), unique request popularity
+// (URP), empirical CDFs, and a discrete power-law fit in the style of
+// Clauset, Shalizi & Newman used to test (and, on the paper's data, reject)
+// the power-law hypothesis.
+package popularity
+
+import (
+	"sort"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+)
+
+// Scores holds both popularity scores for a trace window.
+type Scores struct {
+	// RRP is the raw request popularity: total requests per CID ("on the
+	// wire" behaviour, relevant to Bitswap performance).
+	RRP map[cid.CID]int
+	// URP is the unique request popularity: distinct requesting peers per
+	// CID (approximates user-level popularity).
+	URP map[cid.CID]int
+}
+
+// Compute derives both scores from a trace. CANCEL entries are ignored; the
+// caller chooses whether to pass raw or deduplicated entries (the paper uses
+// the deduplicated trace for popularity).
+func Compute(entries []trace.Entry) Scores {
+	rrp := make(map[cid.CID]int)
+	peersPerCID := make(map[cid.CID]map[simnet.NodeID]bool)
+	for _, e := range entries {
+		if !e.IsRequest() {
+			continue
+		}
+		rrp[e.CID]++
+		m, ok := peersPerCID[e.CID]
+		if !ok {
+			m = make(map[simnet.NodeID]bool)
+			peersPerCID[e.CID] = m
+		}
+		m[e.NodeID] = true
+	}
+	urp := make(map[cid.CID]int, len(peersPerCID))
+	for c, peers := range peersPerCID {
+		urp[c] = len(peers)
+	}
+	return Scores{RRP: rrp, URP: urp}
+}
+
+// Values extracts the score values in ascending order.
+func Values(scores map[cid.CID]int) []int {
+	out := make([]int, 0, len(scores))
+	for _, v := range scores {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ECDFPoint is one point of an empirical CDF.
+type ECDFPoint struct {
+	Value float64 `json:"value"`
+	Prob  float64 `json:"prob"`
+}
+
+// ECDF computes the empirical cumulative distribution of integer scores:
+// the curves of Fig. 5.
+func ECDF(values []int) []ECDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	n := float64(len(sorted))
+	var out []ECDFPoint
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, ECDFPoint{Value: float64(sorted[i]), Prob: float64(j) / n})
+		i = j
+	}
+	return out
+}
+
+// ShareWithValue returns the fraction of entries whose score is exactly v
+// (e.g. "over 80% of CIDs were only requested by one peer": v=1 on URP).
+func ShareWithValue(values []int, v int) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range values {
+		if x == v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}

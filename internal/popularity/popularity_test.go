@@ -1,0 +1,161 @@
+package popularity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+var t0 = time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+
+func req(node byte, c string, typ wire.EntryType) trace.Entry {
+	var id simnet.NodeID
+	id[0] = node
+	return trace.Entry{
+		Timestamp: t0,
+		Monitor:   "us",
+		NodeID:    id,
+		Type:      typ,
+		CID:       cid.Sum(cid.Raw, []byte(c)),
+	}
+}
+
+func TestComputeScores(t *testing.T) {
+	entries := []trace.Entry{
+		req(1, "a", wire.WantHave),
+		req(1, "a", wire.WantHave), // same peer again: RRP+1, URP same
+		req(2, "a", wire.WantHave), // second peer
+		req(3, "b", wire.WantBlock),
+		req(3, "b", wire.Cancel), // cancels don't count
+	}
+	s := Compute(entries)
+	ca := cid.Sum(cid.Raw, []byte("a"))
+	cb := cid.Sum(cid.Raw, []byte("b"))
+	if s.RRP[ca] != 3 || s.URP[ca] != 2 {
+		t.Errorf("a: rrp=%d urp=%d, want 3, 2", s.RRP[ca], s.URP[ca])
+	}
+	if s.RRP[cb] != 1 || s.URP[cb] != 1 {
+		t.Errorf("b: rrp=%d urp=%d, want 1, 1", s.RRP[cb], s.URP[cb])
+	}
+}
+
+func TestECDF(t *testing.T) {
+	pts := ECDF([]int{1, 1, 1, 2, 5})
+	if len(pts) != 3 {
+		t.Fatalf("ecdf points = %d", len(pts))
+	}
+	if pts[0].Value != 1 || math.Abs(pts[0].Prob-0.6) > 1e-12 {
+		t.Errorf("p(<=1) = %v", pts[0])
+	}
+	if pts[2].Value != 5 || pts[2].Prob != 1 {
+		t.Errorf("last point = %v", pts[2])
+	}
+	if ECDF(nil) != nil {
+		t.Error("empty ECDF should be nil")
+	}
+}
+
+func TestShareWithValue(t *testing.T) {
+	vals := []int{1, 1, 1, 1, 2, 3, 9, 1}
+	if got := ShareWithValue(vals, 1); math.Abs(got-5.0/8) > 1e-12 {
+		t.Errorf("share = %v", got)
+	}
+	if ShareWithValue(nil, 1) != 0 {
+		t.Error("empty share should be 0")
+	}
+}
+
+func genPowerLaw(rng *rand.Rand, n, xmin int, alpha float64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = samplePowerLaw(rng, xmin, alpha)
+	}
+	return out
+}
+
+func TestFitRecoversAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := genPowerLaw(rng, 20000, 1, 2.5)
+	fit, err := FitPowerLaw(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-2.5) > 0.15 {
+		t.Errorf("alpha = %v, want ~2.5", fit.Alpha)
+	}
+	if fit.Xmin > 5 {
+		t.Errorf("xmin = %d, want small", fit.Xmin)
+	}
+}
+
+func TestPowerLawAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := genPowerLaw(rng, 3000, 1, 2.2)
+	rejected, _, p, err := RejectsPowerLaw(data, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected {
+		t.Errorf("true power-law data rejected (p=%v)", p)
+	}
+}
+
+func TestPowerLawRejectedForLognormalMixture(t *testing.T) {
+	// A distribution like the paper's: mostly ones plus a lognormal bulk —
+	// clearly not a power law once the sample is large enough.
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	data := make([]int, n)
+	for i := range data {
+		if rng.Float64() < 0.5 {
+			data[i] = 1 + rng.Intn(3)
+		} else {
+			v := int(math.Exp(rng.NormFloat64()*0.5 + 2.5))
+			if v < 1 {
+				v = 1
+			}
+			data[i] = v
+		}
+	}
+	rejected, fit, p, err := RejectsPowerLaw(data, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rejected {
+		t.Errorf("lognormal mixture not rejected: p=%v fit=%+v", p, fit)
+	}
+}
+
+func TestFitTooFewSamples(t *testing.T) {
+	if _, err := FitPowerLaw([]int{1, 2, 3}); err == nil {
+		t.Error("tiny sample accepted")
+	}
+}
+
+func TestSamplePowerLawBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		v := samplePowerLaw(rng, 5, 2.0)
+		if v < 5 {
+			t.Fatalf("sample %d below xmin", v)
+		}
+	}
+}
+
+func TestValuesSorted(t *testing.T) {
+	m := map[cid.CID]int{
+		cid.Sum(cid.Raw, []byte("a")): 5,
+		cid.Sum(cid.Raw, []byte("b")): 1,
+		cid.Sum(cid.Raw, []byte("c")): 3,
+	}
+	vals := Values(m)
+	if len(vals) != 3 || vals[0] != 1 || vals[2] != 5 {
+		t.Errorf("values = %v", vals)
+	}
+}

@@ -1,0 +1,197 @@
+package popularity
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// PowerLawFit is the result of fitting a discrete power law to tail data,
+// following Clauset, Shalizi & Newman (2009) as cited by the paper [30].
+type PowerLawFit struct {
+	// Alpha is the MLE scaling exponent for x >= Xmin.
+	Alpha float64
+	// Xmin is the tail cut-off minimising the KS distance.
+	Xmin int
+	// KS is the Kolmogorov–Smirnov distance of the best fit.
+	KS float64
+	// NTail is the number of observations in the fitted tail.
+	NTail int
+}
+
+// ErrTooFewSamples is returned when the data cannot support a fit.
+var ErrTooFewSamples = errors.New("popularity: too few samples for power-law fit")
+
+// alphaMLE computes the continuous-approximation MLE for the exponent given
+// tail observations and xmin: alpha = 1 + n / Σ ln(x_i / (xmin - 0.5)).
+func alphaMLE(tail []int, xmin int) float64 {
+	var s float64
+	for _, x := range tail {
+		s += math.Log(float64(x) / (float64(xmin) - 0.5))
+	}
+	if s == 0 {
+		return math.Inf(1)
+	}
+	return 1 + float64(len(tail))/s
+}
+
+// tailCCDF is the fitted complementary CDF P(X >= x) under the continuous
+// approximation to the discrete power law.
+func tailCCDF(x float64, xmin int, alpha float64) float64 {
+	return math.Pow(x/(float64(xmin)-0.5), -(alpha - 1))
+}
+
+// ksDistance computes the KS statistic between the empirical distribution of
+// the (sorted) tail and the fitted power law.
+func ksDistance(sortedTail []int, xmin int, alpha float64) float64 {
+	n := float64(len(sortedTail))
+	var d float64
+	for i := 0; i < len(sortedTail); {
+		j := i
+		for j < len(sortedTail) && sortedTail[j] == sortedTail[i] {
+			j++
+		}
+		empLo := float64(i) / n
+		empHi := float64(j) / n
+		model := 1 - tailCCDF(float64(sortedTail[i])-0.5, xmin, alpha)
+		d = math.Max(d, math.Max(math.Abs(model-empLo), math.Abs(model-empHi)))
+		i = j
+	}
+	return d
+}
+
+// FitOpts bounds the xmin scan. A power-law claim supported only by a
+// vanishing fraction of the data is not a meaningful description of the
+// distribution, so the scan keeps a minimum tail size.
+type FitOpts struct {
+	// MinTail is the absolute minimum number of tail observations
+	// (default 10).
+	MinTail int
+	// MinTailFrac is the minimum tail fraction of the sample
+	// (default 0.05).
+	MinTailFrac float64
+}
+
+func (o FitOpts) withDefaults() FitOpts {
+	if o.MinTail <= 0 {
+		o.MinTail = 10
+	}
+	if o.MinTailFrac <= 0 {
+		o.MinTailFrac = 0.05
+	}
+	return o
+}
+
+// FitPowerLaw scans candidate xmin values (the distinct data values) and
+// returns the fit minimising the KS distance, with default scan bounds.
+func FitPowerLaw(values []int) (PowerLawFit, error) {
+	return FitPowerLawOpts(values, FitOpts{})
+}
+
+// FitPowerLawOpts is FitPowerLaw with explicit scan bounds.
+func FitPowerLawOpts(values []int, opts FitOpts) (PowerLawFit, error) {
+	opts = opts.withDefaults()
+	if len(values) < opts.MinTail {
+		return PowerLawFit{}, ErrTooFewSamples
+	}
+	minTail := opts.MinTail
+	if frac := int(opts.MinTailFrac * float64(len(values))); frac > minTail {
+		minTail = frac
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	// Candidate xmins: distinct values except the very largest (need a
+	// non-trivial tail).
+	var candidates []int
+	for i := 0; i < len(sorted); {
+		if sorted[i] >= 1 {
+			candidates = append(candidates, sorted[i])
+		}
+		v := sorted[i]
+		for i < len(sorted) && sorted[i] == v {
+			i++
+		}
+	}
+	best := PowerLawFit{KS: math.Inf(1)}
+	for _, xmin := range candidates {
+		lo := sort.SearchInts(sorted, xmin)
+		tail := sorted[lo:]
+		if len(tail) < minTail {
+			break
+		}
+		alpha := alphaMLE(tail, xmin)
+		if math.IsInf(alpha, 1) || alpha <= 1 {
+			continue
+		}
+		ks := ksDistance(tail, xmin, alpha)
+		if ks < best.KS {
+			best = PowerLawFit{Alpha: alpha, Xmin: xmin, KS: ks, NTail: len(tail)}
+		}
+	}
+	if math.IsInf(best.KS, 1) {
+		return PowerLawFit{}, ErrTooFewSamples
+	}
+	return best, nil
+}
+
+// samplePowerLaw draws one value from the fitted discrete power law using
+// the continuous-approximation inverse CDF.
+func samplePowerLaw(rng *rand.Rand, xmin int, alpha float64) int {
+	u := rng.Float64()
+	x := (float64(xmin) - 0.5) * math.Pow(1-u, -1/(alpha-1))
+	v := int(math.Floor(x + 0.5))
+	if v < xmin {
+		v = xmin
+	}
+	return v
+}
+
+// PValue estimates the goodness-of-fit p-value by semi-parametric bootstrap
+// (CSN Sec. 4): synthetic datasets draw tail values from the fitted law and
+// body values from the empirical body; each synthetic set is refit and its
+// KS distance compared with the observed one. Small p (< 0.1 in the paper)
+// rejects the power-law hypothesis.
+func (f PowerLawFit) PValue(values []int, iterations int, rng *rand.Rand) float64 {
+	if iterations <= 0 {
+		iterations = 100
+	}
+	var body []int
+	for _, v := range values {
+		if v < f.Xmin {
+			body = append(body, v)
+		}
+	}
+	n := len(values)
+	pTail := float64(f.NTail) / float64(n)
+	exceed := 0
+	for it := 0; it < iterations; it++ {
+		synth := make([]int, n)
+		for i := range synth {
+			if len(body) == 0 || rng.Float64() < pTail {
+				synth[i] = samplePowerLaw(rng, f.Xmin, f.Alpha)
+			} else {
+				synth[i] = body[rng.Intn(len(body))]
+			}
+		}
+		sf, err := FitPowerLaw(synth)
+		if err != nil {
+			continue
+		}
+		if sf.KS >= f.KS {
+			exceed++
+		}
+	}
+	return float64(exceed) / float64(iterations)
+}
+
+// RejectsPowerLaw runs the full CSN procedure and reports whether the
+// power-law hypothesis is rejected at the paper's threshold (p < 0.1).
+func RejectsPowerLaw(values []int, iterations int, rng *rand.Rand) (rejected bool, fit PowerLawFit, p float64, err error) {
+	fit, err = FitPowerLaw(values)
+	if err != nil {
+		return false, fit, 0, err
+	}
+	p = fit.PValue(values, iterations, rng)
+	return p < 0.1, fit, p, nil
+}

@@ -1,0 +1,109 @@
+package privacy
+
+import (
+	"math/rand"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/node"
+	"bitswapmon/internal/simnet"
+)
+
+// CoverTrafficConfig parametrises the cover-traffic countermeasure
+// (Sec. VI-C item 6).
+type CoverTrafficConfig struct {
+	// RequestsPerHour is the fake-request rate.
+	RequestsPerHour float64
+	// Pool is the CID population fake requests draw from. The paper's
+	// caveat is baked into the API: effective cover needs *actually
+	// existing, realistically popular* CIDs, which regular users cannot
+	// easily obtain — callers must supply the pool.
+	Pool []cid.CID
+	// CancelAfter cancels fake wants so they do not hang forever.
+	CancelAfter time.Duration
+}
+
+// CoverTraffic injects fake data requests from a node so that an adversary
+// running TNW cannot tell genuine interests from noise.
+type CoverTraffic struct {
+	net  *simnet.Network
+	nd   *node.Node
+	cfg  CoverTrafficConfig
+	rng  *rand.Rand
+	sent []cid.CID
+	stop bool
+}
+
+// NewCoverTraffic creates (but does not start) a cover-traffic source.
+func NewCoverTraffic(net *simnet.Network, nd *node.Node, cfg CoverTrafficConfig, rng *rand.Rand) *CoverTraffic {
+	if cfg.RequestsPerHour <= 0 {
+		cfg.RequestsPerHour = 4
+	}
+	if cfg.CancelAfter <= 0 {
+		cfg.CancelAfter = 2 * time.Minute
+	}
+	return &CoverTraffic{net: net, nd: nd, cfg: cfg, rng: rng}
+}
+
+// Start arms the fake-request process.
+func (c *CoverTraffic) Start() {
+	c.stop = false
+	c.schedule()
+}
+
+// Stop halts the process after the next tick.
+func (c *CoverTraffic) Stop() { c.stop = true }
+
+// Sent returns the fake requests issued so far (ground truth for evaluating
+// deniability).
+func (c *CoverTraffic) Sent() []cid.CID {
+	return append([]cid.CID(nil), c.sent...)
+}
+
+func (c *CoverTraffic) schedule() {
+	gap := time.Duration(c.rng.ExpFloat64() / c.cfg.RequestsPerHour * float64(time.Hour))
+	if gap < time.Second {
+		gap = time.Second
+	}
+	c.net.After(gap, func() {
+		if c.stop || len(c.cfg.Pool) == 0 || !c.net.IsOnline(c.nd.ID) {
+			if !c.stop {
+				c.schedule()
+			}
+			return
+		}
+		target := c.cfg.Pool[c.rng.Intn(len(c.cfg.Pool))]
+		c.sent = append(c.sent, target)
+		c.nd.Request(target, func([]byte, bool) {})
+		c.net.After(c.cfg.CancelAfter, func() { c.nd.CancelRequest(target) })
+		c.schedule()
+	})
+}
+
+// PurgeAndStopReproviding applies the TPI countermeasure of Sec. VI-C item
+// 5 for one item: remove it from the cache (even if pinned) so a later
+// cache probe finds nothing. The paper notes this requires manual action
+// per item and does nothing against IDW/TNW, which the tests confirm.
+func PurgeAndStopReproviding(nd *node.Node, c cid.CID) {
+	nd.Store.Delete(c)
+}
+
+// Deniability quantifies cover-traffic effectiveness for a TNW observation:
+// the fraction of a node's observed requests that are fake. An adversary
+// cannot tell which ones, so each genuine request has this much cover.
+func Deniability(observed, fake []cid.CID) float64 {
+	if len(observed) == 0 {
+		return 0
+	}
+	fakeSet := make(map[cid.CID]bool, len(fake))
+	for _, c := range fake {
+		fakeSet[c] = true
+	}
+	n := 0
+	for _, c := range observed {
+		if fakeSet[c] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(observed))
+}

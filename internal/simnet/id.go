@@ -1,0 +1,83 @@
+package simnet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math/big"
+	"math/bits"
+	"math/rand"
+)
+
+// NodeID identifies a node in the overlay. As in IPFS, a node ID is the hash
+// of the node's public key; here IDs are derived by hashing a seed, which
+// preserves the property that IDs are uniformly distributed in the 256-bit
+// keyspace.
+type NodeID [32]byte
+
+// DeriveNodeID hashes seed material into a NodeID, mimicking H(kpub).
+func DeriveNodeID(seed []byte) NodeID {
+	return NodeID(sha256.Sum256(seed))
+}
+
+// RandomNodeID draws a fresh NodeID from rng.
+func RandomNodeID(rng *rand.Rand) NodeID {
+	var seed [16]byte
+	binary.LittleEndian.PutUint64(seed[0:8], rng.Uint64())
+	binary.LittleEndian.PutUint64(seed[8:16], rng.Uint64())
+	return DeriveNodeID(seed[:])
+}
+
+// String renders a short hex prefix, enough to identify nodes in logs.
+func (n NodeID) String() string {
+	return hex.EncodeToString(n[:6])
+}
+
+// HexFull renders the full 64-character hex form.
+func (n NodeID) HexFull() string {
+	return hex.EncodeToString(n[:])
+}
+
+// XOR returns the Kademlia distance n ^ o.
+func (n NodeID) XOR(o NodeID) NodeID {
+	var d NodeID
+	for i := range n {
+		d[i] = n[i] ^ o[i]
+	}
+	return d
+}
+
+// LeadingZeros counts leading zero bits, i.e. 255 - floor(log2(distance)).
+// A result of 256 means the IDs are equal.
+func (n NodeID) LeadingZeros() int {
+	for i, b := range n {
+		if b != 0 {
+			return i*8 + bits.LeadingZeros8(b)
+		}
+	}
+	return 256
+}
+
+// Less orders IDs as big-endian 256-bit integers, the ordering used to rank
+// candidates by XOR distance to a target.
+func (n NodeID) Less(o NodeID) bool {
+	for i := range n {
+		if n[i] != o[i] {
+			return n[i] < o[i]
+		}
+	}
+	return false
+}
+
+// Uniform01 maps the ID to [0,1) by its most significant 64 bits. This is the
+// quantity plotted in the paper's Fig. 3 QQ uniformity diagnostic.
+func (n NodeID) Uniform01() float64 {
+	v := binary.BigEndian.Uint64(n[:8])
+	return float64(v) / float64(1<<63) / 2
+}
+
+// BigInt returns the ID as a big integer (useful for exact distance math in
+// tests).
+func (n NodeID) BigInt() *big.Int {
+	return new(big.Int).SetBytes(n[:])
+}

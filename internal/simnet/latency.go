@@ -1,0 +1,70 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LatencyModel samples one-way message delays between regions.
+type LatencyModel struct {
+	// Base holds one-way base latencies per region pair. Missing pairs fall
+	// back to Default.
+	Base map[[2]Region]time.Duration
+	// Default is the fallback base latency.
+	Default time.Duration
+	// JitterFrac scales the uniform jitter added on top of the base
+	// latency: delay = base * (1 + U(0, JitterFrac)).
+	JitterFrac float64
+}
+
+// DefaultLatencyModel returns a latency model with intra-continental RTTs in
+// the tens of milliseconds and transatlantic RTTs near 100 ms, loosely based
+// on public inter-region measurements.
+func DefaultLatencyModel() *LatencyModel {
+	eu := []Region{RegionNL, RegionDE, RegionFR}
+	na := []Region{RegionUS, RegionCA}
+	base := map[[2]Region]time.Duration{}
+	set := func(a, b Region, d time.Duration) {
+		base[[2]Region{a, b}] = d
+		base[[2]Region{b, a}] = d
+	}
+	for _, a := range eu {
+		for _, b := range eu {
+			set(a, b, 12*time.Millisecond)
+		}
+	}
+	for _, a := range na {
+		for _, b := range na {
+			set(a, b, 25*time.Millisecond)
+		}
+	}
+	for _, a := range eu {
+		for _, b := range na {
+			set(a, b, 55*time.Millisecond)
+		}
+	}
+	for _, a := range append(append([]Region{}, eu...), na...) {
+		set(a, RegionOther, 90*time.Millisecond)
+	}
+	set(RegionOther, RegionOther, 120*time.Millisecond)
+	return &LatencyModel{
+		Base:       base,
+		Default:    80 * time.Millisecond,
+		JitterFrac: 0.3,
+	}
+}
+
+// Sample draws a one-way delay for a message from region a to region b.
+func (m *LatencyModel) Sample(a, b Region, rng *rand.Rand) time.Duration {
+	base, ok := m.Base[[2]Region{a, b}]
+	if !ok {
+		base = m.Default
+	}
+	jitter := 1 + rng.Float64()*m.JitterFrac
+	return time.Duration(float64(base) * jitter)
+}
+
+// Fixed returns a model with a constant delay, useful in tests.
+func Fixed(d time.Duration) *LatencyModel {
+	return &LatencyModel{Default: d}
+}

@@ -1,0 +1,376 @@
+// Package simnet is a deterministic discrete-event simulator for peer-to-peer
+// overlay networks.
+//
+// It provides virtual time, latency-modelled message delivery between
+// connected nodes, timers, and a connection table with per-node capacity
+// limits. All randomness flows from a single seed, so simulations are
+// reproducible bit-for-bit. The simulator is single-threaded: handlers run
+// inside Run on the caller's goroutine, which removes all locking and
+// scheduling nondeterminism.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Handler is the behaviour a node plugs into the network. Handlers are
+// invoked synchronously by the event loop; they must not block.
+type Handler interface {
+	// HandleMessage delivers a message from a connected peer.
+	HandleMessage(from NodeID, msg any)
+	// PeerConnected notifies that a connection to p is now up.
+	PeerConnected(p NodeID)
+	// PeerDisconnected notifies that the connection to p is gone.
+	PeerDisconnected(p NodeID)
+}
+
+// Region is a coarse geographic location used by the latency model and by
+// the GeoIP substitution.
+type Region string
+
+// Regions used by the default latency model. The set matches the paper's
+// Table II countries plus a catch-all.
+const (
+	RegionUS    Region = "US"
+	RegionNL    Region = "NL"
+	RegionDE    Region = "DE"
+	RegionCA    Region = "CA"
+	RegionFR    Region = "FR"
+	RegionOther Region = "XX"
+)
+
+// nodeState is the network's record of one node.
+type nodeState struct {
+	id      NodeID
+	addr    string
+	region  Region
+	handler Handler
+	// maxConns caps the connection table; 0 means unlimited (the monitor
+	// configuration: "nodes with infinite connection capacity").
+	maxConns int
+	peers    map[NodeID]bool
+	online   bool
+}
+
+// event is one scheduled action.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) Peek() *event  { return q[0] }
+
+// Errors returned by network operations.
+var (
+	ErrUnknownNode  = errors.New("simnet: unknown node")
+	ErrNotConnected = errors.New("simnet: not connected")
+	ErrAtCapacity   = errors.New("simnet: connection capacity reached")
+	ErrOffline      = errors.New("simnet: node offline")
+	ErrSelfDial     = errors.New("simnet: cannot connect node to itself")
+)
+
+// Network is the simulator. Construct with New; not safe for concurrent use.
+type Network struct {
+	now     time.Time
+	seq     uint64
+	queue   eventQueue
+	nodes   map[NodeID]*nodeState
+	rootRNG *rand.Rand
+	latency *LatencyModel
+
+	// counters
+	delivered uint64
+	dropped   uint64
+}
+
+// New creates a network starting at the given virtual time with the given
+// seed. A nil latency model selects DefaultLatencyModel.
+func New(start time.Time, seed int64, lm *LatencyModel) *Network {
+	if lm == nil {
+		lm = DefaultLatencyModel()
+	}
+	return &Network{
+		now:     start,
+		nodes:   make(map[NodeID]*nodeState),
+		rootRNG: rand.New(rand.NewSource(seed)),
+		latency: lm,
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.now }
+
+// NewRand derives an independent deterministic RNG labelled by name.
+func (n *Network) NewRand(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(n.rootRNG.Int63() ^ int64(h.Sum64())))
+}
+
+// AddNode registers a node. maxConns of 0 means unlimited connections.
+func (n *Network) AddNode(id NodeID, addr string, region Region, maxConns int, h Handler) error {
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("simnet: node %s already registered", id)
+	}
+	n.nodes[id] = &nodeState{
+		id:       id,
+		addr:     addr,
+		region:   region,
+		handler:  h,
+		maxConns: maxConns,
+		peers:    make(map[NodeID]bool),
+		online:   true,
+	}
+	return nil
+}
+
+// SetOnline flips a node's availability. Taking a node offline tears down all
+// of its connections (modelling churn); bringing it online leaves it
+// disconnected.
+func (n *Network) SetOnline(id NodeID, online bool) error {
+	st, ok := n.nodes[id]
+	if !ok {
+		return ErrUnknownNode
+	}
+	if st.online == online {
+		return nil
+	}
+	st.online = online
+	if !online {
+		peers := make([]NodeID, 0, len(st.peers))
+		for p := range st.peers {
+			peers = append(peers, p)
+		}
+		sortNodeIDs(peers)
+		for _, p := range peers {
+			n.teardown(st, n.nodes[p])
+		}
+	}
+	return nil
+}
+
+// IsOnline reports a node's availability.
+func (n *Network) IsOnline(id NodeID) bool {
+	st, ok := n.nodes[id]
+	return ok && st.online
+}
+
+// Addr returns a node's network address.
+func (n *Network) Addr(id NodeID) (string, bool) {
+	st, ok := n.nodes[id]
+	if !ok {
+		return "", false
+	}
+	return st.addr, true
+}
+
+// NodeRegion returns a node's region.
+func (n *Network) NodeRegion(id NodeID) (Region, bool) {
+	st, ok := n.nodes[id]
+	if !ok {
+		return "", false
+	}
+	return st.region, true
+}
+
+// Connect establishes a bidirectional connection between a and b. It fails
+// if either side is unknown or offline, or if the *target* is at capacity
+// (the dialer is assumed to have room: it chose to dial).
+func (n *Network) Connect(a, b NodeID) error {
+	if a == b {
+		return ErrSelfDial
+	}
+	sa, ok := n.nodes[a]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, a)
+	}
+	sb, ok := n.nodes[b]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, b)
+	}
+	if !sa.online || !sb.online {
+		return ErrOffline
+	}
+	if sa.peers[b] {
+		return nil
+	}
+	if sb.maxConns > 0 && len(sb.peers) >= sb.maxConns {
+		return ErrAtCapacity
+	}
+	if sa.maxConns > 0 && len(sa.peers) >= sa.maxConns {
+		return ErrAtCapacity
+	}
+	sa.peers[b] = true
+	sb.peers[a] = true
+	sa.handler.PeerConnected(b)
+	sb.handler.PeerConnected(a)
+	return nil
+}
+
+// Disconnect tears down the connection between a and b, if any.
+func (n *Network) Disconnect(a, b NodeID) {
+	sa, oka := n.nodes[a]
+	sb, okb := n.nodes[b]
+	if !oka || !okb || !sa.peers[b] {
+		return
+	}
+	n.teardown(sa, sb)
+}
+
+func (n *Network) teardown(sa, sb *nodeState) {
+	delete(sa.peers, sb.id)
+	delete(sb.peers, sa.id)
+	sa.handler.PeerDisconnected(sb.id)
+	sb.handler.PeerDisconnected(sa.id)
+}
+
+// Connected reports whether a and b share a connection.
+func (n *Network) Connected(a, b NodeID) bool {
+	sa, ok := n.nodes[a]
+	return ok && sa.peers[b]
+}
+
+// Peers returns a snapshot of a node's connected peers, sorted by ID. The
+// deterministic order matters: broadcast loops consume RNG state per peer, so
+// map-order iteration would break run-to-run reproducibility.
+func (n *Network) Peers(id NodeID) []NodeID {
+	st, ok := n.nodes[id]
+	if !ok {
+		return nil
+	}
+	out := make([]NodeID, 0, len(st.peers))
+	for p := range st.peers {
+		out = append(out, p)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+func sortNodeIDs(ids []NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+}
+
+// PeerCount returns the size of a node's connection table.
+func (n *Network) PeerCount(id NodeID) int {
+	st, ok := n.nodes[id]
+	if !ok {
+		return 0
+	}
+	return len(st.peers)
+}
+
+// Send schedules delivery of msg from one connected node to another, after
+// the modelled latency. Messages in flight when a connection drops are
+// dropped too (checked at delivery time).
+func (n *Network) Send(from, to NodeID, msg any) error {
+	sf, ok := n.nodes[from]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, from)
+	}
+	if !sf.peers[to] {
+		return fmt.Errorf("%w: %s -> %s", ErrNotConnected, from, to)
+	}
+	st := n.nodes[to]
+	delay := n.latency.Sample(sf.region, st.region, n.rootRNG)
+	n.schedule(n.now.Add(delay), func() {
+		// Revalidate at delivery time: connection and liveness may have
+		// changed while the message was in flight.
+		sf2, ok1 := n.nodes[from]
+		st2, ok2 := n.nodes[to]
+		if !ok1 || !ok2 || !sf2.peers[to] || !st2.online {
+			n.dropped++
+			return
+		}
+		n.delivered++
+		st2.handler.HandleMessage(from, msg)
+	})
+	return nil
+}
+
+// After schedules fn to run after d of virtual time.
+func (n *Network) After(d time.Duration, fn func()) {
+	n.schedule(n.now.Add(d), fn)
+}
+
+// At schedules fn at an absolute virtual time (clamped to now).
+func (n *Network) At(t time.Time, fn func()) {
+	if t.Before(n.now) {
+		t = n.now
+	}
+	n.schedule(t, fn)
+}
+
+func (n *Network) schedule(at time.Time, fn func()) {
+	n.seq++
+	heap.Push(&n.queue, &event{at: at, seq: n.seq, fn: fn})
+}
+
+// Step runs the next event, returning false when the queue is empty.
+func (n *Network) Step() bool {
+	if len(n.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&n.queue).(*event)
+	if e.at.After(n.now) {
+		n.now = e.at
+	}
+	e.fn()
+	return true
+}
+
+// RunUntil processes events until the queue empties or virtual time would
+// pass deadline. The clock is left at deadline if it was reached.
+func (n *Network) RunUntil(deadline time.Time) {
+	for len(n.queue) > 0 {
+		next := n.queue.Peek()
+		if next.at.After(deadline) {
+			break
+		}
+		n.Step()
+	}
+	if n.now.Before(deadline) {
+		n.now = deadline
+	}
+}
+
+// Run processes events for d of virtual time.
+func (n *Network) Run(d time.Duration) {
+	n.RunUntil(n.now.Add(d))
+}
+
+// Pending returns the number of queued events.
+func (n *Network) Pending() int { return len(n.queue) }
+
+// Stats reports delivery counters.
+func (n *Network) Stats() (delivered, dropped uint64) {
+	return n.delivered, n.dropped
+}
+
+// Nodes returns the IDs of all registered nodes, sorted by ID.
+func (n *Network) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	sortNodeIDs(out)
+	return out
+}

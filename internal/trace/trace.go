@@ -1,0 +1,205 @@
+// Package trace defines the monitoring trace model of Sec. IV of the paper:
+// streams of (timestamp, node_ID, address, request_type, CID, flags) tuples,
+// binary trace files, and the preprocessing that unifies multiple monitors'
+// traces while marking inter-monitor duplicates and re-broadcasts.
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/wire"
+)
+
+// Flag marks preprocessing classifications (Sec. IV-B).
+type Flag uint8
+
+// Preprocessing flags.
+const (
+	// FlagInterMonitorDup marks an entry also received by a different
+	// monitor within the 5 s window.
+	FlagInterMonitorDup Flag = 1 << iota
+	// FlagRebroadcast marks an entry repeating an earlier identical entry
+	// at the same monitor within the 31 s window (the client re-broadcasts
+	// unresolved wants every 30 s).
+	FlagRebroadcast
+)
+
+// Windows used by Unify, from Sec. IV-B.
+const (
+	// InterMonitorWindow bounds the timestamp difference for two entries
+	// at different monitors to count as the same broadcast.
+	InterMonitorWindow = 5 * time.Second
+	// RebroadcastWindow bounds the gap for same-monitor repetitions to
+	// count as client re-broadcasts.
+	RebroadcastWindow = 31 * time.Second
+)
+
+// Entry is one observed want_list entry.
+type Entry struct {
+	Timestamp time.Time
+	// Monitor names the monitoring node that recorded the entry.
+	Monitor string
+	// NodeID is the requesting peer.
+	NodeID simnet.NodeID
+	// Addr is the requesting peer's transport address.
+	Addr string
+	// Type is the want_list entry type (WANT_HAVE, WANT_BLOCK, CANCEL).
+	Type wire.EntryType
+	// CID is the requested content identifier.
+	CID cid.CID
+	// Flags carries preprocessing results; zero in raw traces.
+	Flags Flag
+}
+
+// IsDuplicate reports whether any duplicate flag is set; the paper's
+// analyses filter both kinds.
+func (e Entry) IsDuplicate() bool { return e.Flags != 0 }
+
+// IsRequest reports whether the entry is a data request (not a CANCEL).
+func (e Entry) IsRequest() bool { return e.Type != wire.Cancel }
+
+// Sort orders entries by timestamp, tie-breaking deterministically.
+func Sort(entries []Entry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if !a.Timestamp.Equal(b.Timestamp) {
+			return a.Timestamp.Before(b.Timestamp)
+		}
+		if a.Monitor != b.Monitor {
+			return a.Monitor < b.Monitor
+		}
+		if a.NodeID != b.NodeID {
+			return a.NodeID.Less(b.NodeID)
+		}
+		return a.CID.Key() < b.CID.Key()
+	})
+}
+
+// dupKey identifies "the same logical request" across observations.
+type dupKey struct {
+	node simnet.NodeID
+	typ  wire.EntryType
+	c    cid.CID
+}
+
+// Unify merges the traces of multiple monitors into one global trace
+// (Sec. IV-B): entries are time-sorted, same-monitor repetitions within
+// RebroadcastWindow are flagged FlagRebroadcast, and entries whose
+// (node, type, CID) was seen at a *different* monitor within
+// InterMonitorWindow are flagged FlagInterMonitorDup.
+//
+// The first observation of a request keeps zero flags. Note the paper's
+// caveat: per-peer re-broadcast timers run independently, so a re-broadcast
+// can reach the other monitor inside the 5 s window and be classified as an
+// inter-monitor duplicate; this misclassification is inherent to the method
+// and reproduced here.
+func Unify(traces ...[]Entry) []Entry {
+	var out []Entry
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	Sort(out)
+
+	lastPerMonitor := make(map[string]map[dupKey]time.Time)
+	lastAny := make(map[dupKey]lastSeen)
+	for i := range out {
+		e := &out[i]
+		key := dupKey{node: e.NodeID, typ: e.Type, c: e.CID}
+
+		perMon, ok := lastPerMonitor[e.Monitor]
+		if !ok {
+			perMon = make(map[dupKey]time.Time)
+			lastPerMonitor[e.Monitor] = perMon
+		}
+		if prev, seen := perMon[key]; seen && e.Timestamp.Sub(prev) <= RebroadcastWindow {
+			e.Flags |= FlagRebroadcast
+		}
+		perMon[key] = e.Timestamp
+
+		if prev, seen := lastAny[key]; seen && prev.monitor != e.Monitor &&
+			e.Timestamp.Sub(prev.at) <= InterMonitorWindow {
+			e.Flags |= FlagInterMonitorDup
+		}
+		lastAny[key] = lastSeen{at: e.Timestamp, monitor: e.Monitor}
+	}
+	return out
+}
+
+type lastSeen struct {
+	at      time.Time
+	monitor string
+}
+
+// Deduplicated returns the entries with no duplicate flags, i.e. the view
+// used by the paper's rate and popularity analyses.
+func Deduplicated(entries []Entry) []Entry {
+	out := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDuplicate() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Filter returns the entries satisfying keep.
+func Filter(entries []Entry, keep func(Entry) bool) []Entry {
+	out := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summary aggregates a trace for quick inspection.
+type Summary struct {
+	Entries      int
+	Requests     int // non-CANCEL entries
+	UniquePeers  int
+	UniqueCIDs   int
+	Rebroadcasts int
+	InterMonDups int
+	First, Last  time.Time
+	PerMonitor   map[string]int
+	PerType      map[wire.EntryType]int
+}
+
+// Summarize computes a Summary.
+func Summarize(entries []Entry) Summary {
+	s := Summary{
+		PerMonitor: make(map[string]int),
+		PerType:    make(map[wire.EntryType]int),
+	}
+	peers := make(map[simnet.NodeID]bool)
+	cids := make(map[cid.CID]bool)
+	for _, e := range entries {
+		s.Entries++
+		if e.IsRequest() {
+			s.Requests++
+		}
+		peers[e.NodeID] = true
+		cids[e.CID] = true
+		if e.Flags&FlagRebroadcast != 0 {
+			s.Rebroadcasts++
+		}
+		if e.Flags&FlagInterMonitorDup != 0 {
+			s.InterMonDups++
+		}
+		s.PerMonitor[e.Monitor]++
+		s.PerType[e.Type]++
+		if s.First.IsZero() || e.Timestamp.Before(s.First) {
+			s.First = e.Timestamp
+		}
+		if e.Timestamp.After(s.Last) {
+			s.Last = e.Timestamp
+		}
+	}
+	s.UniquePeers = len(peers)
+	s.UniqueCIDs = len(cids)
+	return s
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/wire"
+)
+
+var t0 = time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+
+func entry(mon string, node byte, c string, typ wire.EntryType, at time.Time) Entry {
+	var id simnet.NodeID
+	id[0] = node
+	return Entry{
+		Timestamp: at,
+		Monitor:   mon,
+		NodeID:    id,
+		Addr:      fmt.Sprintf("3.0.0.%d:4001", node),
+		Type:      typ,
+		CID:       cid.Sum(cid.DagProtobuf, []byte(c)),
+	}
+}
+
+func TestUnifyMarksInterMonitorDuplicates(t *testing.T) {
+	// The same broadcast reaches two monitors 2s apart.
+	us := []Entry{entry("us", 1, "x", wire.WantHave, t0)}
+	de := []Entry{entry("de", 1, "x", wire.WantHave, t0.Add(2*time.Second))}
+	out := Unify(us, de)
+	if len(out) != 2 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0].Flags != 0 {
+		t.Errorf("first observation flagged: %v", out[0].Flags)
+	}
+	if out[1].Flags&FlagInterMonitorDup == 0 {
+		t.Errorf("duplicate not flagged: %v", out[1].Flags)
+	}
+}
+
+func TestUnifyWindowBoundary(t *testing.T) {
+	us := []Entry{entry("us", 1, "x", wire.WantHave, t0)}
+	de := []Entry{entry("de", 1, "x", wire.WantHave, t0.Add(6*time.Second))}
+	out := Unify(us, de)
+	if out[1].Flags&FlagInterMonitorDup != 0 {
+		t.Error("entry outside 5s window flagged as inter-monitor dup")
+	}
+}
+
+func TestUnifyMarksRebroadcasts(t *testing.T) {
+	// Same monitor, same request, 30s apart: a client re-broadcast.
+	us := []Entry{
+		entry("us", 1, "x", wire.WantHave, t0),
+		entry("us", 1, "x", wire.WantHave, t0.Add(30*time.Second)),
+		entry("us", 1, "x", wire.WantHave, t0.Add(60*time.Second)),
+		entry("us", 1, "x", wire.WantHave, t0.Add(120*time.Second)), // gap > 31s
+	}
+	out := Unify(us)
+	if out[0].Flags != 0 {
+		t.Error("first flagged")
+	}
+	if out[1].Flags&FlagRebroadcast == 0 || out[2].Flags&FlagRebroadcast == 0 {
+		t.Error("chained rebroadcasts not flagged")
+	}
+	if out[3].Flags&FlagRebroadcast != 0 {
+		t.Error("entry after 60s gap flagged as rebroadcast")
+	}
+}
+
+func TestUnifyDistinguishesKeys(t *testing.T) {
+	// Different CIDs, types, or nodes never mark each other.
+	us := []Entry{
+		entry("us", 1, "x", wire.WantHave, t0),
+		entry("us", 1, "y", wire.WantHave, t0.Add(time.Second)),
+		entry("us", 1, "x", wire.WantBlock, t0.Add(2*time.Second)),
+		entry("us", 2, "x", wire.WantHave, t0.Add(3*time.Second)),
+	}
+	out := Unify(us)
+	for i, e := range out {
+		if e.Flags != 0 {
+			t.Errorf("entry %d flagged: %v", i, e.Flags)
+		}
+	}
+}
+
+func TestUnifyMisclassifiesShiftedRebroadcastAsDup(t *testing.T) {
+	// Per-peer timers are independent: a re-broadcast can reach the other
+	// monitor within 5s of the first monitor's copy. The paper documents
+	// this misclassification; verify we reproduce it.
+	us := []Entry{entry("us", 1, "x", wire.WantHave, t0)}
+	de := []Entry{entry("de", 1, "x", wire.WantHave, t0.Add(3*time.Second))}
+	out := Unify(us, de)
+	if out[1].Flags&FlagInterMonitorDup == 0 {
+		t.Error("shifted observation not classified as inter-monitor dup")
+	}
+}
+
+func TestDeduplicated(t *testing.T) {
+	us := []Entry{
+		entry("us", 1, "x", wire.WantHave, t0),
+		entry("us", 1, "x", wire.WantHave, t0.Add(30*time.Second)),
+	}
+	de := []Entry{entry("de", 1, "x", wire.WantHave, t0.Add(time.Second))}
+	clean := Deduplicated(Unify(us, de))
+	if len(clean) != 1 {
+		t.Errorf("deduplicated len = %d, want 1", len(clean))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	entries := Unify([]Entry{
+		entry("us", 1, "x", wire.WantHave, t0),
+		entry("us", 1, "x", wire.WantHave, t0.Add(30*time.Second)),
+		entry("us", 2, "y", wire.WantBlock, t0.Add(time.Minute)),
+		entry("us", 2, "y", wire.Cancel, t0.Add(2*time.Minute)),
+	})
+	s := Summarize(entries)
+	if s.Entries != 4 || s.Requests != 3 {
+		t.Errorf("entries=%d requests=%d", s.Entries, s.Requests)
+	}
+	if s.UniquePeers != 2 || s.UniqueCIDs != 2 {
+		t.Errorf("peers=%d cids=%d", s.UniquePeers, s.UniqueCIDs)
+	}
+	if s.Rebroadcasts != 1 {
+		t.Errorf("rebroadcasts=%d", s.Rebroadcasts)
+	}
+	if !s.First.Equal(t0) || !s.Last.Equal(t0.Add(2*time.Minute)) {
+		t.Errorf("time bounds wrong: %v %v", s.First, s.Last)
+	}
+	if s.PerType[wire.WantHave] != 2 || s.PerType[wire.Cancel] != 1 {
+		t.Errorf("per-type: %v", s.PerType)
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	entries := []Entry{
+		entry("us", 1, "alpha", wire.WantHave, t0),
+		entry("us", 2, "beta", wire.WantBlock, t0.Add(17*time.Millisecond)),
+		entry("de", 3, "gamma", wire.Cancel, t0.Add(3*time.Hour)),
+	}
+	entries[2].Flags = FlagRebroadcast | FlagInterMonitorDup
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("read %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		want := entries[i]
+		if !got[i].Timestamp.Equal(want.Timestamp) || got[i].Monitor != want.Monitor ||
+			got[i].NodeID != want.NodeID || got[i].Addr != want.Addr ||
+			got[i].Type != want.Type || got[i].Flags != want.Flags ||
+			!got[i].CID.Equal(want.CID) {
+			t.Errorf("entry %d mismatch:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(entry("us", 1, "x", wire.WantHave, t0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the compressed stream.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		return // header already unreadable: fine
+	}
+	if _, err := ReadAll(r); err == nil {
+		t.Error("truncated trace read without error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	entries := []Entry{entry("us", 1, "x", wire.WantHave, t0)}
+	if err := WriteCSV(&sb, entries); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "WANT_HAVE") || !strings.Contains(out, "3.0.0.1:4001") {
+		t.Errorf("csv output missing fields:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "timestamp,monitor,node_id") {
+		t.Error("csv header missing")
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	a := entry("de", 2, "x", wire.WantHave, t0)
+	b := entry("us", 1, "y", wire.WantHave, t0)
+	entries := []Entry{b, a}
+	Sort(entries)
+	if entries[0].Monitor != "de" {
+		t.Error("tie-break by monitor failed")
+	}
+}

@@ -1,0 +1,190 @@
+// Package transport provides the real-network ingestion path of a
+// monitoring deployment: a TCP listener that accepts Bitswap-framed
+// connections and records want_list entries, and a dialer for the peer
+// side. The simulation in internal/simnet models the whole network; this
+// package is what a production monitor would bind to the wire (the paper's
+// monitors accept TCP/QUIC/WebSocket connections from the public network).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+// Hello identifies a peer at connection open: the remote sends its node ID
+// before Bitswap frames (standing in for the libp2p security handshake that
+// authenticates peer IDs).
+const helloSize = 32
+
+// Collector accepts connections and records every want_list entry it
+// receives, timestamped with wall-clock time.
+type Collector struct {
+	// Name labels recorded entries (the monitor name).
+	Name string
+
+	ln     net.Listener
+	mu     sync.Mutex
+	trace  []trace.Entry
+	conns  int
+	closed bool
+	wg     sync.WaitGroup
+	now    func() time.Time
+}
+
+// NewCollector starts a collector listening on addr (e.g. "127.0.0.1:0").
+func NewCollector(name, addr string) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	c := &Collector{Name: name, ln: ln, now: time.Now}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the bound listen address.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns++
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.serve(conn)
+	}
+}
+
+func (c *Collector) serve(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+
+	var hello [helloSize]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	peerID := simnet.NodeID(hello)
+	addr := conn.RemoteAddr().String()
+
+	r := wire.NewReader(conn)
+	for {
+		msg, err := r.ReadMessage()
+		if err != nil {
+			return
+		}
+		if len(msg.Wantlist) == 0 {
+			continue
+		}
+		now := c.now()
+		c.mu.Lock()
+		for _, e := range msg.Wantlist {
+			c.trace = append(c.trace, trace.Entry{
+				Timestamp: now,
+				Monitor:   c.Name,
+				NodeID:    peerID,
+				Addr:      addr,
+				Type:      e.Type,
+				CID:       e.CID,
+			})
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Trace returns a copy of the recorded entries.
+func (c *Collector) Trace() []trace.Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]trace.Entry(nil), c.trace...)
+}
+
+// ConnCount returns how many connections have been accepted.
+func (c *Collector) ConnCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conns
+}
+
+// Close stops accepting and waits for connection handlers to finish.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.ln.Close()
+	// Handlers exit when their peers close; do not block on them here —
+	// Close only guarantees no new connections. Callers wanting full
+	// drain close peers first.
+	return err
+}
+
+// Conn is the peer side: a framed Bitswap connection to a collector (or any
+// wire-speaking endpoint).
+type Conn struct {
+	conn net.Conn
+	w    *wire.Writer
+	mu   sync.Mutex
+}
+
+// ErrClosed is returned when sending on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Dial opens a connection to addr and sends the identity hello.
+func Dial(addr string, self simnet.NodeID) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	if _, err := nc.Write(self[:]); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("send hello: %w", err)
+	}
+	return &Conn{conn: nc, w: wire.NewWriter(nc)}, nil
+}
+
+// Send writes one framed Bitswap message.
+func (c *Conn) Send(m *wire.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return ErrClosed
+	}
+	if err := c.w.WriteMessage(m); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/wire"
+)
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never satisfied")
+}
+
+func TestCollectorRecordsWants(t *testing.T) {
+	col, err := NewCollector("us", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	self := simnet.DeriveNodeID([]byte("real peer"))
+	conn, err := Dial(col.Addr(), self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	want := cid.Sum(cid.Raw, []byte("over real tcp"))
+	msg := &wire.Message{Wantlist: []wire.Entry{
+		{Type: wire.WantHave, CID: want, SendDontHave: true},
+	}}
+	if err := conn.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, func() bool { return len(col.Trace()) == 1 })
+	e := col.Trace()[0]
+	if e.NodeID != self || !e.CID.Equal(want) || e.Type != wire.WantHave || e.Monitor != "us" {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.Addr == "" {
+		t.Error("remote address missing")
+	}
+}
+
+func TestCollectorMultipleConnections(t *testing.T) {
+	col, err := NewCollector("de", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	const peers = 5
+	for i := 0; i < peers; i++ {
+		self := simnet.DeriveNodeID([]byte{byte(i)})
+		conn, err := Dial(col.Addr(), self)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := &wire.Message{Wantlist: []wire.Entry{
+			{Type: wire.WantBlock, CID: cid.Sum(cid.Raw, []byte{byte(i)})},
+			{Type: wire.Cancel, CID: cid.Sum(cid.Raw, []byte{byte(i)})},
+		}}
+		if err := conn.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	waitFor(t, func() bool { return len(col.Trace()) == peers*2 })
+	if col.ConnCount() != peers {
+		t.Errorf("connections = %d", col.ConnCount())
+	}
+	ids := map[simnet.NodeID]bool{}
+	for _, e := range col.Trace() {
+		ids[e.NodeID] = true
+	}
+	if len(ids) != peers {
+		t.Errorf("distinct peers = %d", len(ids))
+	}
+}
+
+func TestCollectorIgnoresEmptyMessages(t *testing.T) {
+	col, err := NewCollector("us", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	conn, err := Dial(col.Addr(), simnet.DeriveNodeID([]byte("quiet")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Presence-only and empty messages carry no want entries.
+	if err := conn.Send(&wire.Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(&wire.Message{Presences: []wire.Presence{
+		{Type: wire.Have, CID: cid.Sum(cid.Raw, []byte("x"))},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	marker := &wire.Message{Wantlist: []wire.Entry{{Type: wire.WantHave, CID: cid.Sum(cid.Raw, []byte("end"))}}}
+	if err := conn.Send(marker); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(col.Trace()) >= 1 })
+	if len(col.Trace()) != 1 {
+		t.Errorf("trace = %d entries, want only the marker", len(col.Trace()))
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	col, err := NewCollector("us", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	conn, err := Dial(col.Addr(), simnet.DeriveNodeID([]byte("gone")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(&wire.Message{}); err != ErrClosed {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", simnet.NodeID{}); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestCollectorCloseIdempotent(t *testing.T) {
+	col, err := NewCollector("us", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if _, err := Dial(col.Addr(), simnet.NodeID{}); err == nil {
+		t.Error("dial after close succeeded")
+	}
+}
+
+func TestMalformedHelloDropped(t *testing.T) {
+	col, err := NewCollector("us", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	// A connection that closes before completing the hello must not crash
+	// or record anything.
+	conn, err := Dial(col.Addr(), simnet.DeriveNodeID([]byte("ok")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	time.Sleep(50 * time.Millisecond)
+	if len(col.Trace()) != 0 {
+		t.Error("entries recorded from hello-only connection")
+	}
+}

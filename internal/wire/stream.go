@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"bitswapmon/internal/cid"
+)
+
+// Writer frames and writes Bitswap messages onto a byte stream. Each frame is
+// a uvarint length prefix followed by the encoded message, matching how
+// libp2p streams delimit protobuf messages.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// WriteMessage writes one framed message.
+func (w *Writer) WriteMessage(m *Message) error {
+	w.buf = m.Encode(w.buf[:0])
+	var lenbuf [10]byte
+	prefix := cid.PutUvarint(lenbuf[:0], uint64(len(w.buf)))
+	if _, err := w.w.Write(prefix); err != nil {
+		return fmt.Errorf("write frame length: %w", err)
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("write frame body: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered frames to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader reads framed Bitswap messages from a byte stream.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+const maxFrameSize = 8 << 20
+
+// ReadMessage reads one framed message. It returns io.EOF cleanly at end of
+// stream.
+func (r *Reader) ReadMessage() (*Message, error) {
+	size, err := readUvarint(r.r)
+	if err != nil {
+		return nil, err
+	}
+	if size > maxFrameSize {
+		return nil, ErrMessageTooLarge
+	}
+	if cap(r.buf) < int(size) {
+		r.buf = make([]byte, size)
+	}
+	r.buf = r.buf[:size]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, fmt.Errorf("read frame body: %w", err)
+	}
+	m, n, err := Decode(r.buf)
+	if err != nil {
+		return nil, err
+	}
+	if n != int(size) {
+		return nil, fmt.Errorf("%w: trailing frame bytes", ErrCorruptMessage)
+	}
+	return m, nil
+}
+
+func readUvarint(r io.ByteReader) (uint64, error) {
+	var (
+		x     uint64
+		shift uint
+	)
+	for i := 0; ; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				return 0, io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if i >= 10 || (i == 9 && b > 1) {
+			return 0, cid.ErrVarintOverflow
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<shift, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+}

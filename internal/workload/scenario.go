@@ -1,0 +1,830 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"bitswapmon/internal/bitswap"
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/dht"
+	"bitswapmon/internal/gateway"
+	"bitswapmon/internal/geoip"
+	"bitswapmon/internal/merkledag"
+	"bitswapmon/internal/monitor"
+	"bitswapmon/internal/node"
+	"bitswapmon/internal/simnet"
+)
+
+// MonitorSpec describes one monitoring vantage point.
+type MonitorSpec struct {
+	Name   string
+	Region simnet.Region
+}
+
+// JointConnectivity gives the joint probability that a node connects to the
+// two monitors while online. The defaults are calibrated to Sec. V-C: per-
+// monitor coverage 54%/49% with union 67% implies P(both)=0.36,
+// P(only us)=0.18, P(only de)=0.13. The positive correlation (0.36 >
+// 0.54·0.49) is what makes Eq. (1)/(3) *underestimate* the true size, as the
+// paper observes against the crawler baseline.
+type JointConnectivity struct {
+	Both  float64
+	OnlyA float64
+	OnlyB float64
+}
+
+// DefaultJoint returns the Sec. V-C calibration.
+func DefaultJoint() JointConnectivity {
+	return JointConnectivity{Both: 0.36, OnlyA: 0.18, OnlyB: 0.13}
+}
+
+// IndependentJoint returns the estimator's idealised assumption: nodes
+// connect to each monitor independently with probability p. Used by the
+// estimator-bias ablation.
+func IndependentJoint(pA, pB float64) JointConnectivity {
+	return JointConnectivity{
+		Both:  pA * pB,
+		OnlyA: pA * (1 - pB),
+		OnlyB: (1 - pA) * pB,
+	}
+}
+
+// OperatorSpec describes one gateway operator.
+type OperatorSpec struct {
+	Name string
+	// Nodes is how many gateway nodes the operator runs (the Cloudflare
+	// analogue runs 13).
+	Nodes int
+	// RequestsPerHour is the HTTP request rate across the operator's fleet.
+	RequestsPerHour float64
+	// HotBias is the probability an HTTP request targets a hot item,
+	// driving the cache hit ratio (0.97 hit ratio needs a high bias).
+	HotBias float64
+	// Functional reports whether the HTTP frontend works (Sec. VI-B2 finds
+	// broken-HTTP gateways that still emit Bitswap traffic).
+	Functional bool
+	// CacheTTL for the operator's gateways.
+	CacheTTL time.Duration
+}
+
+// DefaultOperators returns a fleet shaped like the public gateway list: one
+// large operator ("megagate", the Cloudflare analogue) plus small ones.
+func DefaultOperators() []OperatorSpec {
+	ops := []OperatorSpec{{
+		Name:            "megagate",
+		Nodes:           13,
+		RequestsPerHour: 2000,
+		HotBias:         0.98,
+		Functional:      true,
+		CacheTTL:        time.Hour,
+	}}
+	for i := 0; i < 8; i++ {
+		ops = append(ops, OperatorSpec{
+			Name:            fmt.Sprintf("gw-op-%d", i),
+			Nodes:           1 + i%3,
+			RequestsPerHour: 40,
+			HotBias:         0.8,
+			Functional:      i != 5, // one broken-HTTP operator
+			CacheTTL:        time.Hour,
+		})
+	}
+	return ops
+}
+
+// Config parametrises a full scenario.
+type Config struct {
+	Seed  int64
+	Start time.Time
+	// Nodes is the regular node population (default 600).
+	Nodes int
+	// ClientFrac is the DHT-client share (default 0.45).
+	ClientFrac float64
+	// StableFrac is the share of nodes that never churn (default 0.3).
+	StableFrac float64
+	// ActiveFrac is the share of nodes that issue Bitswap requests
+	// (default 0.35; the paper finds most connected peers are inactive).
+	ActiveFrac float64
+	// MeanRequestsPerHour is the per-active-node request rate (default 2).
+	MeanRequestsPerHour float64
+	// DegreeTarget is the number of overlay connections a node opens on
+	// join (default 12; scaled down from the real 600–900).
+	DegreeTarget int
+	// MeanSession / MeanOffline shape churn (defaults 6h / 18h).
+	MeanSession, MeanOffline time.Duration
+	// Catalog configures the content population.
+	Catalog CatalogConfig
+	// Countries weights both node placement and request shares.
+	Countries CountryWeights
+	// Monitors declares the monitoring vantage points (may be empty).
+	Monitors []MonitorSpec
+	// Joint is the 2-monitor connectivity model (ignored otherwise).
+	Joint JointConnectivity
+	// MonitorProb is the per-monitor independent connection probability
+	// used when len(Monitors) != 2 (default 0.5).
+	MonitorProb float64
+	// XORBias > 0 biases monitor connectivity towards XOR-near node IDs
+	// (estimator-bias ablation; 0 = unbiased).
+	XORBias float64
+	// Operators configures gateway fleets (nil = DefaultOperators; empty
+	// non-nil slice = no gateways).
+	Operators []OperatorSpec
+	// UnresolvedCancelAfter is when requesters give up on unresolvable
+	// CIDs (default 5 min; produces CANCEL entries and bounds rebroadcast
+	// load).
+	UnresolvedCancelAfter time.Duration
+	// LegacyFrac is the initial share of pre-v0.5 (WANT_BLOCK-broadcast)
+	// clients (default 0; Fig. 4 scenarios set it close to 1).
+	LegacyFrac float64
+	// UpgradeStart and UpgradeDailyFrac shape the v0.5 upgrade wave: from
+	// UpgradeStart, each remaining legacy node upgrades with this daily
+	// probability.
+	UpgradeStart     time.Time
+	UpgradeDailyFrac float64
+	// BootstrapServers is the stable core size (default 15).
+	BootstrapServers int
+	// ChunkSize for published DAGs (default 2048).
+	ChunkSize int
+	// RefreshInterval is the nodes' DHT refresh period. The real client
+	// uses 10 min; in a scaled-down network each lookup touches a much
+	// larger network fraction, so the default here is 1 h to keep the
+	// maintenance-to-population ratio comparable.
+	RefreshInterval time.Duration
+	// PersonalFrac is the probability a request targets one of the node's
+	// personal items rather than the shared catalog. Personal items are
+	// what drives the paper's ">80% of CIDs requested by exactly one
+	// peer" (default 0.85).
+	PersonalFrac float64
+	// PersonalItemsPerNode sizes each active node's personal item set
+	// (default 8).
+	PersonalItemsPerNode int
+	// GlobalHotFrac is the probability that a non-personal request targets
+	// the hot head rather than the weighted long tail (default 0.7). High
+	// values concentrate shared interest on few CIDs, keeping the
+	// single-requester share high as in the paper.
+	GlobalHotFrac float64
+	// GlobalWarmFrac is the probability that a non-personal, non-hot
+	// request targets the warm tier: semi-popular items shared by a few
+	// users (default 0.5 of the remainder). The warm tier is what puts
+	// mass on URP values of 2-10 in Fig. 5b.
+	GlobalWarmFrac float64
+	// WarmItems sizes the warm tier (default 5% of the catalog).
+	WarmItems int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 600
+	}
+	if c.ClientFrac <= 0 {
+		c.ClientFrac = 0.45
+	}
+	if c.StableFrac <= 0 {
+		c.StableFrac = 0.3
+	}
+	if c.ActiveFrac <= 0 {
+		c.ActiveFrac = 0.35
+	}
+	if c.MeanRequestsPerHour <= 0 {
+		c.MeanRequestsPerHour = 2
+	}
+	if c.DegreeTarget <= 0 {
+		c.DegreeTarget = 12
+	}
+	if c.MeanSession <= 0 {
+		c.MeanSession = 6 * time.Hour
+	}
+	if c.MeanOffline <= 0 {
+		c.MeanOffline = 18 * time.Hour
+	}
+	if c.Countries == nil {
+		c.Countries = DefaultCountryWeights()
+	}
+	if c.Joint == (JointConnectivity{}) {
+		c.Joint = DefaultJoint()
+	}
+	if c.MonitorProb <= 0 {
+		c.MonitorProb = 0.5
+	}
+	if c.Operators == nil {
+		c.Operators = DefaultOperators()
+	}
+	if c.UnresolvedCancelAfter <= 0 {
+		c.UnresolvedCancelAfter = 5 * time.Minute
+	}
+	if c.BootstrapServers <= 0 {
+		c.BootstrapServers = 15
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 2048
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = time.Hour
+	}
+	if c.PersonalFrac <= 0 {
+		c.PersonalFrac = 0.85
+	}
+	if c.PersonalItemsPerNode <= 0 {
+		c.PersonalItemsPerNode = 8
+	}
+	if c.GlobalHotFrac <= 0 {
+		c.GlobalHotFrac = 0.45
+	}
+	if c.GlobalWarmFrac <= 0 {
+		c.GlobalWarmFrac = 0.5
+	}
+	if c.GlobalWarmFrac <= 0 {
+		c.GlobalWarmFrac = 0.5
+	}
+	return c
+}
+
+// ScenarioNode is one population node plus its behavioural profile.
+type ScenarioNode struct {
+	N       *node.Node
+	Country simnet.Region
+	// Stable nodes never churn.
+	Stable bool
+	// Active nodes issue requests.
+	Active bool
+	// Rate is requests per hour while online.
+	Rate float64
+	// ConnectUS/ConnectDE report the monitor-connectivity class (named
+	// after the paper's two monitors; generalised as bitmask for r > 2).
+	MonitorMask uint64
+	// Legacy runs the pre-v0.5 client.
+	Legacy bool
+	// reqGen invalidates stale request-loop events across churn cycles.
+	reqGen uint64
+	// personal holds catalog indices only this node requests; the source
+	// of single-requester CIDs.
+	personal []int
+}
+
+// World is a fully built scenario.
+type World struct {
+	Net       *simnet.Network
+	Geo       *geoip.DB
+	Catalog   *Catalog
+	Nodes     []*ScenarioNode
+	Monitors  []*monitor.Monitor
+	Gateways  []*gateway.Gateway
+	Registry  *gateway.Registry
+	Bootstrap []dht.PeerInfo
+
+	cfg Config
+	rng *rand.Rand
+
+	// RequestsIssued counts user-level requests injected, per country.
+	RequestsIssued map[simnet.Region]int
+	// GatewayRequestsIssued counts HTTP-side requests per operator.
+	GatewayRequestsIssued map[string]int
+}
+
+// Build constructs the world: network, monitors, bootstrap core, gateways,
+// population, published catalog, churn and traffic processes.
+func Build(cfg Config) (*World, error) {
+	cfg = cfg.withDefaults()
+	if err := validateWeights(cfg.Countries); err != nil {
+		return nil, err
+	}
+	net := simnet.New(cfg.Start, cfg.Seed, nil)
+	w := &World{
+		Net:                   net,
+		Geo:                   geoip.New(),
+		Registry:              &gateway.Registry{},
+		cfg:                   cfg,
+		rng:                   net.NewRand("workload"),
+		RequestsIssued:        make(map[simnet.Region]int),
+		GatewayRequestsIssued: make(map[string]int),
+	}
+
+	if err := w.buildMonitors(); err != nil {
+		return nil, err
+	}
+	if err := w.buildBootstrapCore(); err != nil {
+		return nil, err
+	}
+	if err := w.buildGateways(); err != nil {
+		return nil, err
+	}
+	if err := w.buildPopulation(); err != nil {
+		return nil, err
+	}
+	if err := w.publishCatalog(); err != nil {
+		return nil, err
+	}
+	w.startEverything()
+	return w, nil
+}
+
+func (w *World) allocAddr(region simnet.Region) (string, error) {
+	addr, err := w.Geo.Allocate(region)
+	if err != nil {
+		return "", fmt.Errorf("allocate address: %w", err)
+	}
+	return addr, nil
+}
+
+func (w *World) buildMonitors() error {
+	for _, spec := range w.cfg.Monitors {
+		addr, err := w.allocAddr(spec.Region)
+		if err != nil {
+			return err
+		}
+		m, err := monitor.New(w.Net, spec.Name, addr, spec.Region)
+		if err != nil {
+			return err
+		}
+		w.Monitors = append(w.Monitors, m)
+	}
+	return nil
+}
+
+func (w *World) buildBootstrapCore() error {
+	for i := 0; i < w.cfg.BootstrapServers; i++ {
+		region := w.cfg.Countries.Sample(w.rng)
+		addr, err := w.allocAddr(region)
+		if err != nil {
+			return err
+		}
+		id := simnet.RandomNodeID(w.rng)
+		nd, err := node.New(w.Net, id, addr, region, node.Config{
+			Mode:            dht.ModeServer,
+			ChunkSize:       w.cfg.ChunkSize,
+			RefreshInterval: w.cfg.RefreshInterval,
+			Bitswap:         bitswap.Config{GiveUpAfter: w.cfg.UnresolvedCancelAfter},
+		})
+		if err != nil {
+			return err
+		}
+		w.Nodes = append(w.Nodes, &ScenarioNode{N: nd, Country: region, Stable: true})
+		w.Bootstrap = append(w.Bootstrap, nd.Info())
+	}
+	return nil
+}
+
+func (w *World) buildGateways() error {
+	for _, op := range w.cfg.Operators {
+		for i := 0; i < op.Nodes; i++ {
+			region := w.cfg.Countries.Sample(w.rng)
+			addr, err := w.allocAddr(region)
+			if err != nil {
+				return err
+			}
+			id := simnet.RandomNodeID(w.rng)
+			nd, err := node.New(w.Net, id, addr, region, node.Config{
+				Mode:            dht.ModeServer,
+				ChunkSize:       w.cfg.ChunkSize,
+				RefreshInterval: w.cfg.RefreshInterval,
+				Bitswap:         bitswap.Config{GiveUpAfter: w.cfg.UnresolvedCancelAfter},
+			})
+			if err != nil {
+				return err
+			}
+			g := gateway.New(w.Net, nd, fmt.Sprintf("%s-%d.gateway.example", op.Name, i), op.Name, gateway.Config{
+				Functional: op.Functional,
+				CacheTTL:   op.CacheTTL,
+			})
+			w.Gateways = append(w.Gateways, g)
+			w.Registry.Add(g)
+		}
+	}
+	return nil
+}
+
+func (w *World) buildPopulation() error {
+	nMonitors := len(w.Monitors)
+	for i := 0; i < w.cfg.Nodes; i++ {
+		region := w.cfg.Countries.Sample(w.rng)
+		addr, err := w.allocAddr(region)
+		if err != nil {
+			return err
+		}
+		id := simnet.RandomNodeID(w.rng)
+		mode := dht.ModeServer
+		if w.rng.Float64() < w.cfg.ClientFrac {
+			mode = dht.ModeClient
+		}
+		legacy := w.rng.Float64() < w.cfg.LegacyFrac
+		nd, err := node.New(w.Net, id, addr, region, node.Config{
+			Mode:            mode,
+			ChunkSize:       w.cfg.ChunkSize,
+			RefreshInterval: w.cfg.RefreshInterval,
+			Bitswap: bitswap.Config{
+				GiveUpAfter:     w.cfg.UnresolvedCancelAfter,
+				LegacyWantBlock: legacy,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		sn := &ScenarioNode{
+			N:       nd,
+			Country: region,
+			Stable:  w.rng.Float64() < w.cfg.StableFrac,
+			Active:  w.rng.Float64() < w.cfg.ActiveFrac,
+			Legacy:  legacy,
+		}
+		if sn.Active {
+			// Exponentially distributed per-node rates around the mean.
+			sn.Rate = w.rng.ExpFloat64() * w.cfg.MeanRequestsPerHour
+			if sn.Rate < 0.05 {
+				sn.Rate = 0.05
+			}
+		}
+		sn.MonitorMask = w.drawMonitorMask(id, nMonitors)
+		w.Nodes = append(w.Nodes, sn)
+	}
+	return nil
+}
+
+// drawMonitorMask assigns which monitors this node will connect to when
+// online.
+func (w *World) drawMonitorMask(id simnet.NodeID, nMonitors int) uint64 {
+	if nMonitors == 0 {
+		return 0
+	}
+	var mask uint64
+	if nMonitors == 2 {
+		u := w.rng.Float64()
+		switch {
+		case u < w.cfg.Joint.Both:
+			mask = 0b11
+		case u < w.cfg.Joint.Both+w.cfg.Joint.OnlyA:
+			mask = 0b01
+		case u < w.cfg.Joint.Both+w.cfg.Joint.OnlyA+w.cfg.Joint.OnlyB:
+			mask = 0b10
+		}
+	} else {
+		for i := 0; i < nMonitors; i++ {
+			if w.rng.Float64() < w.cfg.MonitorProb {
+				mask |= 1 << i
+			}
+		}
+	}
+	if w.cfg.XORBias > 0 {
+		// Ablation: drop monitor connections for XOR-far nodes, modelling
+		// proximity-biased peer selection.
+		for i := 0; i < nMonitors; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			d := id.XOR(w.Monitors[i].ID()).Uniform01()
+			if w.rng.Float64() >= math.Pow(1-d, w.cfg.XORBias) {
+				mask &^= 1 << i
+			}
+		}
+	}
+	return mask
+}
+
+// publishCatalog stores resolvable items at stable publishers and finalises
+// sampling weights.
+func (w *World) publishCatalog() error {
+	w.Catalog = BuildCatalog(w.cfg.Catalog, w.rng)
+	var publishers []*ScenarioNode
+	for _, sn := range w.Nodes {
+		if sn.Stable {
+			publishers = append(publishers, sn)
+		}
+	}
+	if len(publishers) == 0 {
+		return fmt.Errorf("workload: no stable publishers")
+	}
+	for i := range w.Catalog.Items {
+		item := &w.Catalog.Items[i]
+		if !item.Resolvable {
+			continue
+		}
+		replicas := 1 + w.rng.Intn(3)
+		if item.Hot {
+			replicas = 3 + w.rng.Intn(3)
+		}
+		for rIdx := 0; rIdx < replicas; rIdx++ {
+			pub := publishers[w.rng.Intn(len(publishers))]
+			if item.MultiBlock {
+				root, err := pub.N.Publish(item.Content)
+				if err != nil {
+					return fmt.Errorf("publish item %d: %w", i, err)
+				}
+				item.Root = root
+			} else {
+				if err := pub.N.Store.Put(item.Root, item.Content); err != nil {
+					return fmt.Errorf("store item %d: %w", i, err)
+				}
+				if err := pub.N.Store.Pin(item.Root); err != nil {
+					return err
+				}
+				pub.N.DHT.Provide(dht.KeyForCID(item.Root), nil)
+			}
+		}
+	}
+	w.Catalog.finalize()
+
+	// Assign personal item sets to active nodes: items outside the hot
+	// head, typically requested by exactly one peer.
+	nHot := 0
+	for nHot < len(w.Catalog.Items) && w.Catalog.Items[nHot].Hot {
+		nHot++
+	}
+	if tail := len(w.Catalog.Items) - nHot; tail > 0 {
+		for _, sn := range w.Nodes {
+			if !sn.Active {
+				continue
+			}
+			for i := 0; i < w.cfg.PersonalItemsPerNode; i++ {
+				sn.personal = append(sn.personal, nHot+w.rng.Intn(tail))
+			}
+		}
+	}
+	return nil
+}
+
+// startEverything bootstraps monitors and nodes, arms churn, overlay
+// connectivity, upgrades and traffic.
+func (w *World) startEverything() {
+	for _, m := range w.Monitors {
+		m.Start(w.Bootstrap)
+	}
+	for _, g := range w.Gateways {
+		g.Node.Start(w.Bootstrap)
+		w.connectOverlay(g.Node, w.cfg.DegreeTarget)
+		// Gateways are busy public nodes: they connect to all monitors.
+		for _, m := range w.Monitors {
+			_ = w.Net.Connect(g.Node.ID, m.ID())
+		}
+	}
+	for _, sn := range w.Nodes {
+		online := sn.Stable || w.initialOnline()
+		if online {
+			w.bringOnline(sn)
+		} else {
+			_ = w.Net.SetOnline(sn.N.ID, false)
+			w.scheduleRejoin(sn)
+		}
+	}
+	w.scheduleUpgrades()
+	w.armGatewayTraffic()
+}
+
+// initialOnline draws the steady-state online probability.
+func (w *World) initialOnline() bool {
+	p := float64(w.cfg.MeanSession) / float64(w.cfg.MeanSession+w.cfg.MeanOffline)
+	return w.rng.Float64() < p
+}
+
+func (w *World) bringOnline(sn *ScenarioNode) {
+	if !w.Net.IsOnline(sn.N.ID) {
+		sn.N.GoOnline(w.Bootstrap)
+	} else {
+		sn.N.Start(w.Bootstrap)
+	}
+	w.connectOverlay(sn.N, w.cfg.DegreeTarget)
+	for i, m := range w.Monitors {
+		if sn.MonitorMask&(1<<i) != 0 {
+			_ = w.Net.Connect(sn.N.ID, m.ID())
+		}
+	}
+	if sn.Active {
+		sn.reqGen++
+		w.scheduleNextRequest(sn, sn.reqGen)
+	}
+	if !sn.Stable {
+		w.scheduleLeave(sn)
+	}
+}
+
+// connectOverlay opens connections to random online peers.
+func (w *World) connectOverlay(nd *node.Node, degree int) {
+	if len(w.Nodes) == 0 {
+		return
+	}
+	for attempts := 0; attempts < degree*3 && w.Net.PeerCount(nd.ID) < degree; attempts++ {
+		target := w.Nodes[w.rng.Intn(len(w.Nodes))]
+		if target.N.ID == nd.ID || !w.Net.IsOnline(target.N.ID) {
+			continue
+		}
+		_ = w.Net.Connect(nd.ID, target.N.ID)
+	}
+}
+
+func (w *World) scheduleLeave(sn *ScenarioNode) {
+	d := time.Duration(w.rng.ExpFloat64() * float64(w.cfg.MeanSession))
+	w.Net.After(d, func() {
+		if !w.Net.IsOnline(sn.N.ID) {
+			return
+		}
+		sn.N.GoOffline()
+		w.scheduleRejoin(sn)
+	})
+}
+
+func (w *World) scheduleRejoin(sn *ScenarioNode) {
+	d := time.Duration(w.rng.ExpFloat64() * float64(w.cfg.MeanOffline))
+	w.Net.After(d, func() {
+		if w.Net.IsOnline(sn.N.ID) {
+			return
+		}
+		w.bringOnline(sn)
+	})
+}
+
+// scheduleNextRequest arms one node's Poisson request process with diurnal
+// modulation. gen guards against doubled loops across churn cycles.
+func (w *World) scheduleNextRequest(sn *ScenarioNode, gen uint64) {
+	if sn.Rate <= 0 {
+		return
+	}
+	now := w.Net.Now()
+	utcHour := float64(now.Hour()) + float64(now.Minute())/60
+	rate := sn.Rate * diurnalFactor(utcHour, sn.Country)
+	gap := time.Duration(w.rng.ExpFloat64() / rate * float64(time.Hour))
+	if gap < time.Second {
+		gap = time.Second
+	}
+	w.Net.After(gap, func() {
+		if sn.reqGen != gen || !w.Net.IsOnline(sn.N.ID) {
+			return // superseded by a newer session's loop
+		}
+		w.issueRequest(sn)
+		w.scheduleNextRequest(sn, gen)
+	})
+}
+
+func (w *World) issueRequest(sn *ScenarioNode) {
+	var item *Item
+	switch {
+	case len(sn.personal) > 0 && w.rng.Float64() < w.cfg.PersonalFrac:
+		item = &w.Catalog.Items[sn.personal[w.rng.Intn(len(sn.personal))]]
+	case w.rng.Float64() < w.cfg.GlobalHotFrac:
+		item = w.sampleGatewayItem(1)
+	case w.rng.Float64() < w.cfg.GlobalWarmFrac:
+		item = w.sampleWarmItem()
+	default:
+		item = w.Catalog.Sample(w.rng)
+	}
+	w.RequestsIssued[sn.Country]++
+	if item.MultiBlock && item.Resolvable {
+		sn.N.Fetch(item.Root, func(bool) {})
+		return
+	}
+	sn.N.Request(item.Root, func([]byte, bool) {})
+}
+
+// scheduleUpgrades arms the v0.5 upgrade wave for Fig. 4 scenarios.
+func (w *World) scheduleUpgrades() {
+	if w.cfg.LegacyFrac <= 0 || w.cfg.UpgradeDailyFrac <= 0 {
+		return
+	}
+	start := w.cfg.UpgradeStart
+	if start.IsZero() {
+		start = w.cfg.Start
+	}
+	var tick func()
+	tick = func() {
+		for _, sn := range w.Nodes {
+			if sn.Legacy && w.rng.Float64() < w.cfg.UpgradeDailyFrac {
+				sn.Legacy = false
+				sn.N.Bitswap.SetLegacyWantBlock(false)
+			}
+		}
+		w.Net.After(24*time.Hour, tick)
+	}
+	w.Net.At(start, tick)
+}
+
+// armGatewayTraffic schedules HTTP request streams per operator.
+func (w *World) armGatewayTraffic() {
+	byOp := w.Registry.ByOperator()
+	for _, op := range w.cfg.Operators {
+		gws := byOp[op.Name]
+		if len(gws) == 0 || op.RequestsPerHour <= 0 {
+			continue
+		}
+		opSpec := op
+		var tick func()
+		tick = func() {
+			g := gws[w.rng.Intn(len(gws))]
+			var root cid.CID
+			if w.rng.Float64() < opSpec.HotBias {
+				root = w.sampleGatewayItem(1).Root
+			} else {
+				// Long-tail web request: a one-off CID. The real CID
+				// universe is effectively unbounded (806M unique CIDs in
+				// the paper's trace), so tail requests almost never
+				// collide; generating a fresh item reproduces that.
+				var err error
+				root, err = w.newWebItem()
+				if err != nil {
+					root = w.sampleGatewayItem(1).Root
+				}
+			}
+			w.GatewayRequestsIssued[opSpec.Name]++
+			g.Retrieve(root, func(gateway.Result) {})
+			gap := time.Duration(w.rng.ExpFloat64() / opSpec.RequestsPerHour * float64(time.Hour))
+			if gap < 100*time.Millisecond {
+				gap = 100 * time.Millisecond
+			}
+			w.Net.After(gap, tick)
+		}
+		w.Net.After(time.Duration(w.rng.ExpFloat64()*float64(time.Minute)), tick)
+	}
+}
+
+// sampleWarmItem draws uniformly from the warm tier: the catalog slice
+// right after the hot head.
+func (w *World) sampleWarmItem() *Item {
+	nHot := 0
+	for nHot < len(w.Catalog.Items) && w.Catalog.Items[nHot].Hot {
+		nHot++
+	}
+	warm := w.cfg.WarmItems
+	if warm <= 0 {
+		warm = len(w.Catalog.Items) / 20
+	}
+	if warm <= 0 || nHot+warm > len(w.Catalog.Items) {
+		return w.Catalog.Sample(w.rng)
+	}
+	return &w.Catalog.Items[nHot+w.rng.Intn(warm)]
+}
+
+// newWebItem creates, stores and announces a fresh one-off content item at
+// a random stable publisher, returning its root CID.
+func (w *World) newWebItem() (cid.CID, error) {
+	content := make([]byte, 256+w.rng.Intn(2048))
+	w.rng.Read(content)
+	// Web content is a file: a single DagProtobuf node carrying the bytes,
+	// so Table I attributes gateway traffic to DagProtobuf as the real
+	// trace does.
+	node := &merkledag.Node{Kind: merkledag.KindFile, Data: content}
+	enc := node.Encode()
+	root := node.CID()
+	for _, sn := range w.Nodes {
+		if !sn.Stable || !w.Net.IsOnline(sn.N.ID) {
+			continue
+		}
+		if err := sn.N.Store.Put(root, enc); err != nil {
+			return cid.CID{}, err
+		}
+		sn.N.DHT.Provide(dht.KeyForCID(root), nil)
+		return root, nil
+	}
+	return cid.CID{}, fmt.Errorf("workload: no online publisher for web item")
+}
+
+func (w *World) sampleGatewayItem(hotBias float64) *Item {
+	if w.rng.Float64() < hotBias {
+		// Hot items sit at the front of the catalog.
+		nHot := 0
+		for nHot < len(w.Catalog.Items) && w.Catalog.Items[nHot].Hot {
+			nHot++
+		}
+		if nHot > 0 {
+			return &w.Catalog.Items[w.rng.Intn(nHot)]
+		}
+	}
+	return w.Catalog.Sample(w.rng)
+}
+
+// OnlineCount returns the current number of online population nodes
+// (including the bootstrap core, excluding monitors and gateways): the
+// ground truth N for the size-estimation experiments.
+func (w *World) OnlineCount() int {
+	n := 0
+	for _, sn := range w.Nodes {
+		if w.Net.IsOnline(sn.N.ID) {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalPopulation returns the total number of population nodes.
+func (w *World) TotalPopulation() int { return len(w.Nodes) }
+
+// GatewayNodeIDs returns the ground-truth gateway node IDs.
+func (w *World) GatewayNodeIDs() map[simnet.NodeID]bool {
+	out := make(map[simnet.NodeID]bool, len(w.Gateways))
+	for _, g := range w.Gateways {
+		out[g.Node.ID] = true
+	}
+	return out
+}
+
+// MonitorByName finds a monitor.
+func (w *World) MonitorByName(name string) *monitor.Monitor {
+	for _, m := range w.Monitors {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Run advances the world by d of virtual time.
+func (w *World) Run(d time.Duration) { w.Net.Run(d) }

@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Seed:  seed,
+		Nodes: 150,
+		Catalog: CatalogConfig{
+			Items:        300,
+			MeanFileSize: 2048,
+		},
+		Monitors: []MonitorSpec{
+			{Name: "us", Region: simnet.RegionUS},
+			{Name: "de", Region: simnet.RegionDE},
+		},
+		Operators: []OperatorSpec{
+			{Name: "megagate", Nodes: 4, RequestsPerHour: 200, HotBias: 0.95, Functional: true, CacheTTL: time.Hour},
+			{Name: "smallgw", Nodes: 2, RequestsPerHour: 20, HotBias: 0.5, Functional: true, CacheTTL: time.Hour},
+		},
+		BootstrapServers:    10,
+		MeanRequestsPerHour: 3,
+	}
+}
+
+func TestBuildWorld(t *testing.T) {
+	w, err := Build(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Monitors) != 2 {
+		t.Fatalf("monitors = %d", len(w.Monitors))
+	}
+	if len(w.Gateways) != 6 {
+		t.Fatalf("gateways = %d", len(w.Gateways))
+	}
+	if w.TotalPopulation() != 150+10 {
+		t.Fatalf("population = %d", w.TotalPopulation())
+	}
+	if w.Catalog == nil || len(w.Catalog.Items) != 300 {
+		t.Fatal("catalog missing")
+	}
+	// All resolvable items must have defined roots.
+	for i, item := range w.Catalog.Items {
+		if !item.Root.Defined() {
+			t.Fatalf("item %d has undefined root", i)
+		}
+	}
+}
+
+func TestWorldProducesObservableTraffic(t *testing.T) {
+	w, err := Build(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(4 * time.Hour)
+
+	us := w.MonitorByName("us")
+	de := w.MonitorByName("de")
+	if us == nil || de == nil {
+		t.Fatal("monitors missing")
+	}
+	if len(us.Trace()) == 0 || len(de.Trace()) == 0 {
+		t.Fatalf("monitors recorded nothing: us=%d de=%d", len(us.Trace()), len(de.Trace()))
+	}
+
+	unified := trace.Unify(us.Trace(), de.Trace())
+	sum := trace.Summarize(unified)
+	if sum.UniquePeers < 20 {
+		t.Errorf("unique peers in trace = %d, want dozens", sum.UniquePeers)
+	}
+	if sum.UniqueCIDs < 20 {
+		t.Errorf("unique CIDs = %d", sum.UniqueCIDs)
+	}
+	// Both duplicate phenomena must be present in a two-monitor setup.
+	if sum.Rebroadcasts == 0 {
+		t.Error("no rebroadcasts observed (unresolvable CIDs should cause them)")
+	}
+	if sum.InterMonDups == 0 {
+		t.Error("no inter-monitor duplicates observed")
+	}
+}
+
+func TestMonitorCoverageMatchesJointModel(t *testing.T) {
+	cfg := smallConfig(3)
+	cfg.Nodes = 400
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(2 * time.Hour)
+
+	us, de := w.Monitors[0], w.Monitors[1]
+	online := 0
+	both, onlyA, onlyB := 0, 0, 0
+	usPeers := make(map[simnet.NodeID]bool)
+	for _, p := range us.CurrentPeers() {
+		usPeers[p] = true
+	}
+	dePeers := make(map[simnet.NodeID]bool)
+	for _, p := range de.CurrentPeers() {
+		dePeers[p] = true
+	}
+	for _, sn := range w.Nodes {
+		if !w.Net.IsOnline(sn.N.ID) {
+			continue
+		}
+		online++
+		switch {
+		case usPeers[sn.N.ID] && dePeers[sn.N.ID]:
+			both++
+		case usPeers[sn.N.ID]:
+			onlyA++
+		case dePeers[sn.N.ID]:
+			onlyB++
+		}
+	}
+	if online == 0 {
+		t.Fatal("no nodes online")
+	}
+	gotBoth := float64(both) / float64(online)
+	if gotBoth < 0.25 || gotBoth > 0.50 {
+		t.Errorf("P(both monitors) = %.2f, want ≈ 0.36", gotBoth)
+	}
+	covUS := float64(both+onlyA) / float64(online)
+	if covUS < 0.40 || covUS > 0.70 {
+		t.Errorf("us coverage = %.2f, want ≈ 0.54", covUS)
+	}
+}
+
+func TestCatalogCodecMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cat := BuildCatalog(CatalogConfig{Items: 5000}, rng)
+	counts := map[cid.Codec]int{}
+	for _, item := range cat.Items {
+		counts[item.Codec]++
+	}
+	dagPBShare := float64(counts[cid.DagProtobuf]) / 5000
+	if dagPBShare < 0.82 || dagPBShare > 0.90 {
+		t.Errorf("DagProtobuf share = %.3f, want ≈ 0.86", dagPBShare)
+	}
+	rawShare := float64(counts[cid.Raw]) / 5000
+	if rawShare < 0.10 || rawShare > 0.17 {
+		t.Errorf("Raw share = %.3f, want ≈ 0.134", rawShare)
+	}
+}
+
+func TestCatalogSampleRespectsWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cat := BuildCatalog(CatalogConfig{Items: 100, HotItems: 5}, rng)
+	cat.finalize()
+	hot := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if cat.Sample(rng).Hot {
+			hot++
+		}
+	}
+	// 5 hot items with weight ~100-200 vs 95 lognormal(σ=1.1) items:
+	// hot should dominate.
+	if share := float64(hot) / draws; share < 0.5 {
+		t.Errorf("hot share = %.2f, want > 0.5", share)
+	}
+}
+
+func TestCountryWeightsSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	weights := DefaultCountryWeights()
+	counts := map[simnet.Region]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[weights.Sample(rng)]++
+	}
+	usShare := float64(counts[simnet.RegionUS]) / draws
+	if usShare < 0.42 || usShare > 0.49 {
+		t.Errorf("US share = %.3f, want ≈ 0.456", usShare)
+	}
+}
+
+func TestChurnChangesPopulation(t *testing.T) {
+	cfg := smallConfig(7)
+	cfg.MeanSession = 30 * time.Minute
+	cfg.MeanOffline = 30 * time.Minute
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := w.OnlineCount()
+	seen := map[int]bool{before: true}
+	for i := 0; i < 8; i++ {
+		w.Run(30 * time.Minute)
+		seen[w.OnlineCount()] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("online count never varied: %v", seen)
+	}
+}
+
+func TestGatewayCacheHitRatioHigh(t *testing.T) {
+	cfg := smallConfig(8)
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(6 * time.Hour)
+	var hits, misses uint64
+	for _, g := range w.Gateways {
+		if g.Operator != "megagate" {
+			continue
+		}
+		st := g.Stats()
+		hits += st.CacheHits
+		misses += st.CacheMisses
+	}
+	if hits+misses == 0 {
+		t.Fatal("megagate served no requests")
+	}
+	ratio := float64(hits) / float64(hits+misses)
+	if ratio < 0.7 {
+		t.Errorf("megagate cache hit ratio = %.2f, want high (Cloudflare reports 0.97)", ratio)
+	}
+}
+
+func TestDiurnalFactorBounds(t *testing.T) {
+	for h := 0.0; h < 24; h += 0.5 {
+		for _, r := range []simnet.Region{simnet.RegionUS, simnet.RegionDE, simnet.RegionOther} {
+			f := diurnalFactor(h, r)
+			if f < 0.45 || f > 1.55 {
+				t.Fatalf("diurnal factor out of range: %v at %v/%v", f, h, r)
+			}
+		}
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	run := func() int {
+		w, err := Build(smallConfig(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Run(time.Hour)
+		return len(w.Monitors[0].Trace())
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("non-deterministic trace length: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Error("empty trace")
+	}
+}

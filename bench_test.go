@@ -13,19 +13,24 @@ package bitswapmon_test
 // paper-vs-measured for each artifact.
 
 import (
+	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"bitswapmon/internal/analysis"
 	"bitswapmon/internal/attacks"
+	"bitswapmon/internal/cid"
 	"bitswapmon/internal/dht"
 	"bitswapmon/internal/estimate"
 	"bitswapmon/internal/experiments"
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/node"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
 	"bitswapmon/internal/workload"
 )
 
@@ -301,6 +306,79 @@ func BenchmarkTraceUnify(b *testing.B) {
 		trace.Unify(t1, t2)
 	}
 	b.ReportMetric(float64(len(t1)+len(t2)), "entries")
+}
+
+// BenchmarkStreamUnify measures the online unifier over the same input as
+// BenchmarkTraceUnify: same flags out, but sliding-window state instead of
+// a global sort.
+func BenchmarkStreamUnify(b *testing.B) {
+	d := sharedWeek(b)
+	t1 := d.World.Monitors[0].Trace()
+	t2 := d.World.Monitors[1].Trace()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		u := ingest.NewStreamUnifier(ingest.SliceSource(t1), ingest.SliceSource(t2))
+		for {
+			if _, err := u.Read(); err != nil {
+				break
+			}
+			n++
+		}
+	}
+	b.ReportMetric(float64(len(t1)+len(t2)), "entries")
+	if n != b.N*(len(t1)+len(t2)) {
+		b.Fatalf("stream unifier dropped entries: %d", n)
+	}
+}
+
+// BenchmarkIngestSegmentStore measures the streaming capture path: entries
+// written through a rotating segment store (the bsmon hot path). The
+// retained-heap metric demonstrates the tentpole property — resident
+// memory stays bounded by one segment's buffers while the on-disk trace
+// grows with b.N — unlike the seed's accumulate-in-RAM collection, whose
+// footprint grows linearly with simulated hours.
+func BenchmarkIngestSegmentStore(b *testing.B) {
+	dir := b.TempDir()
+	store, err := ingest.OpenSegmentStore(filepath.Join(dir, "bench"), ingest.SegmentOptions{Rotation: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+	var id simnet.NodeID
+	cids := make([]cid.CID, 512)
+	for i := range cids {
+		cids[i] = cid.Sum(cid.DagProtobuf, []byte{byte(i), byte(i >> 8)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id[0], id[1] = byte(i), byte(i>>8)
+		e := trace.Entry{
+			// 10 entries per virtual second: one segment per 36k entries.
+			Timestamp: base.Add(time.Duration(i) * 100 * time.Millisecond),
+			Monitor:   "us",
+			NodeID:    id,
+			Addr:      "3.0.0.1:4001",
+			Type:      wire.EntryType(i%3 + 1),
+			CID:       cids[i%len(cids)],
+		}
+		if err := store.Write(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+	tot := store.Totals()
+	if tot.Entries != b.N {
+		b.Fatalf("store holds %d entries, wrote %d", tot.Entries, b.N)
+	}
+	b.ReportMetric(float64(len(store.Segments())), "segments")
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "retained-heap-MB")
 }
 
 // BenchmarkCrawl measures one full DHT crawl over the shared world.

@@ -1,20 +1,27 @@
-// Command bsanalyze unifies binary trace files from one or more monitors
-// and runs the paper's trace analyses on them.
+// Command bsanalyze unifies monitor traces and runs the paper's analyses.
+// Inputs may be flat binary trace files (bsmon's M.trace) or segment store
+// directories (bsmon's M.segments); each input is one monitor's
+// time-ordered stream. Unification runs online through ingest.StreamUnifier
+// — identical flags to the batch trace.Unify, but one sliding window of
+// state — and the summary and online reports never materialise the trace
+// in memory.
 //
 // Usage:
 //
-//	bsanalyze [-dedup] [-report summary|table1|table2|fig4|fig5|fig6] FILE...
+//	bsanalyze [-dedup] [-report summary|online|table1|table2|fig4|fig5] INPUT...
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
 
 	"bitswapmon/internal/analysis"
 	"bitswapmon/internal/geoip"
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/trace"
 )
 
@@ -27,75 +34,192 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bsanalyze", flag.ContinueOnError)
-	report := fs.String("report", "summary", "analysis to run: summary, table1, table2, fig4, fig5")
+	report := fs.String("report", "summary", "analysis to run: summary, online, table1, table2, fig4, fig5")
 	dedup := fs.Bool("dedup", true, "filter duplicates/rebroadcasts before analysis")
-	bucket := fs.Duration("bucket", time.Hour, "bucket size for fig4")
+	bucket := fs.Duration("bucket", time.Hour, "bucket size for fig4 and online")
 	iters := fs.Int("iters", 50, "bootstrap iterations for fig5")
+	topk := fs.Int("topk", 10, "popular CIDs to list for online")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	files := fs.Args()
-	if len(files) == 0 {
-		return fmt.Errorf("no trace files given")
+	switch *report {
+	case "summary", "online", "table1", "table2", "fig4", "fig5":
+	default:
+		// Reject before opening (and potentially draining) the inputs.
+		return fmt.Errorf("unknown report %q", *report)
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("no trace inputs given")
 	}
 
-	var traces [][]trace.Entry
-	for _, path := range files {
-		entries, err := loadTrace(path)
-		if err != nil {
-			return err
-		}
-		traces = append(traces, entries)
+	sources, cleanup, err := openSources(paths)
+	if err != nil {
+		return err
 	}
-	unified := trace.Unify(traces...)
-	entries := unified
-	if *dedup {
-		entries = trace.Deduplicated(unified)
-	}
+	defer cleanup()
+	unified := ingest.NewStreamUnifier(sources...)
 
 	switch *report {
 	case "summary":
-		s := trace.Summarize(unified)
-		fmt.Printf("entries: %d (requests %d), peers %d, CIDs %d\n", s.Entries, s.Requests, s.UniquePeers, s.UniqueCIDs)
-		fmt.Printf("rebroadcasts: %d, inter-monitor dups: %d\n", s.Rebroadcasts, s.InterMonDups)
-		fmt.Printf("window: %s .. %s\n", s.First.Format(time.RFC3339), s.Last.Format(time.RFC3339))
-		for mon, n := range s.PerMonitor {
-			fmt.Printf("  monitor %s: %d entries\n", mon, n)
+		// One pass, no resident trace: summarise the unified stream as it
+		// is produced.
+		z := trace.NewSummarizer()
+		if _, err := ingest.Copy(z, unified); err != nil {
+			return err
 		}
-		for typ, n := range s.PerType {
-			fmt.Printf("  %s: %d\n", typ, n)
+		printSummary(z.Summary())
+	case "online":
+		// One pass with sketched aggregates: the figures a long-running
+		// collector can afford to keep per entry.
+		stats := ingest.NewOnlineStats(ingest.StatsOptions{Bucket: *bucket, TopK: *topk})
+		dst := ingest.Sink(stats)
+		if *dedup {
+			dst = dedupSink{stats}
 		}
-	case "table1":
-		fmt.Println(analysis.ComputeTable1(unified).Render())
-	case "table2":
-		fmt.Println(analysis.ComputeTable2(entries, geoip.New()).Render())
-	case "fig4":
-		fmt.Println(analysis.ComputeFig4(entries, *bucket).Render())
-	case "fig5":
-		f, err := analysis.ComputeFig5(entries, *iters, rand.New(rand.NewSource(1)))
+		if _, err := ingest.Copy(dst, unified); err != nil {
+			return err
+		}
+		printOnline(stats, *topk)
+	default:
+		// The remaining reports need the full (possibly deduplicated)
+		// trace resident.
+		entries, err := drainFiltered(unified, *dedup && *report != "table1")
 		if err != nil {
 			return err
 		}
-		fmt.Println(f.Render())
-	default:
-		return fmt.Errorf("unknown report %q", *report)
+		switch *report {
+		case "table1":
+			fmt.Println(analysis.ComputeTable1(entries).Render())
+		case "table2":
+			fmt.Println(analysis.ComputeTable2(entries, geoip.New()).Render())
+		case "fig4":
+			fmt.Println(analysis.ComputeFig4(entries, *bucket).Render())
+		case "fig5":
+			f, err := analysis.ComputeFig5(entries, *iters, rand.New(rand.NewSource(1)))
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		}
 	}
 	return nil
 }
 
-func loadTrace(path string) ([]trace.Entry, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("open %s: %w", path, err)
+// openSources opens each input as an EntrySource: a directory is a segment
+// store, a file a flat binary trace.
+func openSources(paths []string) ([]ingest.EntrySource, func(), error) {
+	var sources []ingest.EntrySource
+	var closers []io.Closer
+	cleanup := func() {
+		for _, c := range closers {
+			c.Close()
+		}
 	}
-	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		return nil, fmt.Errorf("read %s: %w", path, err)
+	for _, path := range paths {
+		st, err := os.Stat(path)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("open %s: %w", path, err)
+		}
+		if st.IsDir() {
+			store, err := ingest.OpenSegmentStore(path, ingest.SegmentOptions{})
+			if err != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("open store %s: %w", path, err)
+			}
+			if store.Totals().Entries == 0 {
+				cleanup()
+				return nil, nil, fmt.Errorf("open store %s: no sealed segments", path)
+			}
+			// A crash can leave an unsealed segment behind; the analysis
+			// would silently exclude its entries, so say so.
+			for _, orphan := range store.Skipped() {
+				fmt.Fprintf(os.Stderr, "bsanalyze: warning: %s has no valid footer (unsealed segment?); its entries are excluded\n", orphan)
+			}
+			it, err := store.Query(time.Time{}, time.Time{}, nil)
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			sources = append(sources, it)
+			closers = append(closers, it)
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("open %s: %w", path, err)
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			cleanup()
+			return nil, nil, fmt.Errorf("read %s: %w", path, err)
+		}
+		sources = append(sources, r)
+		closers = append(closers, f)
 	}
-	entries, err := trace.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("read %s: %w", path, err)
+	return sources, cleanup, nil
+}
+
+// dedupSink drops flagged duplicates before the wrapped sink.
+type dedupSink struct{ s ingest.Sink }
+
+func (d dedupSink) Write(e trace.Entry) error {
+	if e.IsDuplicate() {
+		return nil
 	}
-	return entries, nil
+	return d.s.Write(e)
+}
+
+// drainFiltered materialises the unified stream, optionally dropping
+// duplicates on the way in (so the resident slice is already the dedup
+// view).
+func drainFiltered(src ingest.EntrySource, dedup bool) ([]trace.Entry, error) {
+	if !dedup {
+		return ingest.Drain(src)
+	}
+	var out []trace.Entry
+	for {
+		e, err := src.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		if !e.IsDuplicate() {
+			out = append(out, e)
+		}
+	}
+}
+
+func printSummary(s trace.Summary) {
+	fmt.Printf("entries: %d (requests %d), peers %d, CIDs %d\n", s.Entries, s.Requests, s.UniquePeers, s.UniqueCIDs)
+	fmt.Printf("rebroadcasts: %d, inter-monitor dups: %d\n", s.Rebroadcasts, s.InterMonDups)
+	fmt.Printf("window: %s .. %s\n", s.First.Format(time.RFC3339), s.Last.Format(time.RFC3339))
+	for mon, n := range s.PerMonitor {
+		fmt.Printf("  monitor %s: %d entries\n", mon, n)
+	}
+	for typ, n := range s.PerType {
+		fmt.Printf("  %s: %d\n", typ, n)
+	}
+}
+
+func printOnline(s *ingest.OnlineStats, topk int) {
+	fmt.Printf("entries: %d (requests %d)\n", s.Entries(), s.Requests())
+	fmt.Printf("distinct peers ~%.0f, distinct CIDs ~%.0f\n", s.DistinctPeers(), s.DistinctCIDs())
+	fmt.Printf("window: %s .. %s\n", s.First().Format(time.RFC3339), s.Last().Format(time.RFC3339))
+	for typ, n := range s.TypeCounts() {
+		fmt.Printf("  %s: %d\n", typ, n)
+	}
+	if n := s.EvictedBuckets(); n > 0 {
+		fmt.Fprintf(os.Stderr, "bsanalyze: warning: %d oldest time buckets evicted; the series below covers only the trace tail (raise -bucket)\n", n)
+	}
+	fmt.Println(analysis.Fig4FromStats(s).Render())
+	fmt.Printf("top %d CIDs (space-saving estimates):\n", topk)
+	for i, tc := range s.TopCIDs(topk) {
+		fmt.Printf("  %2d. %s  ~%d requests (overcount <= %d)\n", i+1, tc.CID, tc.Count, tc.ErrBound)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bitswapmon/internal/cid"
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
 	"bitswapmon/internal/wire"
@@ -52,10 +53,63 @@ func TestBsanalyzeReports(t *testing.T) {
 	writeTestTrace(t, p1, "us", 120)
 	writeTestTrace(t, p2, "de", 80)
 
-	for _, report := range []string{"summary", "table1", "table2", "fig4"} {
+	for _, report := range []string{"summary", "online", "table1", "table2", "fig4"} {
 		if err := run([]string{"-report", report, p1, p2}); err != nil {
 			t.Errorf("report %s: %v", report, err)
 		}
+	}
+}
+
+// writeTestStore creates a segment-store directory with the same entries
+// writeTestTrace would produce.
+func writeTestStore(t *testing.T, dir, mon string, n int) {
+	t.Helper()
+	store, err := ingest.OpenSegmentStore(dir, ingest.SegmentOptions{Rotation: 30 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		var id simnet.NodeID
+		id[0] = byte(i % 7)
+		e := trace.Entry{
+			Timestamp: base.Add(time.Duration(i) * time.Minute),
+			Monitor:   mon,
+			NodeID:    id,
+			Addr:      "3.0.0.1:4001",
+			Type:      wire.WantHave,
+			CID:       cid.Sum(cid.DagProtobuf, []byte{byte(i % 30)}),
+		}
+		if err := store.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBsanalyzeSegmentDirInputs(t *testing.T) {
+	dir := t.TempDir()
+	s1 := filepath.Join(dir, "us.segments")
+	writeTestStore(t, s1, "us", 120)
+	p2 := filepath.Join(dir, "de.trace")
+	writeTestTrace(t, p2, "de", 80)
+
+	// Mixed inputs: one segment store, one flat file.
+	for _, report := range []string{"summary", "online", "table1", "fig4"} {
+		if err := run([]string{"-report", report, s1, p2}); err != nil {
+			t.Errorf("report %s over mixed inputs: %v", report, err)
+		}
+	}
+
+	// A directory that is not a segment store is rejected.
+	empty := filepath.Join(dir, "empty")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}); err == nil {
+		t.Error("empty directory accepted as store")
 	}
 }
 

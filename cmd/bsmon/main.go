@@ -1,11 +1,20 @@
-// Command bsmon runs a monitored scenario and writes each monitor's trace
-// to a binary trace file, mirroring the paper's collection infrastructure.
+// Command bsmon runs a monitored scenario and streams each monitor's trace
+// to disk while the simulation runs, mirroring the paper's collection
+// infrastructure: entries flow through an ingest pipeline (segment store +
+// online statistics) instead of accumulating in RAM, so resident memory is
+// bounded by the segment rotation window, not the measurement length.
 //
 // Usage:
 //
-//	bsmon -out DIR [-nodes N] [-hours H] [-seed N]
+//	bsmon -out DIR [-nodes N] [-hours H] [-seed N] [-rotate DUR]
 //
-// Output: DIR/<monitor>.trace (binary, gzip) and DIR/<monitor>.csv.
+// Output per monitor M:
+//
+//	DIR/M.segments/NNNNNN.seg — time-partitioned compressed segments with
+//	                            footers (the queryable store)
+//	DIR/M.trace               — flat binary trace (compatibility export,
+//	                            produced disk-to-disk from the segments)
+//	DIR/M.csv                 — CSV export (with -csv)
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
 	"bitswapmon/internal/workload"
@@ -34,6 +44,8 @@ func run(args []string) error {
 	hours := fs.Int("hours", 24, "measurement window in virtual hours")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	csv := fs.Bool("csv", true, "also write CSV exports")
+	flat := fs.Bool("flat", true, "also write flat .trace compatibility exports")
+	rotate := fs.Duration("rotate", time.Hour, "segment rotation window (virtual time)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,19 +65,59 @@ func run(args []string) error {
 		return fmt.Errorf("build scenario: %w", err)
 	}
 
+	// Capture path: every monitor streams into a segment store plus a
+	// one-pass aggregator. Nothing retains the full trace in memory.
+	stores := make([]*ingest.SegmentStore, len(w.Monitors))
+	stats := make([]*ingest.OnlineStats, len(w.Monitors))
+	for i, m := range w.Monitors {
+		store, err := ingest.OpenSegmentStore(filepath.Join(*outDir, m.Name+".segments"), ingest.SegmentOptions{Rotation: *rotate})
+		if err != nil {
+			return err
+		}
+		// Virtual time restarts every run, so appending a second run to an
+		// existing store would interleave out-of-order streams and corrupt
+		// downstream unification. Refuse rather than mingle runs — and
+		// treat unsealed leftovers from a crashed run the same way.
+		if tot := store.Totals(); tot.Entries > 0 || len(store.Skipped()) > 0 {
+			return fmt.Errorf("segment store %s already holds data from a previous run (%d sealed entries, %d unsealed files); use a fresh -out directory",
+				filepath.Join(*outDir, m.Name+".segments"), tot.Entries, len(store.Skipped()))
+		}
+		stores[i] = store
+		stats[i] = ingest.NewOnlineStats(ingest.StatsOptions{Bucket: *rotate})
+		m.SetSink(ingest.Tee(store, stats[i]))
+	}
+
+	// Whatever goes wrong below, seal every store: an unclosed store loses
+	// its active segment (up to a whole rotation window of entries).
+	defer func() {
+		for _, store := range stores {
+			store.Close()
+		}
+	}()
+
 	fmt.Printf("running %d nodes for %dh of virtual time...\n", *nodes, *hours)
 	w.Run(time.Duration(*hours) * time.Hour)
 
-	for _, m := range w.Monitors {
-		entries := m.Trace()
-		path := filepath.Join(*outDir, m.Name+".trace")
-		if err := writeTrace(path, entries); err != nil {
-			return err
+	for i, m := range w.Monitors {
+		if err := stores[i].Close(); err != nil {
+			return fmt.Errorf("monitor %s: seal store: %w", m.Name, err)
 		}
-		fmt.Printf("monitor %s: %d entries -> %s\n", m.Name, len(entries), path)
+		if err := m.SinkErr(); err != nil {
+			return fmt.Errorf("monitor %s: capture: %w", m.Name, err)
+		}
+		tot := stores[i].Totals()
+		fmt.Printf("monitor %s: %d entries in %d segments (~%.0f peers, ~%.0f CIDs) -> %s\n",
+			m.Name, tot.Entries, len(stores[i].Segments()),
+			stats[i].DistinctPeers(), stats[i].DistinctCIDs(),
+			filepath.Join(*outDir, m.Name+".segments"))
+
+		if *flat {
+			if err := exportFlat(stores[i], filepath.Join(*outDir, m.Name+".trace")); err != nil {
+				return err
+			}
+		}
 		if *csv {
-			csvPath := filepath.Join(*outDir, m.Name+".csv")
-			if err := writeCSV(csvPath, entries); err != nil {
+			if err := exportCSV(stores[i], filepath.Join(*outDir, m.Name+".csv")); err != nil {
 				return err
 			}
 		}
@@ -73,7 +125,13 @@ func run(args []string) error {
 	return nil
 }
 
-func writeTrace(path string, entries []trace.Entry) error {
+// exportFlat streams the store into a flat binary trace file, disk to disk.
+func exportFlat(store *ingest.SegmentStore, path string) error {
+	it, err := store.Query(time.Time{}, time.Time{}, nil)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("create %s: %w", path, err)
@@ -83,10 +141,8 @@ func writeTrace(path string, entries []trace.Entry) error {
 	if err != nil {
 		return err
 	}
-	for _, e := range entries {
-		if err := tw.Write(e); err != nil {
-			return fmt.Errorf("write entry: %w", err)
-		}
+	if _, err := ingest.Copy(tw, it); err != nil {
+		return fmt.Errorf("export %s: %w", path, err)
 	}
 	if err := tw.Close(); err != nil {
 		return fmt.Errorf("finalize trace: %w", err)
@@ -94,13 +150,23 @@ func writeTrace(path string, entries []trace.Entry) error {
 	return f.Close()
 }
 
-func writeCSV(path string, entries []trace.Entry) error {
+// exportCSV streams the store into a CSV file, disk to disk.
+func exportCSV(store *ingest.SegmentStore, path string) error {
+	it, err := store.Query(time.Time{}, time.Time{}, nil)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("create %s: %w", path, err)
 	}
 	defer f.Close()
-	if err := trace.WriteCSV(f, entries); err != nil {
+	cw := trace.NewCSVWriter(f)
+	if _, err := ingest.Copy(cw, it); err != nil {
+		return fmt.Errorf("export %s: %w", path, err)
+	}
+	if err := cw.Close(); err != nil {
 		return err
 	}
 	return f.Close()

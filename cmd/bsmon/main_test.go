@@ -4,7 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/trace"
 )
 
@@ -13,7 +15,7 @@ func TestBsmonEndToEnd(t *testing.T) {
 		t.Skip("integration test")
 	}
 	dir := t.TempDir()
-	err := run([]string{"-out", dir, "-nodes", "80", "-hours", "2", "-seed", "3"})
+	err := run([]string{"-out", dir, "-nodes", "80", "-hours", "2", "-seed", "3", "-rotate", "30m"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -38,6 +40,32 @@ func TestBsmonEndToEnd(t *testing.T) {
 	}
 	if len(entries) == 0 {
 		t.Error("empty trace written")
+	}
+
+	// The segment store must hold the same entries, partitioned by time:
+	// 2 virtual hours at 30m rotation means multiple sealed segments.
+	store, err := ingest.OpenSegmentStore(filepath.Join(dir, "us.segments"), ingest.SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot := store.Totals(); tot.Entries != len(entries) {
+		t.Errorf("segment totals = %d entries, flat trace has %d", tot.Entries, len(entries))
+	}
+	if segs := store.Segments(); len(segs) < 2 {
+		t.Errorf("segments = %d, want >= 2 (rotation not happening)", len(segs))
+	}
+	it, err := store.Query(time.Time{}, time.Time{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSegs, err := ingest.Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range entries {
+		if fromSegs[i] != entries[i] {
+			t.Fatalf("segment/flat divergence at entry %d", i)
+		}
 	}
 }
 

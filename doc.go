@@ -5,7 +5,12 @@
 // running against a faithful discrete-event simulation of an IPFS-like
 // network.
 //
-// See README.md for the layout and DESIGN.md for the system inventory and
-// experiment index. The root package only hosts the benchmark harness
-// (bench_test.go), which regenerates every table and figure of the paper.
+// Capture scales past RAM through the internal/ingest streaming pipeline:
+// monitors write observations into sinks (segment stores, online
+// statistics) instead of accumulating them, and analyses read the trace
+// back one segment at a time.
+//
+// See README.md for the layout, commands and package map. The root package
+// only hosts the benchmark harness (bench_test.go), which regenerates every
+// table and figure of the paper.
 package bitswapmon

@@ -1,0 +1,3 @@
+module bitswapmon
+
+go 1.24

@@ -15,6 +15,7 @@ import (
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/estimate"
 	"bitswapmon/internal/geoip"
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/popularity"
 	"bitswapmon/internal/simnet"
@@ -99,6 +100,25 @@ func ComputeFig4(entries []trace.Entry, bucket time.Duration) Fig4 {
 		out.Buckets = append(out.Buckets, *b)
 	}
 	sort.Slice(out.Buckets, func(i, j int) bool { return out.Buckets[i].Start.Before(out.Buckets[j].Start) })
+	return out
+}
+
+// Fig4FromStats builds the Fig. 4 series from a one-pass ingest aggregate
+// instead of a resident trace: the streaming capture path (ingest.OnlineStats
+// Tee'd next to a segment store) can render the figure without re-reading a
+// single entry.
+func Fig4FromStats(s *ingest.OnlineStats) Fig4 {
+	out := Fig4{BucketSize: s.BucketSize()}
+	for _, b := range s.Buckets() {
+		if b.WantBlock == 0 && b.WantHave == 0 {
+			continue // CANCEL-only buckets carry no requests
+		}
+		out.Buckets = append(out.Buckets, Fig4Bucket{
+			Start:     b.Start,
+			WantBlock: int(b.WantBlock),
+			WantHave:  int(b.WantHave),
+		})
+	}
 	return out
 }
 

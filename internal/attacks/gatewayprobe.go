@@ -10,6 +10,7 @@ import (
 	"bitswapmon/internal/gateway"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
 )
 
 // ProbeResult records the outcome of probing one public gateway
@@ -44,11 +45,56 @@ type GatewayProber struct {
 	// WaitFor is how long to watch traces after the HTTP request
 	// (default 30 s).
 	WaitFor time.Duration
+
+	// pending collects sightings per in-flight probe CID, fed by live
+	// monitor taps — probing works whatever sink the monitors stream to
+	// (memory, segment store, ...), since it never reads traces back.
+	pending map[string]*probeSightings
+	removes []func()
+}
+
+// probeSightings accumulates requester observations for one probe CID.
+type probeSightings struct {
+	ids   []simnet.NodeID
+	addrs map[simnet.NodeID]string
 }
 
 // NewGatewayProber builds a prober over the given monitors.
 func NewGatewayProber(net *simnet.Network, monitors []*monitor.Monitor, rng *rand.Rand) *GatewayProber {
-	return &GatewayProber{net: net, monitors: monitors, rng: rng, WaitFor: 30 * time.Second}
+	p := &GatewayProber{
+		net:      net,
+		monitors: monitors,
+		rng:      rng,
+		WaitFor:  30 * time.Second,
+		pending:  make(map[string]*probeSightings),
+	}
+	for _, m := range monitors {
+		p.removes = append(p.removes, m.OnEntry(p.observe))
+	}
+	return p
+}
+
+// Close detaches the prober's monitor taps and drops any in-flight probe
+// state. Call it when discarding a prober whose world keeps running;
+// probes whose wait window has not elapsed yet will never report.
+func (p *GatewayProber) Close() {
+	for _, rm := range p.removes {
+		rm()
+	}
+	p.removes = nil
+	p.pending = make(map[string]*probeSightings)
+}
+
+// observe records requesters of in-flight probe CIDs.
+func (p *GatewayProber) observe(e trace.Entry) {
+	ps, ok := p.pending[e.CID.Key()]
+	if !ok || !e.IsRequest() {
+		return
+	}
+	if _, seen := ps.addrs[e.NodeID]; !seen {
+		ps.ids = append(ps.ids, e.NodeID)
+		ps.addrs[e.NodeID] = e.Addr
+	}
 }
 
 // randomBlock generates a unique probe block; CID collisions are ruled out
@@ -76,11 +122,9 @@ func (p *GatewayProber) Probe(gw *gateway.Gateway, done func(ProbeResult)) {
 		m.Node.DHT.Provide(dht.KeyForCID(probeCID), nil)
 	}
 
-	// Step 2: note current trace positions so only new sightings count.
-	marks := make([]int, len(p.monitors))
-	for i, m := range p.monitors {
-		marks[i] = len(m.Trace())
-	}
+	// Step 2: start collecting sightings of the probe CID (the unique CID
+	// means anything observed from now on is this probe's traffic).
+	p.pending[probeCID.Key()] = &probeSightings{addrs: make(map[simnet.NodeID]string)}
 
 	// Step 3: request the probe CID through the gateway's HTTP side, then
 	// wait for Bitswap messages to arrive at the monitors.
@@ -94,18 +138,10 @@ func (p *GatewayProber) Probe(gw *gateway.Gateway, done func(ProbeResult)) {
 		res.HTTPFunctional = r.Status == gateway.StatusOK
 	})
 	p.net.After(p.WaitFor, func() {
-		seen := make(map[simnet.NodeID]bool)
-		for i, m := range p.monitors {
-			for _, e := range m.Trace()[marks[i]:] {
-				if !e.CID.Equal(probeCID) || !e.IsRequest() {
-					continue
-				}
-				if !seen[e.NodeID] {
-					seen[e.NodeID] = true
-					res.DiscoveredIDs = append(res.DiscoveredIDs, e.NodeID)
-					res.DiscoveredAddrs[e.NodeID] = e.Addr
-				}
-			}
+		if ps := p.pending[probeCID.Key()]; ps != nil { // nil after Close
+			delete(p.pending, probeCID.Key())
+			res.DiscoveredIDs = ps.ids
+			res.DiscoveredAddrs = ps.addrs
 		}
 		done(res)
 	})

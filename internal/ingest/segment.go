@@ -1,0 +1,447 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+// Segment files are the on-disk unit of a SegmentStore: a regular binary
+// trace stream (see trace.NewWriter) followed by a footer that summarises
+// the segment without decompressing it:
+//
+//	[gzip trace stream][footer JSON][uint64 LE footer length]["BSSEGFT1"]
+//
+// The footer is read by seeking to the end of the file, so opening a store
+// over months of segments touches only metadata. The payload remains
+// readable by a plain trace.Reader (which stops at the end of the gzip
+// stream and ignores the trailing footer).
+var segmentFooterMagic = []byte("BSSEGFT1")
+
+const segmentSuffix = ".seg"
+
+// Footer summarises one sealed segment.
+type Footer struct {
+	// Entries is the number of records in the segment.
+	Entries int `json:"entries"`
+	// First and Last bound the segment's timestamps (inclusive).
+	First time.Time `json:"first"`
+	Last  time.Time `json:"last"`
+	// PerType counts entries by want-list entry type, keyed by the wire
+	// spelling (WANT_HAVE, WANT_BLOCK, CANCEL).
+	PerType map[string]int `json:"per_type"`
+	// PerMonitor counts entries by recording monitor.
+	PerMonitor map[string]int `json:"per_monitor"`
+}
+
+func newFooter() *Footer {
+	return &Footer{PerType: make(map[string]int), PerMonitor: make(map[string]int)}
+}
+
+func (f *Footer) observe(e trace.Entry) {
+	if f.Entries == 0 || e.Timestamp.Before(f.First) {
+		f.First = e.Timestamp
+	}
+	if f.Entries == 0 || e.Timestamp.After(f.Last) {
+		f.Last = e.Timestamp
+	}
+	f.Entries++
+	f.PerType[e.Type.String()]++
+	f.PerMonitor[e.Monitor]++
+}
+
+// merge adds o's counts into f.
+func (f *Footer) merge(o Footer) {
+	if o.Entries == 0 {
+		return
+	}
+	if f.Entries == 0 || o.First.Before(f.First) {
+		f.First = o.First
+	}
+	if f.Entries == 0 || o.Last.After(f.Last) {
+		f.Last = o.Last
+	}
+	f.Entries += o.Entries
+	for k, v := range o.PerType {
+		f.PerType[k] += v
+	}
+	for k, v := range o.PerMonitor {
+		f.PerMonitor[k] += v
+	}
+}
+
+// overlaps reports whether the segment's time range intersects [from, to];
+// zero bounds are open.
+func (f *Footer) overlaps(from, to time.Time) bool {
+	if !from.IsZero() && f.Last.Before(from) {
+		return false
+	}
+	if !to.IsZero() && f.First.After(to) {
+		return false
+	}
+	return true
+}
+
+// SegmentInfo describes one sealed segment on disk.
+type SegmentInfo struct {
+	// Path is the segment file's location.
+	Path string
+	// Seq is the store-assigned sequence number (monotonic append order).
+	Seq int
+	// Footer is the segment's metadata summary.
+	Footer Footer
+}
+
+// SegmentOptions tunes a SegmentStore.
+type SegmentOptions struct {
+	// Rotation bounds the time span covered by one segment: a segment is
+	// sealed when an entry arrives Rotation or more after the segment's
+	// first entry. Default 1h.
+	Rotation time.Duration
+	// MaxEntries bounds the records per segment regardless of time span.
+	// Default 1<<20.
+	MaxEntries int
+}
+
+func (o SegmentOptions) withDefaults() SegmentOptions {
+	if o.Rotation <= 0 {
+		o.Rotation = time.Hour
+	}
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = 1 << 20
+	}
+	return o
+}
+
+// SegmentStore is a time-partitioned on-disk trace store. Writes stream into
+// an active segment file (so resident memory is one compression buffer, not
+// the trace); sealed segments carry footers so queries can skip segments by
+// time range without decompressing them. SegmentStore satisfies Sink.
+type SegmentStore struct {
+	dir  string
+	opts SegmentOptions
+
+	sealed []SegmentInfo
+	// skipped lists files that looked like segments but had no valid
+	// footer (e.g. after a crash) and were ignored when opening.
+	skipped []string
+
+	seq        int
+	f          *os.File
+	w          *trace.Writer
+	active     *Footer
+	activePath string
+}
+
+// OpenSegmentStore opens (creating if necessary) a segment store rooted at
+// dir. Existing sealed segments are indexed by reading their footers only.
+func OpenSegmentStore(dir string, opts SegmentOptions) (*SegmentStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: create store dir: %w", err)
+	}
+	s := &SegmentStore{dir: dir, opts: opts.withDefaults()}
+	names, err := filepath.Glob(filepath.Join(dir, "*"+segmentSuffix))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, path := range names {
+		var seq int
+		if _, err := fmt.Sscanf(filepath.Base(path), "%d"+segmentSuffix, &seq); err != nil {
+			s.skipped = append(s.skipped, path)
+			continue
+		}
+		if seq >= s.seq {
+			// Reserve the sequence number even if the segment turns out
+			// to be unsealed, so new segments never overwrite it.
+			s.seq = seq + 1
+		}
+		ft, err := ReadFooter(path)
+		if err != nil {
+			s.skipped = append(s.skipped, path)
+			continue
+		}
+		s.sealed = append(s.sealed, SegmentInfo{Path: path, Seq: seq, Footer: ft})
+	}
+	sortSegments(s.sealed)
+	return s, nil
+}
+
+func sortSegments(segs []SegmentInfo) {
+	sort.Slice(segs, func(i, j int) bool {
+		a, b := segs[i], segs[j]
+		if !a.Footer.First.Equal(b.Footer.First) {
+			return a.Footer.First.Before(b.Footer.First)
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// Write appends one entry, sealing and rotating the active segment when the
+// configured time span or entry cap is exceeded. Entries are expected in
+// roughly nondecreasing timestamp order (a monitor's natural output); an
+// out-of-order entry is stored in whatever segment is active.
+func (s *SegmentStore) Write(e trace.Entry) error {
+	if s.w != nil && s.shouldRotate(e) {
+		if err := s.seal(); err != nil {
+			return err
+		}
+	}
+	if s.w == nil {
+		if err := s.openSegment(); err != nil {
+			return err
+		}
+	}
+	if err := s.w.Write(e); err != nil {
+		return fmt.Errorf("ingest: write segment record: %w", err)
+	}
+	s.active.observe(e)
+	return nil
+}
+
+func (s *SegmentStore) shouldRotate(e trace.Entry) bool {
+	if s.active.Entries >= s.opts.MaxEntries {
+		return true
+	}
+	return s.active.Entries > 0 && e.Timestamp.Sub(s.active.First) >= s.opts.Rotation
+}
+
+func (s *SegmentStore) openSegment() error {
+	path := filepath.Join(s.dir, fmt.Sprintf("%06d%s", s.seq, segmentSuffix))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ingest: create segment: %w", err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	s.f, s.w, s.active, s.activePath = f, w, newFooter(), path
+	s.seq++
+	return nil
+}
+
+// seal finalises the active segment: closes the trace stream, appends the
+// footer, and indexes the segment. On failure the active segment is
+// abandoned (its file stays on disk, unsealed, like a crash leftover) so
+// the store remains usable for queries over the already-sealed segments
+// and a later Write starts a fresh segment.
+func (s *SegmentStore) seal() error {
+	if s.w == nil {
+		return nil
+	}
+	f, w, active, path := s.f, s.w, s.active, s.activePath
+	s.f, s.w, s.active, s.activePath = nil, nil, nil, ""
+	if err := w.Close(); err != nil {
+		f.Close()
+		s.skipped = append(s.skipped, path)
+		return fmt.Errorf("ingest: finalize segment stream: %w", err)
+	}
+	if err := writeFooter(f, *active); err != nil {
+		f.Close()
+		s.skipped = append(s.skipped, path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		s.skipped = append(s.skipped, path)
+		return fmt.Errorf("ingest: close segment: %w", err)
+	}
+	info := SegmentInfo{Path: path, Seq: s.seq - 1, Footer: *active}
+	if info.Footer.Entries == 0 {
+		// An empty segment (sealed before any write) carries no data;
+		// drop the file rather than index a zero-range segment.
+		return os.Remove(info.Path)
+	}
+	s.sealed = append(s.sealed, info)
+	sortSegments(s.sealed)
+	return nil
+}
+
+func writeFooter(w io.Writer, ft Footer) error {
+	blob, err := json.Marshal(ft)
+	if err != nil {
+		return fmt.Errorf("ingest: encode footer: %w", err)
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint64(tail[:], uint64(len(blob)))
+	for _, b := range [][]byte{blob, tail[:], segmentFooterMagic} {
+		if _, err := w.Write(b); err != nil {
+			return fmt.Errorf("ingest: write footer: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFooter reads a sealed segment's footer without decompressing its
+// payload.
+func ReadFooter(path string) (Footer, error) {
+	var ft Footer
+	f, err := os.Open(path)
+	if err != nil {
+		return ft, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return ft, err
+	}
+	tailLen := int64(8 + len(segmentFooterMagic))
+	if st.Size() < tailLen {
+		return ft, fmt.Errorf("ingest: %s: too short for a segment footer", path)
+	}
+	tail := make([]byte, tailLen)
+	if _, err := f.ReadAt(tail, st.Size()-tailLen); err != nil {
+		return ft, err
+	}
+	if string(tail[8:]) != string(segmentFooterMagic) {
+		return ft, fmt.Errorf("ingest: %s: missing segment footer magic", path)
+	}
+	n := int64(binary.LittleEndian.Uint64(tail[:8]))
+	if n <= 0 || n > st.Size()-tailLen {
+		return ft, fmt.Errorf("ingest: %s: bad footer length %d", path, n)
+	}
+	blob := make([]byte, n)
+	if _, err := f.ReadAt(blob, st.Size()-tailLen-n); err != nil {
+		return ft, err
+	}
+	if err := json.Unmarshal(blob, &ft); err != nil {
+		return ft, fmt.Errorf("ingest: %s: decode footer: %w", path, err)
+	}
+	return ft, nil
+}
+
+// Close seals the active segment. The store remains usable for queries, and
+// a subsequent Write starts a new segment.
+func (s *SegmentStore) Close() error { return s.seal() }
+
+// Segments returns the sealed segments in time order.
+func (s *SegmentStore) Segments() []SegmentInfo {
+	out := make([]SegmentInfo, len(s.sealed))
+	copy(out, s.sealed)
+	return out
+}
+
+// Skipped returns files in the store directory that were ignored for lack
+// of a valid footer (e.g. a segment left unsealed by a crash).
+func (s *SegmentStore) Skipped() []string {
+	out := make([]string, len(s.skipped))
+	copy(out, s.skipped)
+	return out
+}
+
+// Totals aggregates all sealed footers (entry counts, time range, per-type
+// and per-monitor counts) without reading any entry data.
+func (s *SegmentStore) Totals() Footer {
+	t := newFooter()
+	for _, seg := range s.sealed {
+		t.merge(seg.Footer)
+	}
+	return *t
+}
+
+// Query returns an iterator over entries with timestamps in [from, to]
+// (zero bounds are open) that satisfy keep (nil keeps everything). The
+// active segment is sealed first so results are complete. Segments are read
+// one at a time — resident memory is bounded by one decompression buffer —
+// and skipped entirely when their footer's time range does not overlap the
+// query. Entries are yielded in per-segment append order, i.e. in
+// nondecreasing timestamp order when writes were time-ordered, so the
+// iterator can feed a StreamUnifier directly.
+func (s *SegmentStore) Query(from, to time.Time, keep func(trace.Entry) bool) (*QueryIter, error) {
+	if err := s.seal(); err != nil {
+		return nil, err
+	}
+	var segs []SegmentInfo
+	for _, seg := range s.sealed {
+		if seg.Footer.overlaps(from, to) {
+			segs = append(segs, seg)
+		}
+	}
+	return &QueryIter{segs: segs, from: from, to: to, keep: keep}, nil
+}
+
+// QueryIter iterates a SegmentStore query one segment at a time. It
+// satisfies EntrySource.
+type QueryIter struct {
+	segs     []SegmentInfo
+	from, to time.Time
+	keep     func(trace.Entry) bool
+
+	idx int
+	f   *os.File
+	r   *trace.Reader
+}
+
+// Read returns the next matching entry, or io.EOF when the query is
+// exhausted.
+func (it *QueryIter) Read() (trace.Entry, error) {
+	for {
+		if it.r == nil {
+			if it.idx >= len(it.segs) {
+				return trace.Entry{}, io.EOF
+			}
+			seg := it.segs[it.idx]
+			it.idx++
+			f, err := os.Open(seg.Path)
+			if err != nil {
+				return trace.Entry{}, err
+			}
+			r, err := trace.NewReader(f)
+			if err != nil {
+				f.Close()
+				return trace.Entry{}, fmt.Errorf("ingest: open segment %s: %w", seg.Path, err)
+			}
+			it.f, it.r = f, r
+		}
+		e, err := it.r.Read()
+		if err == io.EOF {
+			it.closeSegment()
+			continue
+		}
+		if err != nil {
+			it.closeSegment()
+			return e, err
+		}
+		if !it.from.IsZero() && e.Timestamp.Before(it.from) {
+			continue
+		}
+		if !it.to.IsZero() && e.Timestamp.After(it.to) {
+			continue
+		}
+		if it.keep != nil && !it.keep(e) {
+			continue
+		}
+		return e, nil
+	}
+}
+
+func (it *QueryIter) closeSegment() {
+	if it.r != nil {
+		it.r.Close()
+		it.r = nil
+	}
+	if it.f != nil {
+		it.f.Close()
+		it.f = nil
+	}
+}
+
+// Close releases any open segment file. Read after Close resumes with the
+// next segment; call it only when abandoning the iterator early.
+func (it *QueryIter) Close() error {
+	it.closeSegment()
+	return nil
+}
+
+// TypeCount is a convenience for rendering per-type footer counts in a
+// stable order.
+func (f Footer) TypeCount(t wire.EntryType) int { return f.PerType[t.String()] }

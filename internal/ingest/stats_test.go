@@ -1,0 +1,195 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+func TestOnlineStatsTypeCountsAndBuckets(t *testing.T) {
+	s := NewOnlineStats(StatsOptions{Bucket: time.Hour})
+	// 3 hours: hour 0 gets WANT_HAVEs, hour 1 WANT_BLOCKs, hour 2 CANCELs.
+	for i := 0; i < 10; i++ {
+		s.Write(entry("us", 1, "a", wire.WantHave, t0.Add(time.Duration(i)*time.Minute)))
+	}
+	for i := 0; i < 7; i++ {
+		s.Write(entry("us", 1, "b", wire.WantBlock, t0.Add(time.Hour+time.Duration(i)*time.Minute)))
+	}
+	for i := 0; i < 4; i++ {
+		s.Write(entry("us", 1, "a", wire.Cancel, t0.Add(2*time.Hour+time.Duration(i)*time.Minute)))
+	}
+	if s.Entries() != 21 || s.Requests() != 17 {
+		t.Errorf("entries=%d requests=%d", s.Entries(), s.Requests())
+	}
+	tc := s.TypeCounts()
+	if tc[wire.WantHave] != 10 || tc[wire.WantBlock] != 7 || tc[wire.Cancel] != 4 {
+		t.Errorf("type counts = %v", tc)
+	}
+	buckets := s.Buckets()
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(buckets))
+	}
+	if buckets[0].WantHave != 10 || buckets[1].WantBlock != 7 || buckets[2].Cancel != 4 {
+		t.Errorf("bucket contents: %+v", buckets)
+	}
+	if !s.First().Equal(t0) || !s.Last().Equal(t0.Add(2*time.Hour+3*time.Minute)) {
+		t.Errorf("window = %v .. %v", s.First(), s.Last())
+	}
+}
+
+func TestOnlineStatsBucketEviction(t *testing.T) {
+	s := NewOnlineStats(StatsOptions{Bucket: time.Hour, MaxBuckets: 5})
+	for i := 0; i < 20; i++ {
+		s.Write(entry("us", 1, "a", wire.WantHave, t0.Add(time.Duration(i)*time.Hour)))
+	}
+	buckets := s.Buckets()
+	if len(buckets) != 5 {
+		t.Fatalf("retained %d buckets, want 5", len(buckets))
+	}
+	// The newest buckets survive.
+	if !buckets[len(buckets)-1].Start.Equal(t0.Add(19 * time.Hour).Truncate(time.Hour)) {
+		t.Errorf("newest bucket = %v", buckets[len(buckets)-1].Start)
+	}
+	// Totals remain exact despite eviction.
+	if s.Entries() != 20 {
+		t.Errorf("entries = %d", s.Entries())
+	}
+}
+
+func TestOnlineStatsDistinctEstimates(t *testing.T) {
+	s := NewOnlineStats(StatsOptions{})
+	rng := rand.New(rand.NewSource(5))
+	const peers = 2000
+	const perPeer = 5
+	for p := 0; p < peers; p++ {
+		id := simnet.RandomNodeID(rng)
+		for j := 0; j < perPeer; j++ {
+			e := trace.Entry{
+				Timestamp: t0.Add(time.Duration(p*perPeer+j) * time.Second),
+				Monitor:   "us",
+				NodeID:    id,
+				Addr:      "3.0.0.1:4001",
+				Type:      wire.WantHave,
+				CID:       cid.Sum(cid.Raw, []byte(fmt.Sprintf("c%d", p%500))),
+			}
+			s.Write(e)
+		}
+	}
+	if est := s.DistinctPeers(); math.Abs(est-peers)/peers > 0.08 {
+		t.Errorf("distinct peers estimate %.0f, want within 8%% of %d", est, peers)
+	}
+	if est := s.DistinctCIDs(); math.Abs(est-500)/500 > 0.08 {
+		t.Errorf("distinct CIDs estimate %.0f, want within 8%% of 500", est)
+	}
+}
+
+func TestOnlineStatsTopKSkewed(t *testing.T) {
+	s := NewOnlineStats(StatsOptions{TopK: 5})
+	rng := rand.New(rand.NewSource(11))
+	// Heavy hitters c0..c4 with descending counts over a noisy tail of
+	// 2000 distinct CIDs. CANCELs must not count toward popularity.
+	hot := []int{4000, 3000, 2000, 1500, 1000}
+	var stream []string
+	for i, n := range hot {
+		for j := 0; j < n; j++ {
+			stream = append(stream, fmt.Sprintf("hot%d", i))
+		}
+	}
+	for i := 0; i < 6000; i++ {
+		stream = append(stream, fmt.Sprintf("tail%d", rng.Intn(2000)))
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	for i, name := range stream {
+		s.Write(entry("us", byte(i%17), name, wire.WantHave, t0.Add(time.Duration(i)*time.Millisecond)))
+		if i%100 == 0 {
+			s.Write(entry("us", 1, name, wire.Cancel, t0.Add(time.Duration(i)*time.Millisecond)))
+		}
+	}
+
+	top := s.TopCIDs(5)
+	if len(top) != 5 {
+		t.Fatalf("top-K returned %d items", len(top))
+	}
+	want := make(map[string]int64)
+	for i, n := range hot {
+		want[cid.Sum(cid.DagProtobuf, []byte(fmt.Sprintf("hot%d", i))).Key()] = int64(n)
+	}
+	for rank, tc := range top {
+		exact, isHot := want[tc.CID.Key()]
+		if !isHot {
+			t.Errorf("rank %d: %s not a heavy hitter", rank, tc.CID)
+			continue
+		}
+		// Space-saving never undercounts and overcounts by <= ErrBound.
+		if tc.Count < exact || tc.Count-tc.ErrBound > exact {
+			t.Errorf("rank %d: estimate %d (err %d) vs exact %d", rank, tc.Count, tc.ErrBound, exact)
+		}
+	}
+	// Order: descending counts.
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Errorf("top-K out of order at %d: %d > %d", i, top[i].Count, top[i-1].Count)
+		}
+	}
+}
+
+func TestOnlineStatsAsSinkInTee(t *testing.T) {
+	stats := NewOnlineStats(StatsOptions{})
+	mem := NewMemorySink()
+	sink := Tee(mem, stats)
+	rng := rand.New(rand.NewSource(3))
+	in := randomMonitorTrace(rng, "us", 200, time.Hour)
+	for _, e := range in {
+		if err := sink.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if int(stats.Entries()) != len(in) || mem.Len() != len(in) {
+		t.Errorf("tee fan-out lost entries: stats=%d mem=%d want=%d", stats.Entries(), mem.Len(), len(in))
+	}
+	sum := trace.Summarize(mem.Snapshot())
+	if int(stats.Requests()) != sum.Requests {
+		t.Errorf("requests: online=%d batch=%d", stats.Requests(), sum.Requests)
+	}
+}
+
+func TestHyperLogLogSmallCounts(t *testing.T) {
+	h := newHyperLogLog()
+	if est := h.estimate(); est != 0 {
+		t.Errorf("empty HLL estimate = %v", est)
+	}
+	seen := make(map[uint64]bool)
+	rng := rand.New(rand.NewSource(1))
+	for len(seen) < 10 {
+		v := rng.Uint64()
+		seen[v] = true
+		h.add(v)
+		h.add(v) // duplicates must not change the estimate
+	}
+	if est := h.estimate(); math.Abs(est-10) > 1.5 {
+		t.Errorf("HLL small-range estimate %.2f, want ~10", est)
+	}
+}
+
+func TestOnlineStatsReportsEvictions(t *testing.T) {
+	s := NewOnlineStats(StatsOptions{Bucket: time.Hour, MaxBuckets: 5})
+	for i := 0; i < 3; i++ {
+		s.Write(entry("us", 1, "a", wire.WantHave, t0.Add(time.Duration(i)*time.Hour)))
+	}
+	if s.EvictedBuckets() != 0 {
+		t.Errorf("evictions before cap: %d", s.EvictedBuckets())
+	}
+	for i := 3; i < 20; i++ {
+		s.Write(entry("us", 1, "a", wire.WantHave, t0.Add(time.Duration(i)*time.Hour)))
+	}
+	if got := s.EvictedBuckets(); got != 15 { // 20 buckets, 5 retained
+		t.Errorf("evictions = %d, want 15", got)
+	}
+}

@@ -1,0 +1,260 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+// ErrUnsortedSource is returned when a source yields an entry with a
+// timestamp earlier than its predecessor; StreamUnifier requires each
+// source to be time-ordered (a monitor's natural output order).
+var ErrUnsortedSource = errors.New("ingest: source entries out of timestamp order")
+
+// dupKey identifies "the same logical request" across observations,
+// mirroring trace.Unify's key.
+type dupKey struct {
+	node simnet.NodeID
+	typ  wire.EntryType
+	c    cid.CID
+}
+
+type keyAt struct {
+	key dupKey
+	at  time.Time
+}
+
+// monitorSeen is one last-observation record: when, and (for the
+// inter-monitor window) at which monitor.
+type monitorSeen struct {
+	at      time.Time
+	monitor string
+}
+
+// windowMap is a last-seen map with FIFO expiry: entries older than the
+// window relative to the advancing watermark are evicted, so state is
+// bounded by the number of distinct requests inside one window rather than
+// the whole trace. Per-monitor rebroadcast windows leave the monitor field
+// empty.
+type windowMap struct {
+	window time.Duration
+	last   map[dupKey]monitorSeen
+	q      []keyAt
+	qh     int
+}
+
+func newWindowMap(window time.Duration) *windowMap {
+	return &windowMap{window: window, last: make(map[dupKey]monitorSeen)}
+}
+
+func (m *windowMap) get(k dupKey) (monitorSeen, bool) {
+	s, ok := m.last[k]
+	return s, ok
+}
+
+func (m *windowMap) put(k dupKey, at time.Time, monitor string) {
+	m.last[k] = monitorSeen{at: at, monitor: monitor}
+	m.q = append(m.q, keyAt{key: k, at: at})
+}
+
+// expire drops entries strictly older than watermark-window. Flag checks
+// use <= window comparisons, so nothing inside the window is ever evicted.
+func (m *windowMap) expire(watermark time.Time) {
+	for m.qh < len(m.q) && watermark.Sub(m.q[m.qh].at) > m.window {
+		ka := m.q[m.qh]
+		m.qh++
+		// Only evict if the map still holds the queued observation; a
+		// fresher one has its own queue slot.
+		if s, ok := m.last[ka.key]; ok && s.at.Equal(ka.at) {
+			delete(m.last, ka.key)
+		}
+	}
+	if m.qh > 0 && m.qh*2 >= len(m.q) {
+		m.q = append(m.q[:0], m.q[m.qh:]...)
+		m.qh = 0
+	}
+}
+
+func (m *windowMap) size() int { return len(m.last) }
+
+// StreamUnifier merges several time-ordered monitor streams into the
+// paper's unified trace (Sec. IV-B) online: same-monitor repetitions within
+// trace.RebroadcastWindow are flagged FlagRebroadcast and requests seen at
+// a different monitor within trace.InterMonitorWindow are flagged
+// FlagInterMonitorDup — exactly as the batch trace.Unify does, but with
+// memory bounded by the sliding windows instead of the whole trace.
+//
+// Output order and flags are identical to trace.Unify over the same inputs
+// (given each source is time-ordered): entries sharing a timestamp are
+// buffered until every source has advanced past it, then ordered by
+// trace.Sort's tie-breaks before flagging.
+//
+// StreamUnifier satisfies EntrySource, so unified output can be copied
+// straight into a Sink or another pipeline stage.
+type StreamUnifier struct {
+	srcs   []EntrySource
+	heads  []*trace.Entry
+	lastTS []time.Time
+	done   []bool
+
+	batch    []trace.Entry
+	batchPos int
+
+	perMonitor map[string]*windowMap
+	any        *windowMap
+
+	err error
+}
+
+// NewStreamUnifier merges the given sources. Source order matters only for
+// breaking exact ties (same timestamp, monitor, node and CID), where
+// earlier sources win — matching the argument order of trace.Unify.
+func NewStreamUnifier(sources ...EntrySource) *StreamUnifier {
+	return &StreamUnifier{
+		srcs:       sources,
+		heads:      make([]*trace.Entry, len(sources)),
+		lastTS:     make([]time.Time, len(sources)),
+		done:       make([]bool, len(sources)),
+		perMonitor: make(map[string]*windowMap),
+		any:        newWindowMap(trace.InterMonitorWindow),
+	}
+}
+
+// Read returns the next unified entry, or io.EOF when all sources are
+// exhausted.
+func (u *StreamUnifier) Read() (trace.Entry, error) {
+	if u.err != nil {
+		return trace.Entry{}, u.err
+	}
+	for u.batchPos >= len(u.batch) {
+		if err := u.refill(); err != nil {
+			u.err = err
+			return trace.Entry{}, err
+		}
+	}
+	e := u.batch[u.batchPos]
+	u.batchPos++
+	return e, nil
+}
+
+// ensureHead pulls the next entry from source i into the lookahead slot.
+func (u *StreamUnifier) ensureHead(i int) error {
+	if u.done[i] || u.heads[i] != nil {
+		return nil
+	}
+	e, err := u.srcs[i].Read()
+	if err == io.EOF {
+		u.done[i] = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if e.Timestamp.Before(u.lastTS[i]) {
+		return fmt.Errorf("%w: source %d: %s after %s",
+			ErrUnsortedSource, i, e.Timestamp.Format(time.RFC3339Nano), u.lastTS[i].Format(time.RFC3339Nano))
+	}
+	u.lastTS[i] = e.Timestamp
+	u.heads[i] = &e
+	return nil
+}
+
+// refill gathers the next timestamp's worth of entries from all sources,
+// orders them with trace.Sort's tie-breaks, and flags them.
+func (u *StreamUnifier) refill() error {
+	u.batch = u.batch[:0]
+	u.batchPos = 0
+
+	for i := range u.srcs {
+		if err := u.ensureHead(i); err != nil {
+			return err
+		}
+	}
+	var minTS time.Time
+	found := false
+	for i := range u.srcs {
+		if u.heads[i] != nil && (!found || u.heads[i].Timestamp.Before(minTS)) {
+			minTS = u.heads[i].Timestamp
+			found = true
+		}
+	}
+	if !found {
+		return io.EOF
+	}
+
+	// Collect every entry carrying minTS, preserving source order and
+	// FIFO order within a source (the concatenation order trace.Unify's
+	// stable sort starts from).
+	for i := range u.srcs {
+		for u.heads[i] != nil && u.heads[i].Timestamp.Equal(minTS) {
+			u.batch = append(u.batch, *u.heads[i])
+			u.heads[i] = nil
+			if err := u.ensureHead(i); err != nil {
+				return err
+			}
+		}
+	}
+
+	// trace.Sort's tie-breaks within one timestamp.
+	sort.SliceStable(u.batch, func(i, j int) bool {
+		a, b := u.batch[i], u.batch[j]
+		if a.Monitor != b.Monitor {
+			return a.Monitor < b.Monitor
+		}
+		if a.NodeID != b.NodeID {
+			return a.NodeID.Less(b.NodeID)
+		}
+		return a.CID.Key() < b.CID.Key()
+	})
+
+	// Advance the watermark before flagging: nothing older than minTS can
+	// arrive anymore, so state outside the windows relative to minTS is
+	// dead.
+	u.any.expire(minTS)
+	for _, pm := range u.perMonitor {
+		pm.expire(minTS)
+	}
+
+	for i := range u.batch {
+		u.flag(&u.batch[i])
+	}
+	return nil
+}
+
+// flag applies Sec. IV-B classification to one entry, in unified order.
+func (u *StreamUnifier) flag(e *trace.Entry) {
+	key := dupKey{node: e.NodeID, typ: e.Type, c: e.CID}
+
+	pm, ok := u.perMonitor[e.Monitor]
+	if !ok {
+		pm = newWindowMap(trace.RebroadcastWindow)
+		u.perMonitor[e.Monitor] = pm
+	}
+	if prev, seen := pm.get(key); seen && e.Timestamp.Sub(prev.at) <= trace.RebroadcastWindow {
+		e.Flags |= trace.FlagRebroadcast
+	}
+	pm.put(key, e.Timestamp, "")
+
+	if prev, seen := u.any.get(key); seen && prev.monitor != e.Monitor &&
+		e.Timestamp.Sub(prev.at) <= trace.InterMonitorWindow {
+		e.Flags |= trace.FlagInterMonitorDup
+	}
+	u.any.put(key, e.Timestamp, e.Monitor)
+}
+
+// stateSize reports the resident window state (distinct keys tracked), for
+// tests asserting bounded memory.
+func (u *StreamUnifier) stateSize() int {
+	n := u.any.size()
+	for _, pm := range u.perMonitor {
+		n += pm.size()
+	}
+	return n
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"bitswapmon/internal/dht"
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/node"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
@@ -27,8 +28,19 @@ type Monitor struct {
 	// Node is the underlying IPFS node (DHT server, unlimited connections).
 	Node *node.Node
 
-	net     *simnet.Network
-	entries []trace.Entry
+	net *simnet.Network
+
+	// sink receives every observed entry; by default an in-memory sink
+	// that keeps Trace()/ResetTrace() working. Production-scale scenarios
+	// inject an ingest.SegmentStore (or a Tee) via SetSink so the trace
+	// streams to disk instead of accumulating in RAM.
+	sink ingest.Sink
+	// mem is sink when it is the default memory sink, nil otherwise.
+	mem     *ingest.MemorySink
+	sinkErr error
+	// taps are live observers (see OnEntry) fed independently of the
+	// sink, so e.g. gateway probing works whatever the sink type.
+	taps []func(trace.Entry)
 
 	// peersSeen records every peer ever connected while monitoring, with
 	// first-seen time: the per-monitor peer sets of Sec. V-C.
@@ -51,10 +63,13 @@ func New(net *simnet.Network, name, addr string, region simnet.Region) (*Monitor
 	if err != nil {
 		return nil, fmt.Errorf("monitor %s: %w", name, err)
 	}
+	mem := ingest.NewMemorySink()
 	m := &Monitor{
 		Name:      name,
 		Node:      nd,
 		net:       net,
+		sink:      mem,
+		mem:       mem,
 		peersSeen: make(map[simnet.NodeID]time.Time),
 		active:    make(map[simnet.NodeID]bool),
 	}
@@ -103,26 +118,86 @@ func (m *Monitor) tapMessage(from simnet.NodeID, msg any) {
 	now := m.net.Now()
 	for _, entry := range bm.Wantlist {
 		m.active[from] = true
-		m.entries = append(m.entries, trace.Entry{
+		e := trace.Entry{
 			Timestamp: now,
 			Monitor:   m.Name,
 			NodeID:    from,
 			Addr:      addr,
 			Type:      entry.Type,
 			CID:       entry.CID,
-		})
+		}
+		if err := m.sink.Write(e); err != nil && m.sinkErr == nil {
+			m.sinkErr = err
+		}
+		for _, tap := range m.taps {
+			if tap != nil {
+				tap(e)
+			}
+		}
 	}
 }
 
-// Trace returns the recorded entries (live slice; callers must not mutate).
-func (m *Monitor) Trace() []trace.Entry { return m.entries }
+// OnEntry registers a live observer called for every entry as it is
+// recorded, independently of the configured sink. Observers must not
+// block; they run inside the simulation's delivery path. The returned
+// function unregisters the observer.
+func (m *Monitor) OnEntry(fn func(trace.Entry)) (remove func()) {
+	i := len(m.taps)
+	m.taps = append(m.taps, fn)
+	return func() { m.taps[i] = nil }
+}
+
+// SetSink redirects subsequent observations into s (e.g. an
+// ingest.SegmentStore, or ingest.Tee(store, stats)) and clears any error
+// recorded for the previous sink. Call it before the scenario runs:
+// entries already held by the previous sink are not migrated. With a
+// non-memory sink, Trace, TraceSince and ResetTrace return nil — the
+// trace lives wherever the sink put it.
+func (m *Monitor) SetSink(s ingest.Sink) {
+	m.sink = s
+	m.mem, _ = s.(*ingest.MemorySink)
+	m.sinkErr = nil
+}
+
+// SinkErr returns the first error the sink reported, if any. Entries
+// observed after a sink error are still offered to the sink.
+func (m *Monitor) SinkErr() error { return m.sinkErr }
+
+// Trace returns a snapshot of the recorded entries when the monitor writes
+// to a memory sink (the default), nil otherwise. The snapshot is owned by
+// the caller; mutating it cannot corrupt the monitor.
+func (m *Monitor) Trace() []trace.Entry {
+	if m.mem == nil {
+		return nil
+	}
+	return m.mem.Snapshot()
+}
+
+// TraceLen returns the number of entries recorded so far in the memory
+// sink without copying them.
+func (m *Monitor) TraceLen() int {
+	if m.mem == nil {
+		return 0
+	}
+	return m.mem.Len()
+}
+
+// TraceSince returns a snapshot of the memory-sink entries from index n
+// onward (pair with a TraceLen checkpoint to read only new observations).
+func (m *Monitor) TraceSince(n int) []trace.Entry {
+	if m.mem == nil {
+		return nil
+	}
+	return m.mem.Since(n)
+}
 
 // ResetTrace clears recorded entries (e.g. after a warm-up phase) and
-// returns the discarded entries.
+// returns the discarded entries. It only applies to the memory sink.
 func (m *Monitor) ResetTrace() []trace.Entry {
-	old := m.entries
-	m.entries = nil
-	return old
+	if m.mem == nil {
+		return nil
+	}
+	return m.mem.Reset()
 }
 
 // PeersSeen returns every peer that connected at least once while

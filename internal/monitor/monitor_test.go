@@ -8,6 +8,7 @@ import (
 	"bitswapmon/internal/bitswap"
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/dht"
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/node"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/wire"
@@ -215,5 +216,51 @@ func TestPeerIDUniform01Bounds(t *testing.T) {
 		if v < 0 || v >= 1 {
 			t.Fatalf("uniform01 out of range: %v", v)
 		}
+	}
+}
+
+func TestMonitorSinkInjection(t *testing.T) {
+	w := build(t, 4, 10)
+	mem := ingest.NewMemorySink()
+	w.mon.SetSink(ingest.Tee(mem))
+
+	w.nodes[1].Request(cid.Sum(cid.Raw, []byte("streamed")), func([]byte, bool) {})
+	w.net.Run(3 * time.Second)
+
+	if err := w.mon.SinkErr(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	if mem.Len() == 0 {
+		t.Fatal("injected sink received nothing")
+	}
+	// With a non-memory sink installed (Tee is opaque), the monitor holds
+	// no trace of its own.
+	if got := w.mon.Trace(); got != nil {
+		t.Errorf("Trace() = %d entries, want nil with external sink", len(got))
+	}
+	if w.mon.TraceLen() != 0 || w.mon.TraceSince(0) != nil || w.mon.ResetTrace() != nil {
+		t.Error("memory-sink accessors leaked data from external sink")
+	}
+
+	// Re-installing a memory sink restores Trace().
+	w.mon.SetSink(ingest.NewMemorySink())
+	w.nodes[2].Request(cid.Sum(cid.Raw, []byte("back to memory")), func([]byte, bool) {})
+	w.net.Run(3 * time.Second)
+	if w.mon.TraceLen() == 0 {
+		t.Error("memory sink not restored")
+	}
+}
+
+func TestTraceSnapshotIsStable(t *testing.T) {
+	w := build(t, 3, 11)
+	w.nodes[1].Request(cid.Sum(cid.Raw, []byte("snap")), func([]byte, bool) {})
+	w.net.Run(3 * time.Second)
+	snap := w.mon.Trace()
+	if len(snap) == 0 {
+		t.Fatal("no entries")
+	}
+	snap[0].Monitor = "corrupted"
+	if got := w.mon.Trace()[0].Monitor; got != "us" {
+		t.Errorf("monitor state corrupted through Trace(): %q", got)
 	}
 }

@@ -92,6 +92,10 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("open gzip: %w", err)
 	}
+	// A trace stream is a single gzip member; stop at its end instead of
+	// probing for a follow-up member, so containers may append trailing
+	// metadata (e.g. ingest segment footers) after the stream.
+	gz.Multistream(false)
 	br := bufio.NewReader(gz)
 	magic := make([]byte, len(fileMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -174,27 +178,61 @@ func ReadAll(r *Reader) ([]Entry, error) {
 	}
 }
 
-// WriteCSV renders entries as CSV with a header row, the exchange format for
-// external analysis tooling.
-func WriteCSV(w io.Writer, entries []Entry) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"timestamp", "monitor", "node_id", "address", "request_type", "cid", "flags"}); err != nil {
-		return err
-	}
-	for _, e := range entries {
-		rec := []string{
-			e.Timestamp.UTC().Format(time.RFC3339Nano),
-			e.Monitor,
-			e.NodeID.HexFull(),
-			e.Addr,
-			e.Type.String(),
-			e.CID.String(),
-			strconv.Itoa(int(e.Flags)),
+// CSVWriter streams entries as CSV rows, the exchange format for external
+// analysis tooling. The header row is written on the first entry (or on
+// Close for an empty trace), so a CSVWriter can sit at the end of a
+// pipeline without buffering.
+type CSVWriter struct {
+	cw     *csv.Writer
+	header bool
+}
+
+// NewCSVWriter wraps w.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w)}
+}
+
+var csvHeader = []string{"timestamp", "monitor", "node_id", "address", "request_type", "cid", "flags"}
+
+// Write renders one entry as a CSV row.
+func (w *CSVWriter) Write(e Entry) error {
+	if !w.header {
+		if err := w.cw.Write(csvHeader); err != nil {
+			return err
 		}
-		if err := cw.Write(rec); err != nil {
+		w.header = true
+	}
+	return w.cw.Write([]string{
+		e.Timestamp.UTC().Format(time.RFC3339Nano),
+		e.Monitor,
+		e.NodeID.HexFull(),
+		e.Addr,
+		e.Type.String(),
+		e.CID.String(),
+		strconv.Itoa(int(e.Flags)),
+	})
+}
+
+// Close flushes buffered rows (writing the header even if no entries were
+// written). The underlying writer is not closed.
+func (w *CSVWriter) Close() error {
+	if !w.header {
+		if err := w.cw.Write(csvHeader); err != nil {
+			return err
+		}
+		w.header = true
+	}
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// WriteCSV renders entries as CSV with a header row.
+func WriteCSV(w io.Writer, entries []Entry) error {
+	cw := NewCSVWriter(w)
+	for _, e := range entries {
+		if err := cw.Write(e); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return cw.Close()
 }

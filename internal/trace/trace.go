@@ -169,37 +169,76 @@ type Summary struct {
 	PerType      map[wire.EntryType]int
 }
 
+// Summarizer computes a Summary incrementally, so streaming pipelines can
+// summarise a trace in one pass. Memory is proportional to the distinct
+// peers and CIDs observed (the exact-uniqueness sets), not trace length.
+type Summarizer struct {
+	s     Summary
+	peers map[simnet.NodeID]bool
+	cids  map[cid.CID]bool
+}
+
+// NewSummarizer returns an empty Summarizer.
+func NewSummarizer() *Summarizer {
+	return &Summarizer{
+		s: Summary{
+			PerMonitor: make(map[string]int),
+			PerType:    make(map[wire.EntryType]int),
+		},
+		peers: make(map[simnet.NodeID]bool),
+		cids:  make(map[cid.CID]bool),
+	}
+}
+
+// Write folds one entry into the summary. It never fails; the error return
+// satisfies streaming sink interfaces.
+func (z *Summarizer) Write(e Entry) error {
+	s := &z.s
+	s.Entries++
+	if e.IsRequest() {
+		s.Requests++
+	}
+	z.peers[e.NodeID] = true
+	z.cids[e.CID] = true
+	if e.Flags&FlagRebroadcast != 0 {
+		s.Rebroadcasts++
+	}
+	if e.Flags&FlagInterMonitorDup != 0 {
+		s.InterMonDups++
+	}
+	s.PerMonitor[e.Monitor]++
+	s.PerType[e.Type]++
+	if s.First.IsZero() || e.Timestamp.Before(s.First) {
+		s.First = e.Timestamp
+	}
+	if e.Timestamp.After(s.Last) {
+		s.Last = e.Timestamp
+	}
+	return nil
+}
+
+// Summary returns the summary so far. The result is a snapshot: further
+// Write calls do not mutate it.
+func (z *Summarizer) Summary() Summary {
+	s := z.s
+	s.UniquePeers = len(z.peers)
+	s.UniqueCIDs = len(z.cids)
+	s.PerMonitor = make(map[string]int, len(z.s.PerMonitor))
+	for k, v := range z.s.PerMonitor {
+		s.PerMonitor[k] = v
+	}
+	s.PerType = make(map[wire.EntryType]int, len(z.s.PerType))
+	for k, v := range z.s.PerType {
+		s.PerType[k] = v
+	}
+	return s
+}
+
 // Summarize computes a Summary.
 func Summarize(entries []Entry) Summary {
-	s := Summary{
-		PerMonitor: make(map[string]int),
-		PerType:    make(map[wire.EntryType]int),
-	}
-	peers := make(map[simnet.NodeID]bool)
-	cids := make(map[cid.CID]bool)
+	z := NewSummarizer()
 	for _, e := range entries {
-		s.Entries++
-		if e.IsRequest() {
-			s.Requests++
-		}
-		peers[e.NodeID] = true
-		cids[e.CID] = true
-		if e.Flags&FlagRebroadcast != 0 {
-			s.Rebroadcasts++
-		}
-		if e.Flags&FlagInterMonitorDup != 0 {
-			s.InterMonDups++
-		}
-		s.PerMonitor[e.Monitor]++
-		s.PerType[e.Type]++
-		if s.First.IsZero() || e.Timestamp.Before(s.First) {
-			s.First = e.Timestamp
-		}
-		if e.Timestamp.After(s.Last) {
-			s.Last = e.Timestamp
-		}
+		z.Write(e)
 	}
-	s.UniquePeers = len(peers)
-	s.UniqueCIDs = len(cids)
-	return s
+	return z.Summary()
 }

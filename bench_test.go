@@ -13,6 +13,7 @@ package bitswapmon_test
 // paper-vs-measured for each artifact.
 
 import (
+	"fmt"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"bitswapmon/internal/attacks"
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/dht"
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/estimate"
 	"bitswapmon/internal/experiments"
 	"bitswapmon/internal/ingest"
@@ -87,7 +89,7 @@ func BenchmarkFig4RequestTypes(b *testing.B) {
 	var rep *experiments.UpgradeReport
 	var err error
 	for i := 0; i < b.N; i++ {
-		rep, err = experiments.RunUpgrade(80, 2, 7)
+		rep, err = experiments.RunUpgrade(80, 2, 7, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -410,4 +412,118 @@ func boolMetric(v bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// --- Engine benchmarks -----------------------------------------------------
+
+// ringNode bounces every received message to the next node in a ring,
+// keeping a constant number of messages in flight: a pure event-loop
+// workload (heap ops, latency sampling, delivery) with trivial handlers.
+type ringNode struct {
+	net  *simnet.Network
+	self simnet.NodeID
+	next simnet.NodeID
+}
+
+func (r *ringNode) HandleMessage(from simnet.NodeID, msg any) { _ = r.net.Send(r.self, r.next, msg) }
+func (r *ringNode) PeerConnected(simnet.NodeID)               {}
+func (r *ringNode) PeerDisconnected(simnet.NodeID)            {}
+
+// BenchmarkSimnetEventLoop measures raw serial event-loop throughput:
+// ns/op is the cost of one delivered message end to end (schedule, heap
+// pop, revalidate, handler, reschedule).
+func BenchmarkSimnetEventLoop(b *testing.B) {
+	start := time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+	net := simnet.New(start, 1, simnet.Fixed(5*time.Millisecond))
+	const n = 128
+	nodes := make([]*ringNode, n)
+	ids := make([]simnet.NodeID, n)
+	for i := range nodes {
+		ids[i] = simnet.DeriveNodeID([]byte{byte(i), byte(i >> 8), 0xee})
+		nodes[i] = &ringNode{net: net, self: ids[i]}
+		if err := net.AddNode(ids[i], "10.0.0.1:4001", simnet.RegionUS, 0, nodes[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := range nodes {
+		nodes[i].next = ids[(i+1)%n]
+		if err := net.Connect(ids[i], nodes[i].next); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := range nodes {
+		if err := net.Send(ids[i], nodes[i].next, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	delivered0, _ := net.Stats()
+	for {
+		delivered, _ := net.Stats()
+		if delivered-delivered0 >= uint64(b.N) {
+			break
+		}
+		net.Run(time.Second)
+	}
+}
+
+// BenchmarkSimnetPeers measures the connection-table snapshot path that
+// every bitswap broadcast round hits; the sort is cached between
+// connection-table changes.
+func BenchmarkSimnetPeers(b *testing.B) {
+	start := time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+	net := simnet.New(start, 1, nil)
+	const n = 600
+	hub := simnet.DeriveNodeID([]byte("hub"))
+	if err := net.AddNode(hub, "10.0.0.1:4001", simnet.RegionUS, 0, &ringNode{}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		id := simnet.DeriveNodeID([]byte{byte(i), byte(i >> 8), 0xcd})
+		if err := net.AddNode(id, "10.0.0.2:4001", simnet.RegionUS, 0, &ringNode{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Connect(hub, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(net.Peers(hub)); got != n {
+			b.Fatalf("got %d peers", got)
+		}
+	}
+}
+
+// benchEngineScaling runs the dense scaling scenario; each iteration is 30
+// simulated seconds. The delivered-per-wall-second metric is the engine's
+// effective throughput.
+func benchEngineScaling(b *testing.B, newEngine func(time.Time, int64) engine.Engine) {
+	w, err := workload.Build(experiments.DenseConfig(42, 2000, newEngine))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	w.Run(time.Duration(b.N) * 30 * time.Second)
+	wall := time.Since(start)
+	delivered, _ := w.Net.Stats()
+	if wall > 0 {
+		b.ReportMetric(float64(delivered)/wall.Seconds(), "delivered/wallsec")
+	}
+}
+
+// BenchmarkEngineScaling compares the serial reference against the sharded
+// engine at 1/2/4/8 shards on a traffic-dense 2000-node population (the
+// "large benchmark scenario"). With >= 4 CPUs the 4-shard engine beats
+// serial wall-clock; on fewer cores the sub-benchmarks instead bound the
+// synchronization overhead.
+func BenchmarkEngineScaling(b *testing.B) {
+	b.Logf("NumCPU=%d", runtime.NumCPU())
+	b.Run("serial", func(b *testing.B) { benchEngineScaling(b, nil) })
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			benchEngineScaling(b, engine.ShardedFactory(shards))
+		})
+	}
 }

@@ -4,12 +4,21 @@
 // Usage:
 //
 //	bsexperiments [-scale small|default] [-seed N] [-only week|upgrade]
+//	              [-engine serial|sharded] [-shards N]
+//	              [-cpuprofile FILE] [-memprofile FILE]
+//
+// The serial engine is the deterministic reference (same seed, same bytes);
+// the sharded engine runs the scenario across all cores with conservative
+// lookahead synchronization, for large populations. The profile flags write
+// pprof data for scaling work on either engine.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"bitswapmon/internal/experiments"
 )
@@ -28,6 +37,10 @@ func run(args []string) error {
 	only := fs.String("only", "", "run only one experiment: week or upgrade")
 	upgradeNodes := fs.Int("upgrade-nodes", 150, "population for the Fig. 4 scenario")
 	upgradeWeeks := fs.Int("upgrade-weeks", 3, "observed weeks for the Fig. 4 scenario")
+	engineName := fs.String("engine", "serial", "simulation engine: serial or sharded")
+	shards := fs.Int("shards", 0, "worker shards for -engine=sharded (0 = engine default)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +54,23 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
+	scale.Engine = *engineName
+	scale.Shards = *shards
+	if _, err := scale.NewEngine(); err != nil {
+		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *only == "" || *only == "week" {
 		rep, err := experiments.RunWeek(scale, *seed)
@@ -50,11 +80,27 @@ func run(args []string) error {
 		fmt.Println(rep.Render())
 	}
 	if *only == "" || *only == "upgrade" {
-		rep, err := experiments.RunUpgrade(*upgradeNodes, *upgradeWeeks, *seed)
+		newEngine, err := scale.NewEngine()
+		if err != nil {
+			return err
+		}
+		rep, err := experiments.RunUpgrade(*upgradeNodes, *upgradeWeeks, *seed, newEngine)
 		if err != nil {
 			return fmt.Errorf("upgrade scenario: %w", err)
 		}
 		fmt.Println(rep.Render())
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
 	}
 	return nil
 }

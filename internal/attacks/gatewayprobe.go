@@ -7,6 +7,7 @@ import (
 
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/dht"
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/gateway"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/simnet"
@@ -39,7 +40,7 @@ type ProbeResult struct {
 // gateway's HTTP side, and watch the monitors' traces for the Bitswap
 // request that betrays the gateway's node ID.
 type GatewayProber struct {
-	net      *simnet.Network
+	net      engine.Engine
 	monitors []*monitor.Monitor
 	rng      *rand.Rand
 	// WaitFor is how long to watch traces after the HTTP request
@@ -60,7 +61,7 @@ type probeSightings struct {
 }
 
 // NewGatewayProber builds a prober over the given monitors.
-func NewGatewayProber(net *simnet.Network, monitors []*monitor.Monitor, rng *rand.Rand) *GatewayProber {
+func NewGatewayProber(net engine.Engine, monitors []*monitor.Monitor, rng *rand.Rand) *GatewayProber {
 	p := &GatewayProber{
 		net:      net,
 		monitors: monitors,

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bitswapmon/internal/cid"
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/wire"
 )
@@ -16,7 +17,7 @@ import (
 // Bitswap to ask.
 type Prober struct {
 	ID  simnet.NodeID
-	net *simnet.Network
+	net engine.Engine
 
 	pending map[cid.CID]*probe
 }
@@ -30,7 +31,7 @@ type probe struct {
 var _ simnet.Handler = (*Prober)(nil)
 
 // NewProber registers a prober node on the network.
-func NewProber(net *simnet.Network, name, addr string, region simnet.Region) (*Prober, error) {
+func NewProber(net engine.Engine, name, addr string, region simnet.Region) (*Prober, error) {
 	p := &Prober{
 		ID:      simnet.DeriveNodeID([]byte("prober:" + name)),
 		net:     net,
@@ -39,6 +40,10 @@ func NewProber(net *simnet.Network, name, addr string, region simnet.Region) (*P
 	if err := net.AddNode(p.ID, addr, region, 0, p); err != nil {
 		return nil, fmt.Errorf("register prober: %w", err)
 	}
+	// The prober's probe map is driven both by its own message handler and
+	// by whoever calls TestPastInterest (control-affine attack drivers), so
+	// it runs on the control shard like the monitors.
+	net.Pin(p.ID)
 	return p, nil
 }
 
@@ -64,7 +69,7 @@ func (p *Prober) TestPastInterest(target simnet.NodeID, c cid.CID, timeout time.
 		done(false, false)
 		return
 	}
-	p.net.After(timeout, func() {
+	p.net.AfterOn(p.ID, timeout, func() {
 		if !pr.fired {
 			pr.fired = true
 			delete(p.pending, c)

@@ -24,6 +24,7 @@ import (
 
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/dht"
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/wire"
 )
@@ -147,7 +148,7 @@ type wantState struct {
 
 // Engine is one node's Bitswap implementation.
 type Engine struct {
-	net    *simnet.Network
+	net    engine.Engine
 	self   simnet.NodeID
 	store  BlockStore
 	router ProviderRouter
@@ -162,7 +163,7 @@ type Engine struct {
 }
 
 // New creates an engine for node self.
-func New(net *simnet.Network, self simnet.NodeID, store BlockStore, router ProviderRouter, cfg Config) *Engine {
+func New(net engine.Engine, self simnet.NodeID, store BlockStore, router ProviderRouter, cfg Config) *Engine {
 	if cfg.RebroadcastInterval <= 0 {
 		cfg.RebroadcastInterval = 30 * time.Second
 	}
@@ -361,7 +362,7 @@ func (e *Engine) sendCancels(w *wantState) {
 // scheduleProviderSearch arms step 3 of Fig. 1: after ProviderSearchDelay,
 // if the session is still empty, search the DHT.
 func (e *Engine) scheduleProviderSearch(w *wantState) {
-	e.net.After(e.cfg.ProviderSearchDelay, func() {
+	e.net.AfterOn(e.self, e.cfg.ProviderSearchDelay, func() {
 		if w.resolved || w.cancelled || len(w.session.peers) > 0 || w.searching {
 			return
 		}
@@ -401,7 +402,7 @@ func (e *Engine) searchProviders(w *wantState) {
 // scheduleRebroadcast arms the idle loop: every RebroadcastInterval an
 // unresolved broadcast-want re-broadcasts and re-searches the DHT.
 func (e *Engine) scheduleRebroadcast(w *wantState) {
-	e.net.After(e.cfg.RebroadcastInterval, func() {
+	e.net.AfterOn(e.self, e.cfg.RebroadcastInterval, func() {
 		if w.resolved || w.cancelled {
 			return
 		}
@@ -435,7 +436,7 @@ func (e *Engine) scheduleGiveUp(w *wantState) {
 	if e.cfg.GiveUpAfter <= 0 {
 		return
 	}
-	e.net.After(e.cfg.GiveUpAfter, func() {
+	e.net.AfterOn(e.self, e.cfg.GiveUpAfter, func() {
 		if w.resolved || w.cancelled {
 			return
 		}

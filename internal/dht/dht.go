@@ -3,6 +3,7 @@ package dht
 import (
 	"time"
 
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/simnet"
 )
 
@@ -105,7 +106,7 @@ func (c Config) withDefaults() Config {
 // the simnet event loop (no goroutines): RPC replies and timeouts arrive as
 // events, lookups are callback state machines.
 type DHT struct {
-	net  *simnet.Network
+	net  engine.Engine
 	self PeerInfo
 	cfg  Config
 
@@ -121,7 +122,7 @@ type DHT struct {
 }
 
 // New creates a DHT for the node identified by self.
-func New(net *simnet.Network, self PeerInfo, cfg Config) *DHT {
+func New(net engine.Engine, self PeerInfo, cfg Config) *DHT {
 	cfg = cfg.withDefaults()
 	self.Server = cfg.Mode == ModeServer
 	return &DHT{
@@ -244,7 +245,7 @@ func (d *DHT) sendGetProviders(p PeerInfo, key Key, cb func(getProvidersResp, bo
 }
 
 func (d *DHT) expireAfter(id uint64) {
-	d.net.After(d.cfg.RPCTimeout, func() {
+	d.net.AfterOn(d.self.ID, d.cfg.RPCTimeout, func() {
 		p, ok := d.pending[id]
 		if !ok {
 			return

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// RaceEnabled reports whether the binary was built with the race detector,
+// whose 10-20x serialization makes wall-clock comparisons meaningless.
+const RaceEnabled = true

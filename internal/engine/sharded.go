@@ -1,0 +1,623 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bitswapmon/internal/simnet"
+)
+
+// ShardedConfig parametrises the parallel engine.
+type ShardedConfig struct {
+	// Shards is the number of worker shards (default: 4). Shard 0 is the
+	// control shard: it runs all control-affine timers plus every pinned
+	// node (monitors, gateways).
+	Shards int
+	// Latency is the delay model; nil selects simnet.DefaultLatencyModel.
+	Latency *simnet.LatencyModel
+	// Lookahead overrides the conservative synchronization window. It must
+	// not exceed the minimum latency the model can produce, or cross-shard
+	// messages could be delivered into a window a shard has already
+	// processed. 0 derives it from the model (the safe default).
+	Lookahead time.Duration
+}
+
+// Sharded is a multi-core discrete-event engine. It partitions the node
+// population across worker shards (hash of the node ID) and advances them in
+// lockstep over conservative lookahead windows:
+//
+//	window = [W, W+L), L = min latency of the delay model
+//
+// Because every message takes at least L of virtual time, no event executed
+// inside the current window can require delivery inside it on another shard
+// — shards can process their own windows in parallel without coordination,
+// synchronizing only at window boundaries. The window start doubles as the
+// engine-wide virtual clock, so Now() is quantized to L (≈ milliseconds)
+// while the serial reference is exact; all protocol timers are seconds or
+// more, which keeps the two engines statistically equivalent.
+//
+// Within a window each shard runs its events single-threaded in (time, seq)
+// order, so per-node protocol state needs no locking as long as all events
+// touching a node run on its owner shard — that is what Timers.AfterOn/Post
+// affinity is for. Shared engine state (connection table, node registry) is
+// guarded here; handler callbacks crossing shard boundaries (PeerConnected
+// and friends) are marshalled onto the owner shard as events.
+//
+// The sharded engine is statistically — not bitwise — equivalent to the
+// serial reference: latency draws come from per-shard RNG streams and
+// cross-shard tie-breaking depends on scheduling, so per-seed determinism is
+// only guaranteed by the serial engine.
+type Sharded struct {
+	start     time.Time
+	nowNs     atomic.Int64 // virtual now, nanoseconds since start
+	lm        *simnet.LatencyModel
+	lookahead time.Duration
+
+	rootMu  sync.Mutex
+	rootRNG *rand.Rand
+
+	mu          sync.RWMutex // guards nodes, per-node peer/online state
+	nodes       map[NodeID]*shardedNode
+	nodesSorted []NodeID
+
+	shards []*shard
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+type shardedNode struct {
+	id       NodeID
+	addr     string
+	region   Region
+	handler  Handler
+	maxConns int
+	peers    map[NodeID]bool
+	sorted   []NodeID // kept sorted eagerly; mutated under Sharded.mu
+	online   bool
+	shard    int
+}
+
+// sev is one scheduled event on a shard.
+type sev struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type sevQueue []*sev
+
+func (q sevQueue) Len() int { return len(q) }
+func (q sevQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q sevQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *sevQueue) Push(x any)   { *q = append(*q, x.(*sev)) }
+func (q *sevQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+type shard struct {
+	mu   sync.Mutex
+	q    sevQueue
+	seq  uint64
+	pool []*sev
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewSharded creates a sharded engine starting at the given virtual time
+// with the given seed. NewRand derives the same labelled streams as the
+// serial engine for the same seed, so world construction is identical
+// across engines.
+func NewSharded(start time.Time, seed int64, cfg ShardedConfig) *Sharded {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = simnet.DefaultLatencyModel()
+	}
+	la := cfg.Lookahead
+	if la <= 0 {
+		la = cfg.Latency.Min()
+	}
+	if la <= 0 {
+		la = time.Millisecond
+	}
+	s := &Sharded{
+		start:     start,
+		lm:        cfg.Latency,
+		lookahead: la,
+		rootRNG:   rand.New(rand.NewSource(seed)),
+		nodes:     make(map[NodeID]*shardedNode),
+		shards:    make([]*shard, cfg.Shards),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{rng: rand.New(rand.NewSource(seed ^ int64(0x9e3779b97f4a7c15*uint64(i+1))))}
+	}
+	return s
+}
+
+// ShardedFactory adapts NewSharded to the workload.Config.NewEngine hook.
+func ShardedFactory(shards int) func(start time.Time, seed int64) Engine {
+	return func(start time.Time, seed int64) Engine {
+		return NewSharded(start, seed, ShardedConfig{Shards: shards})
+	}
+}
+
+// Shards returns the worker shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Lookahead returns the conservative synchronization window.
+func (s *Sharded) Lookahead() time.Duration { return s.lookahead }
+
+// Now returns the current virtual time (the current window start while the
+// engine is running).
+func (s *Sharded) Now() time.Time { return s.start.Add(time.Duration(s.nowNs.Load())) }
+
+func (s *Sharded) setNow(t time.Time) { s.nowNs.Store(int64(t.Sub(s.start))) }
+
+// NewRand derives an independent deterministic RNG labelled by name, with
+// the same derivation as the serial engine. Call at build time or between
+// Run calls only.
+func (s *Sharded) NewRand(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	s.rootMu.Lock()
+	defer s.rootMu.Unlock()
+	return rand.New(rand.NewSource(s.rootRNG.Int63() ^ int64(h.Sum64())))
+}
+
+// ownerShard returns the shard responsible for a node's events; unknown
+// nodes map to the control shard.
+func (s *Sharded) ownerShard(id NodeID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ownerShardLocked(id)
+}
+
+func (s *Sharded) ownerShardLocked(id NodeID) int {
+	if st, ok := s.nodes[id]; ok {
+		return st.shard
+	}
+	return 0
+}
+
+func (s *Sharded) schedule(shardIdx int, at time.Time, fn func()) {
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	sh.seq++
+	var e *sev
+	if k := len(sh.pool); k > 0 {
+		e = sh.pool[k-1]
+		sh.pool = sh.pool[:k-1]
+		e.at, e.seq, e.fn = at, sh.seq, fn
+	} else {
+		e = &sev{at: at, seq: sh.seq, fn: fn}
+	}
+	heap.Push(&sh.q, e)
+	sh.mu.Unlock()
+}
+
+// After schedules fn after d of virtual time on the control shard.
+func (s *Sharded) After(d time.Duration, fn func()) {
+	s.schedule(0, s.Now().Add(d), fn)
+}
+
+// At schedules fn at an absolute virtual time (clamped to now) on the
+// control shard.
+func (s *Sharded) At(t time.Time, fn func()) {
+	if now := s.Now(); t.Before(now) {
+		t = now
+	}
+	s.schedule(0, t, fn)
+}
+
+// AfterOn schedules fn after d of virtual time on the shard owning id.
+func (s *Sharded) AfterOn(id NodeID, d time.Duration, fn func()) {
+	s.schedule(s.ownerShard(id), s.Now().Add(d), fn)
+}
+
+// Post schedules fn as soon as possible on the shard owning id.
+func (s *Sharded) Post(id NodeID, fn func()) {
+	s.schedule(s.ownerShard(id), s.Now(), fn)
+}
+
+// AddNode registers a node, assigning it to a shard by ID hash. Call at
+// build time or between Run calls.
+func (s *Sharded) AddNode(id NodeID, addr string, region Region, maxConns int, h Handler) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.nodes[id]; ok {
+		return fmt.Errorf("engine: node %s already registered", id)
+	}
+	h64 := fnv.New64a()
+	h64.Write(id[:])
+	s.nodes[id] = &shardedNode{
+		id:       id,
+		addr:     addr,
+		region:   region,
+		handler:  h,
+		maxConns: maxConns,
+		peers:    make(map[NodeID]bool),
+		online:   true,
+		shard:    int(h64.Sum64() % uint64(len(s.shards))),
+	}
+	s.nodesSorted = nil
+	return nil
+}
+
+// Pin moves a node to the control shard. Pin right after AddNode, before
+// any event for the node is scheduled.
+func (s *Sharded) Pin(id NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.nodes[id]; ok {
+		st.shard = 0
+	}
+}
+
+// SetOnline flips a node's availability. Taking a node offline tears down
+// all of its connections; peer notifications are marshalled to the affected
+// nodes' shards.
+func (s *Sharded) SetOnline(id NodeID, online bool) error {
+	s.mu.Lock()
+	st, ok := s.nodes[id]
+	if !ok {
+		s.mu.Unlock()
+		return simnet.ErrUnknownNode
+	}
+	if st.online == online {
+		s.mu.Unlock()
+		return nil
+	}
+	st.online = online
+	var notify []func()
+	if !online {
+		peers := append([]NodeID(nil), st.sorted...)
+		for _, p := range peers {
+			sp := s.nodes[p]
+			s.teardownLocked(st, sp)
+			notify = append(notify, s.notifyDisconnectLocked(st, sp)...)
+		}
+	}
+	s.mu.Unlock()
+	for _, fn := range notify {
+		fn()
+	}
+	return nil
+}
+
+// notifyDisconnectLocked prepares the (deferred) PeerDisconnected posts for
+// both sides of a torn-down connection.
+func (s *Sharded) notifyDisconnectLocked(sa, sb *shardedNode) []func() {
+	aShard, bShard := sa.shard, sb.shard
+	ha, hb := sa.handler, sb.handler
+	aid, bid := sa.id, sb.id
+	return []func(){
+		func() { s.schedule(aShard, s.Now(), func() { ha.PeerDisconnected(bid) }) },
+		func() { s.schedule(bShard, s.Now(), func() { hb.PeerDisconnected(aid) }) },
+	}
+}
+
+// IsOnline reports a node's availability.
+func (s *Sharded) IsOnline(id NodeID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.nodes[id]
+	return ok && st.online
+}
+
+// Addr returns a node's network address.
+func (s *Sharded) Addr(id NodeID) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.nodes[id]
+	if !ok {
+		return "", false
+	}
+	return st.addr, true
+}
+
+// NodeRegion returns a node's region.
+func (s *Sharded) NodeRegion(id NodeID) (Region, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.nodes[id]
+	if !ok {
+		return "", false
+	}
+	return st.region, true
+}
+
+// Connect establishes a bidirectional connection with the same validation
+// as the serial engine. PeerConnected callbacks run as events on each
+// side's owner shard rather than synchronously.
+func (s *Sharded) Connect(a, b NodeID) error {
+	if a == b {
+		return simnet.ErrSelfDial
+	}
+	s.mu.Lock()
+	sa, ok := s.nodes[a]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", simnet.ErrUnknownNode, a)
+	}
+	sb, ok := s.nodes[b]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", simnet.ErrUnknownNode, b)
+	}
+	if !sa.online || !sb.online {
+		s.mu.Unlock()
+		return simnet.ErrOffline
+	}
+	if sa.peers[b] {
+		s.mu.Unlock()
+		return nil
+	}
+	if sb.maxConns > 0 && len(sb.peers) >= sb.maxConns {
+		s.mu.Unlock()
+		return simnet.ErrAtCapacity
+	}
+	if sa.maxConns > 0 && len(sa.peers) >= sa.maxConns {
+		s.mu.Unlock()
+		return simnet.ErrAtCapacity
+	}
+	sa.peers[b] = true
+	sb.peers[a] = true
+	sa.sorted = insertSorted(sa.sorted, b)
+	sb.sorted = insertSorted(sb.sorted, a)
+	aShard, bShard := sa.shard, sb.shard
+	ha, hb := sa.handler, sb.handler
+	s.mu.Unlock()
+	s.schedule(aShard, s.Now(), func() { ha.PeerConnected(b) })
+	s.schedule(bShard, s.Now(), func() { hb.PeerConnected(a) })
+	return nil
+}
+
+// Disconnect tears down the connection between a and b, if any.
+func (s *Sharded) Disconnect(a, b NodeID) {
+	s.mu.Lock()
+	sa, oka := s.nodes[a]
+	sb, okb := s.nodes[b]
+	if !oka || !okb || !sa.peers[b] {
+		s.mu.Unlock()
+		return
+	}
+	s.teardownLocked(sa, sb)
+	notify := s.notifyDisconnectLocked(sa, sb)
+	s.mu.Unlock()
+	for _, fn := range notify {
+		fn()
+	}
+}
+
+func (s *Sharded) teardownLocked(sa, sb *shardedNode) {
+	delete(sa.peers, sb.id)
+	delete(sb.peers, sa.id)
+	sa.sorted = removeSorted(sa.sorted, sb.id)
+	sb.sorted = removeSorted(sb.sorted, sa.id)
+}
+
+// Connected reports whether a and b share a connection.
+func (s *Sharded) Connected(a, b NodeID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sa, ok := s.nodes[a]
+	return ok && sa.peers[b]
+}
+
+// Peers returns a snapshot of a node's connected peers, sorted by ID.
+func (s *Sharded) Peers(id NodeID) []NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.nodes[id]
+	if !ok {
+		return nil
+	}
+	return append([]NodeID(nil), st.sorted...)
+}
+
+// PeerCount returns the size of a node's connection table.
+func (s *Sharded) PeerCount(id NodeID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.nodes[id]
+	if !ok {
+		return 0
+	}
+	return len(st.peers)
+}
+
+// Nodes returns the IDs of all registered nodes, sorted by ID.
+func (s *Sharded) Nodes() []NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nodesSorted == nil {
+		s.nodesSorted = make([]NodeID, 0, len(s.nodes))
+		for id := range s.nodes {
+			s.nodesSorted = append(s.nodesSorted, id)
+		}
+		sort.Slice(s.nodesSorted, func(i, j int) bool { return s.nodesSorted[i].Less(s.nodesSorted[j]) })
+	}
+	return append([]NodeID(nil), s.nodesSorted...)
+}
+
+// Send schedules delivery of msg after the modelled latency, on the shard
+// owning the destination. Delays are floored at the lookahead so delivery
+// always lands in a later window than the send — the conservative-sync
+// invariant.
+func (s *Sharded) Send(from, to NodeID, msg any) error {
+	s.mu.RLock()
+	sf, ok := s.nodes[from]
+	if !ok {
+		s.mu.RUnlock()
+		return fmt.Errorf("%w: %s", simnet.ErrUnknownNode, from)
+	}
+	if !sf.peers[to] {
+		s.mu.RUnlock()
+		return fmt.Errorf("%w: %s -> %s", simnet.ErrNotConnected, from, to)
+	}
+	st := s.nodes[to]
+	fromShard, toShard := sf.shard, st.shard
+	fromRegion, toRegion := sf.region, st.region
+	handler := st.handler
+	s.mu.RUnlock()
+
+	sh := s.shards[fromShard]
+	sh.rngMu.Lock()
+	delay := s.lm.Sample(fromRegion, toRegion, sh.rng)
+	sh.rngMu.Unlock()
+	if delay < s.lookahead {
+		delay = s.lookahead
+	}
+	s.schedule(toShard, s.Now().Add(delay), func() {
+		// Revalidate at delivery time: connection and liveness may have
+		// changed while the message was in flight.
+		s.mu.RLock()
+		sf2, ok1 := s.nodes[from]
+		st2, ok2 := s.nodes[to]
+		alive := ok1 && ok2 && sf2.peers[to] && st2.online
+		s.mu.RUnlock()
+		if !alive {
+			s.dropped.Add(1)
+			return
+		}
+		s.delivered.Add(1)
+		handler.HandleMessage(from, msg)
+	})
+	return nil
+}
+
+// Stats reports delivery counters.
+func (s *Sharded) Stats() (delivered, dropped uint64) {
+	return s.delivered.Load(), s.dropped.Load()
+}
+
+// Run processes events for d of virtual time.
+func (s *Sharded) Run(d time.Duration) { s.RunUntil(s.Now().Add(d)) }
+
+// RunUntil processes events until every shard's queue is drained past
+// deadline. The clock is left at deadline. Only one RunUntil may be active
+// at a time, and it must not be called from event code.
+func (s *Sharded) RunUntil(deadline time.Time) {
+	type win struct {
+		end       time.Time
+		inclusive bool
+	}
+	nsh := len(s.shards)
+	goChs := make([]chan win, nsh)
+	arrive := make(chan struct{}, nsh)
+	var wg sync.WaitGroup
+	for i := 0; i < nsh; i++ {
+		goChs[i] = make(chan win)
+		wg.Add(1)
+		go func(sh *shard, ch chan win) {
+			defer wg.Done()
+			for c := range ch {
+				sh.processUntil(c.end, c.inclusive)
+				arrive <- struct{}{}
+			}
+		}(s.shards[i], goChs[i])
+	}
+	for {
+		m, ok := s.earliest()
+		if !ok || m.After(deadline) {
+			break
+		}
+		W := m
+		if now := s.Now(); W.Before(now) {
+			W = now
+		}
+		s.setNow(W)
+		wEnd := W.Add(s.lookahead)
+		inclusive := false
+		if !wEnd.Before(deadline) {
+			// Final window: include events scheduled exactly at the
+			// deadline, matching the serial engine's RunUntil semantics.
+			wEnd = deadline
+			inclusive = true
+		}
+		for i := 0; i < nsh; i++ {
+			goChs[i] <- win{end: wEnd, inclusive: inclusive}
+		}
+		for i := 0; i < nsh; i++ {
+			<-arrive
+		}
+	}
+	if s.Now().Before(deadline) {
+		s.setNow(deadline)
+	}
+	for i := 0; i < nsh; i++ {
+		close(goChs[i])
+	}
+	wg.Wait()
+}
+
+// earliest returns the earliest pending event time across shards. It runs
+// between windows, when all workers are idle, so heap peeks are exact.
+func (s *Sharded) earliest() (time.Time, bool) {
+	var m time.Time
+	found := false
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if len(sh.q) > 0 && (!found || sh.q[0].at.Before(m)) {
+			m = sh.q[0].at
+			found = true
+		}
+		sh.mu.Unlock()
+	}
+	return m, found
+}
+
+// processUntil runs this shard's events with at < end (at <= end when
+// inclusive) in (time, seq) order.
+func (sh *shard) processUntil(end time.Time, inclusive bool) {
+	for {
+		sh.mu.Lock()
+		if len(sh.q) == 0 {
+			sh.mu.Unlock()
+			return
+		}
+		at := sh.q[0].at
+		if at.After(end) || (!inclusive && at.Equal(end)) {
+			sh.mu.Unlock()
+			return
+		}
+		e := heap.Pop(&sh.q).(*sev)
+		fn := e.fn
+		e.fn = nil
+		if len(sh.pool) < 1024 {
+			sh.pool = append(sh.pool, e)
+		}
+		sh.mu.Unlock()
+		fn()
+	}
+}
+
+func insertSorted(ids []NodeID, id NodeID) []NodeID {
+	i := sort.Search(len(ids), func(i int) bool { return !ids[i].Less(id) })
+	ids = append(ids, NodeID{})
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+func removeSorted(ids []NodeID, id NodeID) []NodeID {
+	i := sort.Search(len(ids), func(i int) bool { return !ids[i].Less(id) })
+	if i < len(ids) && ids[i] == id {
+		return append(ids[:i], ids[i+1:]...)
+	}
+	return ids
+}
+
+var _ Engine = (*Sharded)(nil)

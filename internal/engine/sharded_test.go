@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bitswapmon/internal/simnet"
+)
+
+var t0 = time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+
+// recHandler records deliveries and connection callbacks.
+type recHandler struct {
+	msgs    atomic.Int64
+	conns   atomic.Int64
+	disc    atomic.Int64
+	lastMsg atomic.Value // string
+}
+
+func (h *recHandler) HandleMessage(from NodeID, msg any) {
+	h.msgs.Add(1)
+	h.lastMsg.Store(fmt.Sprint(msg))
+}
+func (h *recHandler) PeerConnected(p NodeID)    { h.conns.Add(1) }
+func (h *recHandler) PeerDisconnected(p NodeID) { h.disc.Add(1) }
+
+// addNodes registers n nodes and returns ids and handlers.
+func addNodes(t *testing.T, s *Sharded, n int) ([]NodeID, []*recHandler) {
+	t.Helper()
+	ids := make([]NodeID, n)
+	hs := make([]*recHandler, n)
+	for i := range ids {
+		ids[i] = simnet.DeriveNodeID([]byte{byte(i), byte(i >> 8), 0xab})
+		hs[i] = &recHandler{}
+		if err := s.AddNode(ids[i], fmt.Sprintf("10.0.%d.%d:4001", i>>8, i&255), simnet.RegionUS, 0, hs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids, hs
+}
+
+func TestShardedSpreadsNodes(t *testing.T) {
+	s := NewSharded(t0, 1, ShardedConfig{Shards: 4})
+	ids, _ := addNodes(t, s, 256)
+	counts := make(map[int]int)
+	for _, id := range ids {
+		counts[s.ownerShard(id)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("expected nodes on all 4 shards, got %v", counts)
+	}
+	for sh, c := range counts {
+		if c < 16 {
+			t.Errorf("shard %d underpopulated: %d nodes", sh, c)
+		}
+	}
+}
+
+func TestShardedPinMovesToControl(t *testing.T) {
+	s := NewSharded(t0, 1, ShardedConfig{Shards: 4})
+	ids, _ := addNodes(t, s, 32)
+	for _, id := range ids {
+		s.Pin(id)
+		if got := s.ownerShard(id); got != 0 {
+			t.Fatalf("pinned node on shard %d", got)
+		}
+	}
+}
+
+func TestShardedCrossShardDelivery(t *testing.T) {
+	s := NewSharded(t0, 7, ShardedConfig{Shards: 4, Latency: simnet.Fixed(10 * time.Millisecond)})
+	ids, hs := addNodes(t, s, 64)
+	// Connect everything to everything and flood one message per pair.
+	sent := 0
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			if err := s.Connect(ids[i], ids[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range ids {
+		for j := range ids {
+			if i == j {
+				continue
+			}
+			if err := s.Send(ids[i], ids[j], "ping"); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+	}
+	s.Run(time.Second)
+	var got int64
+	for _, h := range hs {
+		got += h.msgs.Load()
+	}
+	if int(got) != sent {
+		t.Fatalf("delivered %d of %d messages", got, sent)
+	}
+	delivered, dropped := s.Stats()
+	if int(delivered) != sent || dropped != 0 {
+		t.Fatalf("stats delivered=%d dropped=%d, want %d/0", delivered, dropped, sent)
+	}
+}
+
+func TestShardedConnectCallbacksArrive(t *testing.T) {
+	s := NewSharded(t0, 3, ShardedConfig{Shards: 4})
+	ids, hs := addNodes(t, s, 16)
+	for i := 1; i < len(ids); i++ {
+		if err := s.Connect(ids[0], ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(time.Millisecond) // callbacks are marshalled as events
+	if got := hs[0].conns.Load(); got != int64(len(ids)-1) {
+		t.Fatalf("hub saw %d PeerConnected, want %d", got, len(ids)-1)
+	}
+	if err := s.SetOnline(ids[0], false); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(time.Millisecond)
+	if got := hs[0].disc.Load(); got != int64(len(ids)-1) {
+		t.Fatalf("hub saw %d PeerDisconnected, want %d", got, len(ids)-1)
+	}
+	if s.PeerCount(ids[0]) != 0 {
+		t.Fatal("offline node still has peers")
+	}
+	// Messages in flight to an offline node are dropped at delivery.
+	if err := s.Send(ids[1], ids[0], "x"); err == nil {
+		t.Fatal("send to disconnected peer should fail")
+	}
+}
+
+func TestShardedTimersFireInOrder(t *testing.T) {
+	s := NewSharded(t0, 9, ShardedConfig{Shards: 2})
+	var order []int
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.After(time.Second, func() { order = append(order, 1) })
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	s.Run(10 * time.Second)
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Fatalf("control timers out of order: %v", order)
+	}
+	if !s.Now().Equal(t0.Add(10 * time.Second)) {
+		t.Fatalf("clock at %v, want %v", s.Now(), t0.Add(10*time.Second))
+	}
+}
+
+// TestShardedDeadlineInclusive matches the serial engine: an event exactly
+// at the run deadline fires.
+func TestShardedDeadlineInclusive(t *testing.T) {
+	s := NewSharded(t0, 9, ShardedConfig{Shards: 2})
+	fired := false
+	s.After(time.Hour, func() { fired = true })
+	s.Run(time.Hour)
+	if !fired {
+		t.Fatal("deadline event did not fire")
+	}
+}
+
+func TestShardedPeersSorted(t *testing.T) {
+	s := NewSharded(t0, 5, ShardedConfig{Shards: 4})
+	ids, _ := addNodes(t, s, 50)
+	for i := 1; i < len(ids); i++ {
+		if err := s.Connect(ids[0], ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peers := s.Peers(ids[0])
+	if len(peers) != len(ids)-1 {
+		t.Fatalf("got %d peers, want %d", len(peers), len(ids)-1)
+	}
+	for i := 1; i < len(peers); i++ {
+		if !peers[i-1].Less(peers[i]) {
+			t.Fatal("peers not sorted")
+		}
+	}
+	s.Disconnect(ids[0], ids[1])
+	if s.Connected(ids[0], ids[1]) {
+		t.Fatal("still connected after Disconnect")
+	}
+	if len(s.Peers(ids[0])) != len(ids)-2 {
+		t.Fatal("sorted cache not updated on disconnect")
+	}
+}
+
+func TestShardedNewRandMatchesSerial(t *testing.T) {
+	// Identical seed and derivation order must give identical streams on
+	// both engines, so world construction is engine-independent.
+	ser := simnet.New(t0, 1234, nil)
+	sh := NewSharded(t0, 1234, ShardedConfig{Shards: 4})
+	for _, name := range []string{"workload", "node-a", "node-b"} {
+		a, b := ser.NewRand(name), sh.NewRand(name)
+		for i := 0; i < 16; i++ {
+			if x, y := a.Int63(), b.Int63(); x != y {
+				t.Fatalf("stream %q diverges at draw %d: %d != %d", name, i, x, y)
+			}
+		}
+	}
+}
+
+func TestShardedLookaheadFromModel(t *testing.T) {
+	s := NewSharded(t0, 1, ShardedConfig{Shards: 2})
+	if s.Lookahead() != 12*time.Millisecond {
+		t.Fatalf("lookahead %v, want 12ms (default model min)", s.Lookahead())
+	}
+	s2 := NewSharded(t0, 1, ShardedConfig{Shards: 2, Latency: simnet.Fixed(0)})
+	if s2.Lookahead() <= 0 {
+		t.Fatal("lookahead must be positive even for zero-delay models")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"bitswapmon/internal/analysis"
 	"bitswapmon/internal/attacks"
 	"bitswapmon/internal/dht"
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/node"
 	"bitswapmon/internal/simnet"
@@ -20,7 +21,7 @@ import (
 	"bitswapmon/internal/workload"
 )
 
-// Scale selects how large a reproduction run is.
+// Scale selects how large a reproduction run is and which engine runs it.
 type Scale struct {
 	// Nodes is the population size.
 	Nodes int
@@ -34,6 +35,25 @@ type Scale struct {
 	BootstrapIters int
 	// CatalogItems sizes the content population.
 	CatalogItems int
+	// Engine selects the simulation core: "serial" (or empty) for the
+	// deterministic single-threaded reference, "sharded" for the parallel
+	// engine.
+	Engine string
+	// Shards is the sharded engine's worker count (0 selects its default).
+	Shards int
+}
+
+// NewEngine returns the workload engine factory for this scale's engine
+// selection, or an error for an unknown engine name.
+func (s Scale) NewEngine() (func(start time.Time, seed int64) engine.Engine, error) {
+	switch s.Engine {
+	case "", "serial":
+		return nil, nil // workload default: serial simnet
+	case "sharded":
+		return engine.ShardedFactory(s.Shards), nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want serial or sharded)", s.Engine)
+	}
 }
 
 // SmallScale is fast enough for tests and benchmarks.
@@ -57,6 +77,27 @@ func DefaultScale() Scale {
 		SampleEvery:    2 * time.Hour,
 		BootstrapIters: 100,
 		CatalogItems:   10000,
+	}
+}
+
+// DenseConfig returns a traffic-dense population used by the engine scaling
+// benchmarks and the cross-engine speedup test: high request rates and
+// degree keep every shard busy, which is the regime where the sharded
+// engine's parallelism pays for its window synchronization.
+func DenseConfig(seed int64, nodes int, newEngine func(start time.Time, seed int64) engine.Engine) workload.Config {
+	return workload.Config{
+		Seed:                seed,
+		Nodes:               nodes,
+		NewEngine:           newEngine,
+		MeanRequestsPerHour: 30,
+		DegreeTarget:        20,
+		ActiveFrac:          0.6,
+		Catalog:             workload.CatalogConfig{Items: 2000},
+		Monitors: []workload.MonitorSpec{
+			{Name: "us", Region: simnet.RegionUS},
+			{Name: "de", Region: simnet.RegionDE},
+		},
+		Operators: []workload.OperatorSpec{},
 	}
 }
 
@@ -96,9 +137,14 @@ type Data struct {
 
 // CollectWeek runs the main scenario and gathers raw measurement data.
 func CollectWeek(scale Scale, seed int64) (*Data, error) {
+	newEngine, err := scale.NewEngine()
+	if err != nil {
+		return nil, err
+	}
 	w, err := workload.Build(workload.Config{
-		Seed:  seed,
-		Nodes: scale.Nodes,
+		Seed:      seed,
+		Nodes:     scale.Nodes,
+		NewEngine: newEngine,
 		Catalog: workload.CatalogConfig{
 			Items: scale.CatalogItems,
 		},
@@ -277,14 +323,16 @@ type UpgradeReport struct {
 
 // RunUpgrade executes the Fig. 4 scenario: a population starting almost
 // entirely on the pre-v0.5 client (WANT_BLOCK broadcasts), upgrading in a
-// wave after the release date, observed over several weeks.
-func RunUpgrade(nodes int, weeks int, seed int64) (*UpgradeReport, error) {
+// wave after the release date, observed over several weeks. newEngine
+// selects the simulation core (nil = serial reference).
+func RunUpgrade(nodes int, weeks int, seed int64, newEngine func(start time.Time, seed int64) engine.Engine) (*UpgradeReport, error) {
 	start := time.Now()
 	simStart := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
 	w, err := workload.Build(workload.Config{
-		Seed:  seed,
-		Start: simStart,
-		Nodes: nodes,
+		Seed:      seed,
+		Start:     simStart,
+		Nodes:     nodes,
+		NewEngine: newEngine,
 		Catalog: workload.CatalogConfig{
 			Items: nodes,
 		},

@@ -126,7 +126,7 @@ func TestRunUpgrade(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test")
 	}
-	rep, err := RunUpgrade(120, 3, 7)
+	rep, err := RunUpgrade(120, 3, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bitswapmon/internal/cid"
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/node"
 	"bitswapmon/internal/simnet"
 )
@@ -83,7 +84,7 @@ type Gateway struct {
 	// Node is the IPFS side. Its ID is what the probing attack uncovers.
 	Node *node.Node
 
-	net   *simnet.Network
+	net   engine.Engine
 	cfg   Config
 	cache map[cid.CID]*cacheEntry
 	lru   *list.List
@@ -91,7 +92,7 @@ type Gateway struct {
 }
 
 // New wraps an existing node as a gateway.
-func New(net *simnet.Network, nd *node.Node, name, operator string, cfg Config) *Gateway {
+func New(net engine.Engine, nd *node.Node, name, operator string, cfg Config) *Gateway {
 	return &Gateway{
 		Name:     name,
 		Operator: operator,
@@ -160,7 +161,7 @@ func (g *Gateway) fetch(c cid.CID, done func(Result)) {
 		finished = true
 		done(r)
 	}
-	g.net.After(g.cfg.FetchTimeout, func() {
+	g.net.AfterOn(g.Node.ID, g.cfg.FetchTimeout, func() {
 		if !finished {
 			g.Node.CancelRequest(c)
 			g.stats.Failures++

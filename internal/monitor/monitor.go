@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"bitswapmon/internal/dht"
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/node"
 	"bitswapmon/internal/simnet"
@@ -28,7 +29,7 @@ type Monitor struct {
 	// Node is the underlying IPFS node (DHT server, unlimited connections).
 	Node *node.Node
 
-	net *simnet.Network
+	net engine.Engine
 
 	// sink receives every observed entry; by default an in-memory sink
 	// that keeps Trace()/ResetTrace() working. Production-scale scenarios
@@ -54,7 +55,7 @@ type Monitor struct {
 // but they do not enter other nodes' k-buckets — so the connections they
 // hold are exactly the inbound ones the network chooses to open, matching
 // the passive posture of Sec. IV-A.
-func New(net *simnet.Network, name, addr string, region simnet.Region) (*Monitor, error) {
+func New(net engine.Engine, name, addr string, region simnet.Region) (*Monitor, error) {
 	id := simnet.DeriveNodeID([]byte("monitor:" + name))
 	nd, err := node.New(net, id, addr, region, node.Config{
 		Mode:     dht.ModeClient,
@@ -63,6 +64,10 @@ func New(net *simnet.Network, name, addr string, region simnet.Region) (*Monitor
 	if err != nil {
 		return nil, fmt.Errorf("monitor %s: %w", name, err)
 	}
+	// Monitors run on the engine's control shard: their trace state is fed
+	// by their own message handler and read by control-affine orchestration
+	// (samplers, probers), which must not race.
+	net.Pin(id)
 	mem := ingest.NewMemorySink()
 	m := &Monitor{
 		Name:      name,

@@ -3,6 +3,7 @@ package monitor
 import (
 	"time"
 
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/simnet"
 )
 
@@ -22,7 +23,7 @@ type Sample struct {
 // inputs for the Sec. V-C size estimates ("the monitors were connected to an
 // average number of ... peers").
 type Sampler struct {
-	net      *simnet.Network
+	net      engine.Engine
 	monitors []*Monitor
 	interval time.Duration
 	samples  []Sample
@@ -30,7 +31,7 @@ type Sampler struct {
 }
 
 // NewSampler creates a sampler over the given monitors.
-func NewSampler(net *simnet.Network, monitors []*Monitor, interval time.Duration) *Sampler {
+func NewSampler(net engine.Engine, monitors []*Monitor, interval time.Duration) *Sampler {
 	if interval <= 0 {
 		interval = time.Hour
 	}

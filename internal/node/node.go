@@ -11,6 +11,7 @@ import (
 	"bitswapmon/internal/blockstore"
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/dht"
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/merkledag"
 	"bitswapmon/internal/simnet"
 )
@@ -43,7 +44,7 @@ type Node struct {
 	Addr   string
 	Region simnet.Region
 
-	net     *simnet.Network
+	net     engine.Engine
 	Store   *blockstore.Store
 	DHT     *dht.DHT
 	Bitswap *bitswap.Engine
@@ -63,7 +64,7 @@ type Node struct {
 var _ simnet.Handler = (*Node)(nil)
 
 // New creates a node and registers it with the network.
-func New(net *simnet.Network, id simnet.NodeID, addr string, region simnet.Region, cfg Config) (*Node, error) {
+func New(net engine.Engine, id simnet.NodeID, addr string, region simnet.Region, cfg Config) (*Node, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = dht.ModeServer
 	}
@@ -147,7 +148,7 @@ func (n *Node) scheduleRefresh() {
 	// Jitter the period ±10% so refreshes don't synchronise network-wide.
 	jitter := 0.9 + 0.2*n.rng.Float64()
 	d := time.Duration(float64(n.cfg.RefreshInterval) * jitter)
-	n.net.After(d, func() {
+	n.net.AfterOn(n.ID, d, func() {
 		if !n.running || !n.Online() {
 			return
 		}

@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"bitswapmon/internal/cid"
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/node"
-	"bitswapmon/internal/simnet"
 )
 
 // CoverTrafficConfig parametrises the cover-traffic countermeasure
@@ -26,7 +26,7 @@ type CoverTrafficConfig struct {
 // CoverTraffic injects fake data requests from a node so that an adversary
 // running TNW cannot tell genuine interests from noise.
 type CoverTraffic struct {
-	net  *simnet.Network
+	net  engine.Engine
 	nd   *node.Node
 	cfg  CoverTrafficConfig
 	rng  *rand.Rand
@@ -35,7 +35,7 @@ type CoverTraffic struct {
 }
 
 // NewCoverTraffic creates (but does not start) a cover-traffic source.
-func NewCoverTraffic(net *simnet.Network, nd *node.Node, cfg CoverTrafficConfig, rng *rand.Rand) *CoverTraffic {
+func NewCoverTraffic(net engine.Engine, nd *node.Node, cfg CoverTrafficConfig, rng *rand.Rand) *CoverTraffic {
 	if cfg.RequestsPerHour <= 0 {
 		cfg.RequestsPerHour = 4
 	}
@@ -65,7 +65,7 @@ func (c *CoverTraffic) schedule() {
 	if gap < time.Second {
 		gap = time.Second
 	}
-	c.net.After(gap, func() {
+	c.net.AfterOn(c.nd.ID, gap, func() {
 		if c.stop || len(c.cfg.Pool) == 0 || !c.net.IsOnline(c.nd.ID) {
 			if !c.stop {
 				c.schedule()
@@ -75,7 +75,7 @@ func (c *CoverTraffic) schedule() {
 		target := c.cfg.Pool[c.rng.Intn(len(c.cfg.Pool))]
 		c.sent = append(c.sent, target)
 		c.nd.Request(target, func([]byte, bool) {})
-		c.net.After(c.cfg.CancelAfter, func() { c.nd.CancelRequest(target) })
+		c.net.AfterOn(c.nd.ID, c.cfg.CancelAfter, func() { c.nd.CancelRequest(target) })
 		c.schedule()
 	})
 }

@@ -64,6 +64,19 @@ func (m *LatencyModel) Sample(a, b Region, rng *rand.Rand) time.Duration {
 	return time.Duration(float64(base) * jitter)
 }
 
+// Min returns the smallest delay the model can produce (jitter only adds
+// on top of the base). Parallel engines derive their conservative lookahead
+// window from it: no message can cross shards faster.
+func (m *LatencyModel) Min() time.Duration {
+	min := m.Default
+	for _, d := range m.Base {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
 // Fixed returns a model with a constant delay, useful in tests.
 func Fixed(d time.Duration) *LatencyModel {
 	return &LatencyModel{Default: d}

@@ -55,7 +55,11 @@ type nodeState struct {
 	// configuration: "nodes with infinite connection capacity").
 	maxConns int
 	peers    map[NodeID]bool
-	online   bool
+	// sorted caches the sorted peer set; nil after any peers mutation.
+	// Broadcast-heavy layers call Peers on every round, so re-sorting per
+	// call dominated the event-loop profile.
+	sorted []NodeID
+	online bool
 }
 
 // event is one scheduled action.
@@ -96,6 +100,11 @@ type Network struct {
 	nodes   map[NodeID]*nodeState
 	rootRNG *rand.Rand
 	latency *LatencyModel
+
+	// nodesSorted caches the sorted node-ID list; nil after AddNode.
+	nodesSorted []NodeID
+	// pool recycles event structs between schedule and Step.
+	pool []*event
 
 	// counters
 	delivered uint64
@@ -140,8 +149,13 @@ func (n *Network) AddNode(id NodeID, addr string, region Region, maxConns int, h
 		peers:    make(map[NodeID]bool),
 		online:   true,
 	}
+	n.nodesSorted = nil
 	return nil
 }
+
+// Pin is an affinity hint used by parallel engines; the serial network runs
+// everything on one goroutine, so it is a no-op.
+func (n *Network) Pin(id NodeID) {}
 
 // SetOnline flips a node's availability. Taking a node offline tears down all
 // of its connections (modelling churn); bringing it online leaves it
@@ -221,6 +235,7 @@ func (n *Network) Connect(a, b NodeID) error {
 	}
 	sa.peers[b] = true
 	sb.peers[a] = true
+	sa.sorted, sb.sorted = nil, nil
 	sa.handler.PeerConnected(b)
 	sb.handler.PeerConnected(a)
 	return nil
@@ -239,6 +254,7 @@ func (n *Network) Disconnect(a, b NodeID) {
 func (n *Network) teardown(sa, sb *nodeState) {
 	delete(sa.peers, sb.id)
 	delete(sb.peers, sa.id)
+	sa.sorted, sb.sorted = nil, nil
 	sa.handler.PeerDisconnected(sb.id)
 	sb.handler.PeerDisconnected(sa.id)
 }
@@ -251,18 +267,21 @@ func (n *Network) Connected(a, b NodeID) bool {
 
 // Peers returns a snapshot of a node's connected peers, sorted by ID. The
 // deterministic order matters: broadcast loops consume RNG state per peer, so
-// map-order iteration would break run-to-run reproducibility.
+// map-order iteration would break run-to-run reproducibility. The sort is
+// cached until the connection table changes; callers get a fresh copy.
 func (n *Network) Peers(id NodeID) []NodeID {
 	st, ok := n.nodes[id]
 	if !ok {
 		return nil
 	}
-	out := make([]NodeID, 0, len(st.peers))
-	for p := range st.peers {
-		out = append(out, p)
+	if st.sorted == nil {
+		st.sorted = make([]NodeID, 0, len(st.peers))
+		for p := range st.peers {
+			st.sorted = append(st.sorted, p)
+		}
+		sortNodeIDs(st.sorted)
 	}
-	sortNodeIDs(out)
-	return out
+	return append([]NodeID(nil), st.sorted...)
 }
 
 func sortNodeIDs(ids []NodeID) {
@@ -311,6 +330,18 @@ func (n *Network) After(d time.Duration, fn func()) {
 	n.schedule(n.now.Add(d), fn)
 }
 
+// AfterOn schedules fn after d of virtual time. The node affinity only
+// matters to parallel engines; serially it is identical to After.
+func (n *Network) AfterOn(id NodeID, d time.Duration, fn func()) {
+	n.schedule(n.now.Add(d), fn)
+}
+
+// Post schedules fn to run as soon as possible (serially: as the next event
+// at the current virtual time).
+func (n *Network) Post(id NodeID, fn func()) {
+	n.schedule(n.now, fn)
+}
+
 // At schedules fn at an absolute virtual time (clamped to now).
 func (n *Network) At(t time.Time, fn func()) {
 	if t.Before(n.now) {
@@ -321,7 +352,15 @@ func (n *Network) At(t time.Time, fn func()) {
 
 func (n *Network) schedule(at time.Time, fn func()) {
 	n.seq++
-	heap.Push(&n.queue, &event{at: at, seq: n.seq, fn: fn})
+	var e *event
+	if k := len(n.pool); k > 0 {
+		e = n.pool[k-1]
+		n.pool = n.pool[:k-1]
+		e.at, e.seq, e.fn = at, n.seq, fn
+	} else {
+		e = &event{at: at, seq: n.seq, fn: fn}
+	}
+	heap.Push(&n.queue, e)
 }
 
 // Step runs the next event, returning false when the queue is empty.
@@ -333,7 +372,12 @@ func (n *Network) Step() bool {
 	if e.at.After(n.now) {
 		n.now = e.at
 	}
-	e.fn()
+	fn := e.fn
+	e.fn = nil
+	if len(n.pool) < 1024 {
+		n.pool = append(n.pool, e)
+	}
+	fn()
 	return true
 }
 
@@ -365,12 +409,15 @@ func (n *Network) Stats() (delivered, dropped uint64) {
 	return n.delivered, n.dropped
 }
 
-// Nodes returns the IDs of all registered nodes, sorted by ID.
+// Nodes returns the IDs of all registered nodes, sorted by ID. The sort is
+// cached until the population changes; callers get a fresh copy.
 func (n *Network) Nodes() []NodeID {
-	out := make([]NodeID, 0, len(n.nodes))
-	for id := range n.nodes {
-		out = append(out, id)
+	if n.nodesSorted == nil {
+		n.nodesSorted = make([]NodeID, 0, len(n.nodes))
+		for id := range n.nodes {
+			n.nodesSorted = append(n.nodesSorted, id)
+		}
+		sortNodeIDs(n.nodesSorted)
 	}
-	sortNodeIDs(out)
-	return out
+	return append([]NodeID(nil), n.nodesSorted...)
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"bitswapmon/internal/bitswap"
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/dht"
+	"bitswapmon/internal/engine"
 	"bitswapmon/internal/gateway"
 	"bitswapmon/internal/geoip"
 	"bitswapmon/internal/merkledag"
@@ -146,6 +148,10 @@ type Config struct {
 	BootstrapServers int
 	// ChunkSize for published DAGs (default 2048).
 	ChunkSize int
+	// NewEngine constructs the simulation engine for this world; nil
+	// selects the single-threaded deterministic simnet reference. Parallel
+	// runs pass e.g. engine.ShardedFactory(4).
+	NewEngine func(start time.Time, seed int64) engine.Engine
 	// RefreshInterval is the nodes' DHT refresh period. The real client
 	// uses 10 min; in a scaled-down network each lookup touches a much
 	// larger network fraction, so the default here is 1 h to keep the
@@ -260,6 +266,10 @@ type ScenarioNode struct {
 	Legacy bool
 	// reqGen invalidates stale request-loop events across churn cycles.
 	reqGen uint64
+	// rng drives this node's churn and request processes. Per-node streams
+	// (rather than one world-wide RNG) keep runtime draws race-free and
+	// well-defined when nodes run on different engine shards.
+	rng *rand.Rand
 	// personal holds catalog indices only this node requests; the source
 	// of single-requester CIDs.
 	personal []int
@@ -267,7 +277,7 @@ type ScenarioNode struct {
 
 // World is a fully built scenario.
 type World struct {
-	Net       *simnet.Network
+	Net       engine.Engine
 	Geo       *geoip.DB
 	Catalog   *Catalog
 	Nodes     []*ScenarioNode
@@ -279,7 +289,11 @@ type World struct {
 	cfg Config
 	rng *rand.Rand
 
+	// statsMu guards the request counters: they are bumped from request
+	// processes that may run on different engine shards.
+	statsMu sync.Mutex
 	// RequestsIssued counts user-level requests injected, per country.
+	// Lock statsMu when reading during a run.
 	RequestsIssued map[simnet.Region]int
 	// GatewayRequestsIssued counts HTTP-side requests per operator.
 	GatewayRequestsIssued map[string]int
@@ -292,7 +306,12 @@ func Build(cfg Config) (*World, error) {
 	if err := validateWeights(cfg.Countries); err != nil {
 		return nil, err
 	}
-	net := simnet.New(cfg.Start, cfg.Seed, nil)
+	var net engine.Engine
+	if cfg.NewEngine != nil {
+		net = cfg.NewEngine(cfg.Start, cfg.Seed)
+	} else {
+		net = simnet.New(cfg.Start, cfg.Seed, nil)
+	}
 	w := &World{
 		Net:                   net,
 		Geo:                   geoip.New(),
@@ -362,7 +381,7 @@ func (w *World) buildBootstrapCore() error {
 		if err != nil {
 			return err
 		}
-		w.Nodes = append(w.Nodes, &ScenarioNode{N: nd, Country: region, Stable: true})
+		w.Nodes = append(w.Nodes, &ScenarioNode{N: nd, Country: region, Stable: true, rng: w.Net.NewRand("scn-" + id.HexFull())})
 		w.Bootstrap = append(w.Bootstrap, nd.Info())
 	}
 	return nil
@@ -386,6 +405,10 @@ func (w *World) buildGateways() error {
 			if err != nil {
 				return err
 			}
+			// Gateways run on the control shard: their cache and node state
+			// are driven both by their own handlers and by the control-affine
+			// HTTP traffic and probing loops.
+			w.Net.Pin(id)
 			g := gateway.New(w.Net, nd, fmt.Sprintf("%s-%d.gateway.example", op.Name, i), op.Name, gateway.Config{
 				Functional: op.Functional,
 				CacheTTL:   op.CacheTTL,
@@ -429,6 +452,7 @@ func (w *World) buildPopulation() error {
 			Stable:  w.rng.Float64() < w.cfg.StableFrac,
 			Active:  w.rng.Float64() < w.cfg.ActiveFrac,
 			Legacy:  legacy,
+			rng:     w.Net.NewRand("scn-" + id.HexFull()),
 		}
 		if sn.Active {
 			// Exponentially distributed per-node rates around the mean.
@@ -553,7 +577,7 @@ func (w *World) startEverything() {
 	}
 	for _, g := range w.Gateways {
 		g.Node.Start(w.Bootstrap)
-		w.connectOverlay(g.Node, w.cfg.DegreeTarget)
+		w.connectOverlay(g.Node, w.cfg.DegreeTarget, w.rng)
 		// Gateways are busy public nodes: they connect to all monitors.
 		for _, m := range w.Monitors {
 			_ = w.Net.Connect(g.Node.ID, m.ID())
@@ -584,7 +608,7 @@ func (w *World) bringOnline(sn *ScenarioNode) {
 	} else {
 		sn.N.Start(w.Bootstrap)
 	}
-	w.connectOverlay(sn.N, w.cfg.DegreeTarget)
+	w.connectOverlay(sn.N, w.cfg.DegreeTarget, sn.rng)
 	for i, m := range w.Monitors {
 		if sn.MonitorMask&(1<<i) != 0 {
 			_ = w.Net.Connect(sn.N.ID, m.ID())
@@ -599,13 +623,15 @@ func (w *World) bringOnline(sn *ScenarioNode) {
 	}
 }
 
-// connectOverlay opens connections to random online peers.
-func (w *World) connectOverlay(nd *node.Node, degree int) {
+// connectOverlay opens connections to random online peers. The caller
+// passes the RNG so that runtime rejoins draw from the node's own stream
+// while build-time setup uses the world stream.
+func (w *World) connectOverlay(nd *node.Node, degree int, rng *rand.Rand) {
 	if len(w.Nodes) == 0 {
 		return
 	}
 	for attempts := 0; attempts < degree*3 && w.Net.PeerCount(nd.ID) < degree; attempts++ {
-		target := w.Nodes[w.rng.Intn(len(w.Nodes))]
+		target := w.Nodes[rng.Intn(len(w.Nodes))]
 		if target.N.ID == nd.ID || !w.Net.IsOnline(target.N.ID) {
 			continue
 		}
@@ -614,8 +640,8 @@ func (w *World) connectOverlay(nd *node.Node, degree int) {
 }
 
 func (w *World) scheduleLeave(sn *ScenarioNode) {
-	d := time.Duration(w.rng.ExpFloat64() * float64(w.cfg.MeanSession))
-	w.Net.After(d, func() {
+	d := time.Duration(sn.rng.ExpFloat64() * float64(w.cfg.MeanSession))
+	w.Net.AfterOn(sn.N.ID, d, func() {
 		if !w.Net.IsOnline(sn.N.ID) {
 			return
 		}
@@ -625,8 +651,8 @@ func (w *World) scheduleLeave(sn *ScenarioNode) {
 }
 
 func (w *World) scheduleRejoin(sn *ScenarioNode) {
-	d := time.Duration(w.rng.ExpFloat64() * float64(w.cfg.MeanOffline))
-	w.Net.After(d, func() {
+	d := time.Duration(sn.rng.ExpFloat64() * float64(w.cfg.MeanOffline))
+	w.Net.AfterOn(sn.N.ID, d, func() {
 		if w.Net.IsOnline(sn.N.ID) {
 			return
 		}
@@ -643,11 +669,11 @@ func (w *World) scheduleNextRequest(sn *ScenarioNode, gen uint64) {
 	now := w.Net.Now()
 	utcHour := float64(now.Hour()) + float64(now.Minute())/60
 	rate := sn.Rate * diurnalFactor(utcHour, sn.Country)
-	gap := time.Duration(w.rng.ExpFloat64() / rate * float64(time.Hour))
+	gap := time.Duration(sn.rng.ExpFloat64() / rate * float64(time.Hour))
 	if gap < time.Second {
 		gap = time.Second
 	}
-	w.Net.After(gap, func() {
+	w.Net.AfterOn(sn.N.ID, gap, func() {
 		if sn.reqGen != gen || !w.Net.IsOnline(sn.N.ID) {
 			return // superseded by a newer session's loop
 		}
@@ -659,16 +685,18 @@ func (w *World) scheduleNextRequest(sn *ScenarioNode, gen uint64) {
 func (w *World) issueRequest(sn *ScenarioNode) {
 	var item *Item
 	switch {
-	case len(sn.personal) > 0 && w.rng.Float64() < w.cfg.PersonalFrac:
-		item = &w.Catalog.Items[sn.personal[w.rng.Intn(len(sn.personal))]]
-	case w.rng.Float64() < w.cfg.GlobalHotFrac:
-		item = w.sampleGatewayItem(1)
-	case w.rng.Float64() < w.cfg.GlobalWarmFrac:
-		item = w.sampleWarmItem()
+	case len(sn.personal) > 0 && sn.rng.Float64() < w.cfg.PersonalFrac:
+		item = &w.Catalog.Items[sn.personal[sn.rng.Intn(len(sn.personal))]]
+	case sn.rng.Float64() < w.cfg.GlobalHotFrac:
+		item = w.sampleGatewayItem(1, sn.rng)
+	case sn.rng.Float64() < w.cfg.GlobalWarmFrac:
+		item = w.sampleWarmItem(sn.rng)
 	default:
-		item = w.Catalog.Sample(w.rng)
+		item = w.Catalog.Sample(sn.rng)
 	}
+	w.statsMu.Lock()
 	w.RequestsIssued[sn.Country]++
+	w.statsMu.Unlock()
 	if item.MultiBlock && item.Resolvable {
 		sn.N.Fetch(item.Root, func(bool) {})
 		return
@@ -690,7 +718,11 @@ func (w *World) scheduleUpgrades() {
 		for _, sn := range w.Nodes {
 			if sn.Legacy && w.rng.Float64() < w.cfg.UpgradeDailyFrac {
 				sn.Legacy = false
-				sn.N.Bitswap.SetLegacyWantBlock(false)
+				// The bitswap engine belongs to the node's shard; marshal
+				// the config flip there instead of mutating it from the
+				// control-affine upgrade loop.
+				nd := sn.N
+				w.Net.Post(nd.ID, func() { nd.Bitswap.SetLegacyWantBlock(false) })
 			}
 		}
 		w.Net.After(24*time.Hour, tick)
@@ -712,7 +744,7 @@ func (w *World) armGatewayTraffic() {
 			g := gws[w.rng.Intn(len(gws))]
 			var root cid.CID
 			if w.rng.Float64() < opSpec.HotBias {
-				root = w.sampleGatewayItem(1).Root
+				root = w.sampleGatewayItem(1, w.rng).Root
 			} else {
 				// Long-tail web request: a one-off CID. The real CID
 				// universe is effectively unbounded (806M unique CIDs in
@@ -721,10 +753,12 @@ func (w *World) armGatewayTraffic() {
 				var err error
 				root, err = w.newWebItem()
 				if err != nil {
-					root = w.sampleGatewayItem(1).Root
+					root = w.sampleGatewayItem(1, w.rng).Root
 				}
 			}
+			w.statsMu.Lock()
 			w.GatewayRequestsIssued[opSpec.Name]++
+			w.statsMu.Unlock()
 			g.Retrieve(root, func(gateway.Result) {})
 			gap := time.Duration(w.rng.ExpFloat64() / opSpec.RequestsPerHour * float64(time.Hour))
 			if gap < 100*time.Millisecond {
@@ -738,7 +772,7 @@ func (w *World) armGatewayTraffic() {
 
 // sampleWarmItem draws uniformly from the warm tier: the catalog slice
 // right after the hot head.
-func (w *World) sampleWarmItem() *Item {
+func (w *World) sampleWarmItem(rng *rand.Rand) *Item {
 	nHot := 0
 	for nHot < len(w.Catalog.Items) && w.Catalog.Items[nHot].Hot {
 		nHot++
@@ -748,9 +782,9 @@ func (w *World) sampleWarmItem() *Item {
 		warm = len(w.Catalog.Items) / 20
 	}
 	if warm <= 0 || nHot+warm > len(w.Catalog.Items) {
-		return w.Catalog.Sample(w.rng)
+		return w.Catalog.Sample(rng)
 	}
-	return &w.Catalog.Items[nHot+w.rng.Intn(warm)]
+	return &w.Catalog.Items[nHot+rng.Intn(warm)]
 }
 
 // newWebItem creates, stores and announces a fresh one-off content item at
@@ -768,27 +802,34 @@ func (w *World) newWebItem() (cid.CID, error) {
 		if !sn.Stable || !w.Net.IsOnline(sn.N.ID) {
 			continue
 		}
+		// The blockstore is internally locked, so the write (and its error,
+		// which drives the caller's fallback) stays synchronous even when
+		// the publisher lives on another shard. Only the DHT announcement
+		// touches shard-owned routing state and is marshalled there;
+		// retrieval simply races the (sub-window) announce delay, as a real
+		// gateway fetch races propagation.
 		if err := sn.N.Store.Put(root, enc); err != nil {
 			return cid.CID{}, err
 		}
-		sn.N.DHT.Provide(dht.KeyForCID(root), nil)
+		nd := sn.N
+		w.Net.Post(nd.ID, func() { nd.DHT.Provide(dht.KeyForCID(root), nil) })
 		return root, nil
 	}
 	return cid.CID{}, fmt.Errorf("workload: no online publisher for web item")
 }
 
-func (w *World) sampleGatewayItem(hotBias float64) *Item {
-	if w.rng.Float64() < hotBias {
+func (w *World) sampleGatewayItem(hotBias float64, rng *rand.Rand) *Item {
+	if rng.Float64() < hotBias {
 		// Hot items sit at the front of the catalog.
 		nHot := 0
 		for nHot < len(w.Catalog.Items) && w.Catalog.Items[nHot].Hot {
 			nHot++
 		}
 		if nHot > 0 {
-			return &w.Catalog.Items[w.rng.Intn(nHot)]
+			return &w.Catalog.Items[rng.Intn(nHot)]
 		}
 	}
-	return w.Catalog.Sample(w.rng)
+	return w.Catalog.Sample(rng)
 }
 
 // OnlineCount returns the current number of online population nodes

@@ -132,10 +132,13 @@ func openSources(paths []string) ([]ingest.EntrySource, func(), error) {
 				cleanup()
 				return nil, nil, fmt.Errorf("open store %s: no sealed segments", path)
 			}
-			// A crash can leave an unsealed segment behind; the analysis
-			// would silently exclude its entries, so say so.
-			for _, orphan := range store.Skipped() {
-				fmt.Fprintf(os.Stderr, "bsanalyze: warning: %s has no valid footer (unsealed segment?); its entries are excluded\n", orphan)
+			// A crash (or truncation) leaves segments without a valid
+			// footer. Analysing around them would silently drop entries
+			// and print a partial report as if it were complete — fail
+			// instead and let the operator repair or remove the files.
+			if orphans := store.Skipped(); len(orphans) > 0 {
+				cleanup()
+				return nil, nil, fmt.Errorf("store %s has %d segment file(s) without a valid footer (crash leftovers or corruption, e.g. %s); remove or repair them before analysing", path, len(orphans), orphans[0])
 			}
 			it, err := store.Query(time.Time{}, time.Time{}, nil)
 			if err != nil {

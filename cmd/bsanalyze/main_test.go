@@ -113,6 +113,50 @@ func TestBsanalyzeSegmentDirInputs(t *testing.T) {
 	}
 }
 
+func TestBsanalyzeCorruptStoreFails(t *testing.T) {
+	dir := t.TempDir()
+
+	// A store directory that does not exist must fail, not report nothing.
+	if err := run([]string{filepath.Join(dir, "nope.segments")}); err == nil {
+		t.Error("missing segment directory accepted")
+	}
+
+	// A valid store with one footer-less segment file (crash leftover or
+	// truncation) must fail rather than print a partial report.
+	s := filepath.Join(dir, "us.segments")
+	writeTestStore(t, s, "us", 60)
+	if err := os.WriteFile(filepath.Join(s, "999999.seg"), []byte("torn segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{s}); err == nil {
+		t.Error("store with corrupt segment footer accepted")
+	}
+
+	// A sealed segment whose footer bytes were damaged in place must fail
+	// too.
+	s2 := filepath.Join(dir, "de.segments")
+	writeTestStore(t, s2, "de", 60)
+	segs, err := filepath.Glob(filepath.Join(s2, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments written: %v", err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("XXXXXXXX"), st.Size()-8); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{s2}); err == nil {
+		t.Error("store with damaged footer magic accepted")
+	}
+}
+
 func TestBsanalyzeErrors(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Error("no files accepted")

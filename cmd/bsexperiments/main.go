@@ -4,8 +4,17 @@
 // Usage:
 //
 //	bsexperiments [-scale small|default] [-seed N] [-only week|upgrade]
+//	              [-spec FILE] [-dump-spec]
 //	              [-engine serial|sharded] [-shards N]
 //	              [-cpuprofile FILE] [-memprofile FILE]
+//
+// The week scenario is assembled through a declarative sweep.ScenarioSpec:
+// -scale picks a built-in spec, -spec loads one from a JSON file instead,
+// and -dump-spec prints the assembled spec (after flag overrides) without
+// running — the starting point for a sweep campaign's base spec. Explicitly
+// set -seed/-engine/-shards flags override the spec from either source.
+// Flags and spec files share one scenario-assembly code path, so a dumped
+// spec reproduces exactly the run its flags would have performed.
 //
 // The serial engine is the deterministic reference (same seed, same bytes);
 // the sharded engine runs the scenario across all cores with conservative
@@ -21,6 +30,7 @@ import (
 	"runtime/pprof"
 
 	"bitswapmon/internal/experiments"
+	"bitswapmon/internal/sweep"
 )
 
 func main() {
@@ -33,6 +43,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bsexperiments", flag.ContinueOnError)
 	scaleName := fs.String("scale", "small", "scenario scale: small or default")
+	specPath := fs.String("spec", "", "load the week scenario from a spec file instead of -scale")
+	dumpSpec := fs.Bool("dump-spec", false, "print the assembled scenario spec as JSON and exit")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	only := fs.String("only", "", "run only one experiment: week or upgrade")
 	upgradeNodes := fs.Int("upgrade-nodes", 150, "population for the Fig. 4 scenario")
@@ -45,18 +57,16 @@ func run(args []string) error {
 		return err
 	}
 
-	var scale experiments.Scale
-	switch *scaleName {
-	case "small":
-		scale = experiments.SmallScale()
-	case "default":
-		scale = experiments.DefaultScale()
-	default:
-		return fmt.Errorf("unknown scale %q", *scaleName)
+	spec, err := assembleSpec(fs, *specPath, *scaleName, *seed, *engineName, *shards)
+	if err != nil {
+		return err
 	}
-	scale.Engine = *engineName
-	scale.Shards = *shards
-	if _, err := scale.NewEngine(); err != nil {
+	if *dumpSpec {
+		blob, err := spec.Marshal()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(blob)
 		return err
 	}
 
@@ -73,18 +83,18 @@ func run(args []string) error {
 	}
 
 	if *only == "" || *only == "week" {
-		rep, err := experiments.RunWeek(scale, *seed)
+		rep, err := experiments.RunWeekSpec(spec)
 		if err != nil {
 			return fmt.Errorf("week scenario: %w", err)
 		}
 		fmt.Println(rep.Render())
 	}
 	if *only == "" || *only == "upgrade" {
-		newEngine, err := scale.NewEngine()
+		newEngine, err := spec.NewEngine()
 		if err != nil {
 			return err
 		}
-		rep, err := experiments.RunUpgrade(*upgradeNodes, *upgradeWeeks, *seed, newEngine)
+		rep, err := experiments.RunUpgrade(*upgradeNodes, *upgradeWeeks, spec.Seed, newEngine)
 		if err != nil {
 			return fmt.Errorf("upgrade scenario: %w", err)
 		}
@@ -103,4 +113,43 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// assembleSpec builds the week scenario spec from -spec or -scale, then
+// applies explicitly set flag overrides, so a spec file and flags compose
+// rather than conflict.
+func assembleSpec(fs *flag.FlagSet, specPath, scaleName string, seed int64, engineName string, shards int) (sweep.ScenarioSpec, error) {
+	var spec sweep.ScenarioSpec
+	if specPath != "" {
+		var err error
+		spec, err = sweep.LoadSpec(specPath)
+		if err != nil {
+			return spec, err
+		}
+	} else {
+		var scale experiments.Scale
+		switch scaleName {
+		case "small":
+			scale = experiments.SmallScale()
+		case "default":
+			scale = experiments.DefaultScale()
+		default:
+			return spec, fmt.Errorf("unknown scale %q", scaleName)
+		}
+		spec = scale.Spec(seed)
+	}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			spec.Seed = seed
+		case "engine":
+			spec.Engine = engineName
+		case "shards":
+			spec.Shards = shards
+		}
+	})
+	if err := spec.Validate(); err != nil {
+		return spec, err
+	}
+	return spec, nil
 }

@@ -1,0 +1,201 @@
+// Command bssweep runs whole experiment campaigns: families of simulation
+// runs expanded from a declarative sweep spec, executed across a bounded
+// worker pool, with durable per-run results and resumable progress.
+//
+// Usage:
+//
+//	bssweep run -spec sweep.json -root DIR [-workers N] [-dry-run]
+//	bssweep resume -root DIR [-workers N]
+//	bssweep report -root DIR [-metric M -rows PARAM [-cols PARAM]] [-csv FILE]
+//	bssweep params
+//
+// run expands the sweep (cartesian axes × explicit cases × seed
+// replicates) and executes every run that the root's manifest does not
+// already record as done — so re-invoking run (or resume, which reads the
+// spec pinned in the root) after a crash or Ctrl-C picks up where the
+// sweep left off without re-executing completed runs. Each run streams its
+// monitor traces into per-run segment stores under DIR/runs/<run-id>/ and
+// leaves a summary.json of comparison metrics.
+//
+// report joins the completed runs' summaries — never the raw traces — into
+// a long-form CSV (default) or, with -rows/-cols/-metric, a comparison
+// table such as gateway traffic share vs. population × churn. Report
+// output is deterministic: the same completed sweep produces the same
+// bytes on every invocation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"bitswapmon/internal/analysis"
+	"bitswapmon/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bssweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: bssweep run|resume|report|params ...")
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:])
+	case "resume":
+		return cmdResume(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "params":
+		return cmdParams()
+	default:
+		return fmt.Errorf("unknown subcommand %q (want run, resume, report or params)", args[0])
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("bssweep run", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "sweep spec file (JSON)")
+	root := fs.String("root", "", "sweep root directory (created if absent)")
+	workers := fs.Int("workers", 4, "concurrent runs")
+	dryRun := fs.Bool("dry-run", false, "list the expanded runs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("run needs -spec")
+	}
+	sw, err := sweep.LoadSweep(*specPath)
+	if err != nil {
+		return err
+	}
+	if *dryRun {
+		runs, err := sweep.Expand(sw)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sweep %q expands to %d runs:\n", sw.Name, len(runs))
+		for _, r := range runs {
+			fmt.Printf("  %s\n", r.ID)
+		}
+		return nil
+	}
+	if *root == "" {
+		return fmt.Errorf("run needs -root")
+	}
+	return orchestrate(*root, sw, *workers)
+}
+
+func cmdResume(args []string) error {
+	fs := flag.NewFlagSet("bssweep resume", flag.ContinueOnError)
+	root := fs.String("root", "", "sweep root directory holding a pinned sweep.json")
+	workers := fs.Int("workers", 4, "concurrent runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *root == "" {
+		return fmt.Errorf("resume needs -root")
+	}
+	sw, err := sweep.LoadRoot(*root)
+	if err != nil {
+		return err
+	}
+	return orchestrate(*root, sw, *workers)
+}
+
+func orchestrate(root string, sw sweep.SweepSpec, workers int) error {
+	// Ctrl-C cancels cleanly: in-flight runs finish and are recorded, so
+	// the next invocation resumes instead of redoing them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := sweep.RunSweep(ctx, root, sw, sweep.Options{
+		Workers: workers,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "bssweep: "+format+"\n", args...)
+		},
+	})
+	if res != nil {
+		fmt.Printf("sweep %q: %d runs total, %d executed, %d resumed (skipped), %d failed\n",
+			sw.Name, res.Total, res.Executed, res.Skipped, res.Failed)
+	}
+	return err
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("bssweep report", flag.ContinueOnError)
+	root := fs.String("root", "", "sweep root directory")
+	metric := fs.String("metric", "", "metric for the comparison table (see bssweep params)")
+	rows := fs.String("rows", "", "sweep parameter on table rows")
+	cols := fs.String("cols", "", "sweep parameter on table columns (optional)")
+	csvPath := fs.String("csv", "", "also write the CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *root == "" {
+		return fmt.Errorf("report needs -root")
+	}
+	recs, err := sweep.LoadSummaries(*root)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no completed runs in %s (run or resume the sweep first)", *root)
+	}
+	entries, err := sweep.LoadManifest(*root)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, e := range entries {
+		if e.Status == sweep.StatusFailed {
+			failed++
+			fmt.Fprintf(os.Stderr, "bssweep: warning: run %s failed: %s\n", e.RunID, e.Error)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "bssweep: warning: %d failed runs excluded from the report; resume to retry them\n", failed)
+	}
+
+	var csv string
+	if *rows != "" || *metric != "" {
+		if *rows == "" || *metric == "" {
+			return fmt.Errorf("comparison tables need both -rows and -metric")
+		}
+		table, err := analysis.ComputeSweepTable(recs, *rows, *cols, *metric)
+		if err != nil {
+			return err
+		}
+		fmt.Print(table.Render())
+		csv = table.CSV()
+	} else {
+		csv = analysis.SweepCSV(recs)
+		fmt.Print(csv)
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "bssweep: wrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+func cmdParams() error {
+	fmt.Println("sweepable parameters (axis/case keys):")
+	for _, p := range sweep.KnownParams() {
+		fmt.Printf("  %-26s %s\n", p, sweep.ParamDoc(p))
+	}
+	fmt.Println("\nreport metrics:")
+	fmt.Printf("  %s\n", strings.Join(analysis.SweepMetrics(), ", "))
+	fmt.Println("  coverage:<monitor>")
+	return nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testSweepJSON = `{
+  "version": 1,
+  "name": "cli-test",
+  "base": {
+    "version": 1,
+    "nodes": 18,
+    "bootstrap_servers": 5,
+    "catalog_items": 60,
+    "active_frac": 0.9,
+    "mean_requests_per_hour": 60,
+    "monitors": [
+      {"name": "us", "region": "US"},
+      {"name": "de", "region": "DE"}
+    ],
+    "joint": {"both": 0.8, "only_a": 0.1, "only_b": 0.1},
+    "gateways": [],
+    "warmup": "5m",
+    "window": "20m",
+    "sample_every": "10m"
+  },
+  "axes": [{"param": "nodes", "values": [14, 20]}],
+  "seeds": {"base": 42, "replicates": 1}
+}
+`
+
+func TestBssweepRunAndReport(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(specPath, []byte(testSweepJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join(dir, "root")
+
+	if err := run([]string{"run", "-spec", specPath, "-dry-run"}); err != nil {
+		t.Fatalf("dry-run: %v", err)
+	}
+	if err := run([]string{"run", "-spec", specPath, "-root", root, "-workers", "2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// resume over a finished sweep is a no-op, not an error.
+	if err := run([]string{"resume", "-root", root}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+
+	csvPath := filepath.Join(dir, "out.csv")
+	if err := run([]string{"report", "-root", root, "-csv", csvPath}); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	a, err := os.ReadFile(csvPath)
+	if err != nil || len(a) == 0 {
+		t.Fatalf("no csv written: %v", err)
+	}
+	// Reports are deterministic across invocations.
+	if err := run([]string{"report", "-root", root, "-csv", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("report CSV differs between invocations")
+	}
+
+	if err := run([]string{"report", "-root", root, "-rows", "nodes", "-metric", "entries"}); err != nil {
+		t.Fatalf("table report: %v", err)
+	}
+	if err := run([]string{"params"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBssweepErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Error("run without -spec accepted")
+	}
+	if err := run([]string{"resume", "-root", filepath.Join(t.TempDir(), "nope")}); err == nil {
+		t.Error("resume of a rootless directory accepted")
+	}
+	if err := run([]string{"report", "-root", t.TempDir()}); err == nil {
+		t.Error("report over an empty root accepted")
+	}
+	if err := run([]string{"report", "-root", t.TempDir(), "-rows", "nodes"}); err == nil {
+		t.Error("table report without -metric accepted")
+	}
+}

@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"bitswapmon/internal/sweep"
+)
+
+// This file is the sweep aggregation layer: it joins per-run summaries
+// (sweep.RunSummary, persisted by the orchestrator) into cross-run
+// comparison tables and CSV — e.g. gateway traffic share or monitor
+// overlap vs. population × churn — without ever re-reading raw trace
+// segments. Every output is deterministic for a given set of summaries:
+// rows, columns and long-form lines are sorted, and wall-clock fields are
+// excluded.
+
+// sweepMetrics maps metric names to summary extractors. Monitor coverage
+// is addressed as "coverage:<monitor>".
+var sweepMetrics = map[string]func(*sweep.RunSummary) float64{
+	"entries":            func(r *sweep.RunSummary) float64 { return float64(r.Entries) },
+	"dedup_entries":      func(r *sweep.RunSummary) float64 { return float64(r.DedupEntries) },
+	"requests":           func(r *sweep.RunSummary) float64 { return float64(r.Requests) },
+	"dedup_requests":     func(r *sweep.RunSummary) float64 { return float64(r.DedupRequests) },
+	"rebroad_share":      func(r *sweep.RunSummary) float64 { return r.RebroadShare },
+	"unique_peers":       func(r *sweep.RunSummary) float64 { return float64(r.UniquePeers) },
+	"unique_cids":        func(r *sweep.RunSummary) float64 { return float64(r.UniqueCIDs) },
+	"distinct_peers_est": func(r *sweep.RunSummary) float64 { return r.DistinctPeersEst },
+	"distinct_cids_est":  func(r *sweep.RunSummary) float64 { return r.DistinctCIDsEst },
+	"peer_overlap":       func(r *sweep.RunSummary) float64 { return r.PeerOverlap },
+	"gateway_share":      func(r *sweep.RunSummary) float64 { return r.GatewayShare },
+	"gateway_hit_rate":   func(r *sweep.RunSummary) float64 { return r.GatewayHitRate },
+	"online_avg":         func(r *sweep.RunSummary) float64 { return r.OnlineAvg },
+	"population":         func(r *sweep.RunSummary) float64 { return float64(r.Population) },
+}
+
+// SweepMetrics lists the aggregatable metric names, sorted.
+func SweepMetrics() []string {
+	out := make([]string, 0, len(sweepMetrics))
+	for k := range sweepMetrics {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sweepMetricValue resolves one metric on one summary.
+func sweepMetricValue(r *sweep.RunSummary, name string) (float64, error) {
+	if mon, ok := strings.CutPrefix(name, "coverage:"); ok {
+		v, ok := r.MonitorCoverage[mon]
+		if !ok {
+			return 0, fmt.Errorf("analysis: run %s has no monitor %q", r.RunID, mon)
+		}
+		return v, nil
+	}
+	fn, ok := sweepMetrics[name]
+	if !ok {
+		return 0, fmt.Errorf("analysis: unknown sweep metric %q (known: %s, coverage:<monitor>)",
+			name, strings.Join(SweepMetrics(), ", "))
+	}
+	return fn(r), nil
+}
+
+// paramString renders a run's override value for one parameter; runs that
+// did not override it report the base-spec marker.
+func paramString(r *sweep.RunSummary, key string) string {
+	for _, p := range r.Params {
+		if p.Key == key {
+			return sweep.FormatValue(p.Value)
+		}
+	}
+	return "(base)"
+}
+
+// SweepCell is one aggregated grid cell: the metric's mean over the cell's
+// seed replicates.
+type SweepCell struct {
+	Mean float64
+	Runs int
+}
+
+// SweepTable is a two-parameter comparison of one metric across a sweep:
+// rows × columns of replicate-averaged cells.
+type SweepTable struct {
+	Metric   string
+	RowParam string
+	ColParam string
+	RowVals  []string
+	ColVals  []string
+	// Cells is indexed [row][col]; Runs == 0 marks a grid hole.
+	Cells [][]SweepCell
+}
+
+// ComputeSweepTable joins run summaries into a rowParam × colParam
+// comparison of metric. Each cell is the mean over every run landing in
+// it: the seed replicates, plus — in sweeps with more than two axes — all
+// values of any parameter not on the table's axes (the cell's Runs count
+// says how many were blended; compare it against the seed policy to spot
+// marginalised axes). Pass colParam "" for a one-dimensional table (a
+// single "all" column).
+func ComputeSweepTable(recs []*sweep.RunSummary, rowParam, colParam, metric string) (SweepTable, error) {
+	t := SweepTable{Metric: metric, RowParam: rowParam, ColParam: colParam}
+	if len(recs) == 0 {
+		return t, fmt.Errorf("analysis: no run summaries to aggregate")
+	}
+	if rowParam == "" {
+		return t, fmt.Errorf("analysis: sweep table needs a row parameter")
+	}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	cells := make(map[[2]string]*acc)
+	rowSet := make(map[string]bool)
+	colSet := make(map[string]bool)
+	for _, r := range recs {
+		v, err := sweepMetricValue(r, metric)
+		if err != nil {
+			return t, err
+		}
+		row := paramString(r, rowParam)
+		col := "all"
+		if colParam != "" {
+			col = paramString(r, colParam)
+		}
+		rowSet[row] = true
+		colSet[col] = true
+		key := [2]string{row, col}
+		a, ok := cells[key]
+		if !ok {
+			a = &acc{}
+			cells[key] = a
+		}
+		a.sum += v
+		a.n++
+	}
+	t.RowVals = sortedAxisValues(rowSet)
+	t.ColVals = sortedAxisValues(colSet)
+	t.Cells = make([][]SweepCell, len(t.RowVals))
+	for i, row := range t.RowVals {
+		t.Cells[i] = make([]SweepCell, len(t.ColVals))
+		for j, col := range t.ColVals {
+			if a, ok := cells[[2]string{row, col}]; ok {
+				t.Cells[i][j] = SweepCell{Mean: a.sum / float64(a.n), Runs: a.n}
+			}
+		}
+	}
+	return t, nil
+}
+
+// sortedAxisValues orders axis values numerically when they all parse as
+// numbers (so nodes 80, 120, 600 do not sort lexically) or as durations
+// (so mean_session 2h, 12h, 48h stays in churn order), lexically
+// otherwise.
+func sortedAxisValues(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	ordered := true
+	vals := make(map[string]float64, len(out))
+	for _, s := range out {
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			vals[s] = f
+			continue
+		}
+		if d, err := time.ParseDuration(s); err == nil {
+			vals[s] = float64(d)
+			continue
+		}
+		ordered = false
+		break
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ordered {
+			return vals[out[i]] < vals[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Render prints the comparison table.
+func (t SweepTable) Render() string {
+	var sb strings.Builder
+	col := t.ColParam
+	if col == "" {
+		col = "-"
+	}
+	fmt.Fprintf(&sb, "Sweep comparison — %s by %s × %s (mean per cell)\n", t.Metric, t.RowParam, col)
+	fmt.Fprintf(&sb, "%-22s", t.RowParam+"\\"+col)
+	for _, c := range t.ColVals {
+		fmt.Fprintf(&sb, " %14s", c)
+	}
+	sb.WriteString("\n")
+	for i, r := range t.RowVals {
+		fmt.Fprintf(&sb, "%-22s", r)
+		for j := range t.ColVals {
+			cell := t.Cells[i][j]
+			if cell.Runs == 0 {
+				fmt.Fprintf(&sb, " %14s", "-")
+			} else {
+				fmt.Fprintf(&sb, " %14.4f", cell.Mean)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the table as CSV (header row of column values, one line per
+// row value). Output is deterministic: same summaries, same bytes.
+func (t SweepTable) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(csvEscape(t.RowParam + "\\" + t.ColParam))
+	for _, c := range t.ColVals {
+		sb.WriteString(",")
+		sb.WriteString(csvEscape(c))
+	}
+	sb.WriteString("\n")
+	for i, r := range t.RowVals {
+		sb.WriteString(csvEscape(r))
+		for j := range t.ColVals {
+			sb.WriteString(",")
+			cell := t.Cells[i][j]
+			if cell.Runs > 0 {
+				sb.WriteString(strconv.FormatFloat(cell.Mean, 'g', -1, 64))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// SweepCSV renders the long-form join of every run summary: one line per
+// run with its parameters and every metric, sorted by run ID — the
+// load-into-anything export. Deterministic: wall-clock fields are excluded
+// and ordering is fixed.
+func SweepCSV(recs []*sweep.RunSummary) string {
+	sorted := make([]*sweep.RunSummary, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RunID < sorted[j].RunID })
+
+	// The parameter and monitor columns are the union across runs.
+	paramSet := make(map[string]bool)
+	monSet := make(map[string]bool)
+	for _, r := range sorted {
+		for _, p := range r.Params {
+			paramSet[p.Key] = true
+		}
+		for mon := range r.MonitorCoverage {
+			monSet[mon] = true
+		}
+	}
+	params := make([]string, 0, len(paramSet))
+	for k := range paramSet {
+		params = append(params, k)
+	}
+	sort.Strings(params)
+	mons := make([]string, 0, len(monSet))
+	for m := range monSet {
+		mons = append(mons, m)
+	}
+	sort.Strings(mons)
+	metrics := SweepMetrics()
+
+	var sb strings.Builder
+	sb.WriteString("run_id,seed")
+	for _, p := range params {
+		sb.WriteString(",param:" + csvEscape(p))
+	}
+	for _, m := range metrics {
+		sb.WriteString("," + csvEscape(m))
+	}
+	for _, m := range mons {
+		sb.WriteString(",coverage:" + csvEscape(m))
+	}
+	sb.WriteString("\n")
+	for _, r := range sorted {
+		sb.WriteString(csvEscape(r.RunID))
+		sb.WriteString("," + strconv.FormatInt(r.Seed, 10))
+		for _, p := range params {
+			sb.WriteString(",")
+			for _, rp := range r.Params {
+				if rp.Key == p {
+					sb.WriteString(csvEscape(sweep.FormatValue(rp.Value)))
+					break
+				}
+			}
+		}
+		for _, m := range metrics {
+			v, _ := sweepMetricValue(r, m)
+			sb.WriteString("," + strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		for _, m := range mons {
+			sb.WriteString(",")
+			if v, ok := r.MonitorCoverage[m]; ok {
+				sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}

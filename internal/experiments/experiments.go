@@ -17,6 +17,7 @@ import (
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/node"
 	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/sweep"
 	"bitswapmon/internal/trace"
 	"bitswapmon/internal/workload"
 )
@@ -135,35 +136,67 @@ type Data struct {
 	Probes    []attacks.ProbeResult
 }
 
+// Spec returns the declarative sweep.ScenarioSpec equivalent of this
+// scale's week scenario. It is the shared currency between flag-driven
+// bsexperiments runs, spec files, and sweep campaigns: every path
+// assembles its workload through sweep.ScenarioSpec.WorkloadConfig.
+func (s Scale) Spec(seed int64) sweep.ScenarioSpec {
+	return sweep.ScenarioSpec{
+		Version: sweep.SpecVersion,
+		Name:    "week",
+		Nodes:   s.Nodes,
+		Monitors: []sweep.MonitorSpec{
+			{Name: "us", Region: string(simnet.RegionUS)},
+			{Name: "de", Region: string(simnet.RegionDE)},
+		},
+		CatalogItems:   s.CatalogItems,
+		Warmup:         sweep.D(s.Warmup),
+		Window:         sweep.D(s.Window),
+		SampleEvery:    sweep.D(s.SampleEvery),
+		BootstrapIters: s.BootstrapIters,
+		Probes:         true,
+		Engine:         s.Engine,
+		Shards:         s.Shards,
+		Seed:           seed,
+	}
+}
+
 // CollectWeek runs the main scenario and gathers raw measurement data.
 func CollectWeek(scale Scale, seed int64) (*Data, error) {
-	newEngine, err := scale.NewEngine()
+	return CollectSpec(scale.Spec(seed))
+}
+
+// CollectSpec runs the scenario a declarative spec describes and gathers
+// raw measurement data. The week pipeline needs at least two monitors (the
+// paper's coverage and overlap panels compare vantage points); the DHT
+// crawl always runs, gateway probing obeys spec.Probes.
+func CollectSpec(spec sweep.ScenarioSpec) (*Data, error) {
+	cfg, err := spec.WorkloadConfig(spec.Seed)
 	if err != nil {
 		return nil, err
 	}
-	w, err := workload.Build(workload.Config{
-		Seed:      seed,
-		Nodes:     scale.Nodes,
-		NewEngine: newEngine,
-		Catalog: workload.CatalogConfig{
-			Items: scale.CatalogItems,
-		},
-		Monitors: []workload.MonitorSpec{
-			{Name: "us", Region: simnet.RegionUS},
-			{Name: "de", Region: simnet.RegionDE},
-		},
-	})
+	if len(cfg.Monitors) < 2 {
+		return nil, fmt.Errorf("week scenario needs at least two monitors (spec has %d)", len(cfg.Monitors))
+	}
+	w, err := workload.Build(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("build world: %w", err)
 	}
 
 	// Warm up, then reset traces so the window is clean.
-	w.Run(scale.Warmup)
+	w.Run(spec.Warmup.Std())
 	for _, m := range w.Monitors {
 		m.ResetTrace()
 	}
 
-	sampler := monitor.NewSampler(w.Net, w.Monitors, scale.SampleEvery)
+	// A zero tick would make the self-rescheduling tracker below spin at a
+	// single simulated instant forever, so specs that omit sample_every get
+	// a sane default.
+	tick := spec.SampleEvery.Std()
+	if tick <= 0 {
+		tick = 30 * time.Minute
+	}
+	sampler := monitor.NewSampler(w.Net, w.Monitors, tick)
 	sampler.Start()
 
 	// Track ground-truth online population at each sampler tick.
@@ -171,12 +204,12 @@ func CollectWeek(scale Scale, seed int64) (*Data, error) {
 	var trackOnline func()
 	trackOnline = func() {
 		onlineSamples = append(onlineSamples, float64(w.OnlineCount()))
-		w.Net.After(scale.SampleEvery, trackOnline)
+		w.Net.After(tick, trackOnline)
 	}
-	w.Net.After(scale.SampleEvery, trackOnline)
+	w.Net.After(tick, trackOnline)
 
 	// Run the measurement window.
-	w.Run(scale.Window)
+	w.Run(spec.Window.Std())
 	sampler.Stop()
 
 	// Crawl the DHT at the end of the window (the paper crawls repeatedly;
@@ -187,12 +220,18 @@ func CollectWeek(scale Scale, seed int64) (*Data, error) {
 	}
 
 	// Gateway probing (Sec. VI-B).
-	prober := attacks.NewGatewayProber(w.Net, w.Monitors, w.Net.NewRand("gwprobe"))
 	var probeResults []attacks.ProbeResult
-	prober.ProbeAll(w.Registry, func(r []attacks.ProbeResult) { probeResults = r })
-	w.Run(time.Duration(len(w.Registry.All())+2) * prober.WaitFor)
+	if spec.Probes {
+		prober := attacks.NewGatewayProber(w.Net, w.Monitors, w.Net.NewRand("gwprobe"))
+		prober.ProbeAll(w.Registry, func(r []attacks.ProbeResult) { probeResults = r })
+		w.Run(time.Duration(len(w.Registry.All())+2) * prober.WaitFor)
+	}
 
-	unified := trace.Unify(w.Monitors[0].Trace(), w.Monitors[1].Trace())
+	traces := make([][]trace.Entry, len(w.Monitors))
+	for i, m := range w.Monitors {
+		traces[i] = m.Trace()
+	}
+	unified := trace.Unify(traces...)
 	var onlineAvg float64
 	for _, v := range onlineSamples {
 		onlineAvg += v
@@ -248,12 +287,21 @@ func ComputeReport(d *Data, bootstrapIters int) (*WeekReport, error) {
 
 // RunWeek executes the main scenario (Sec. V-C/V-D/V-E and VI-B artifacts).
 func RunWeek(scale Scale, seed int64) (*WeekReport, error) {
+	return RunWeekSpec(scale.Spec(seed))
+}
+
+// RunWeekSpec executes the main scenario from a declarative spec.
+func RunWeekSpec(spec sweep.ScenarioSpec) (*WeekReport, error) {
 	start := time.Now()
-	data, err := CollectWeek(scale, seed)
+	data, err := CollectSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := ComputeReport(data, scale.BootstrapIters)
+	iters := spec.BootstrapIters
+	if iters <= 0 {
+		iters = 30
+	}
+	rep, err := ComputeReport(data, iters)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,414 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Axis is one swept parameter: the cartesian expander crosses every axis's
+// values. Parameter names are the ScenarioSpec JSON field names (see
+// KnownParams); values are JSON scalars coerced to the field's type.
+type Axis struct {
+	Param  string `json:"param"`
+	Values []any  `json:"values"`
+}
+
+// SeedPolicy replicates every grid point across consecutive seeds, so each
+// configuration's metrics carry replicate variance.
+type SeedPolicy struct {
+	// Base is the first replicate's seed.
+	Base int64 `json:"base"`
+	// Replicates is how many seeds each grid point runs under (default 1).
+	Replicates int `json:"replicates,omitempty"`
+}
+
+// SweepSpec declares a whole family of runs: a base scenario, cartesian
+// axes, explicit extra cases, and seed replication.
+type SweepSpec struct {
+	Version int          `json:"version"`
+	Name    string       `json:"name,omitempty"`
+	Base    ScenarioSpec `json:"base"`
+	// Axes are crossed (cartesian product) in the listed order.
+	Axes []Axis `json:"axes,omitempty"`
+	// Cases are explicit extra parameter combinations appended after the
+	// grid (each is one point, not crossed with the axes).
+	Cases []map[string]any `json:"cases,omitempty"`
+	Seeds SeedPolicy       `json:"seeds"`
+}
+
+// Validate checks the sweep's structure; per-run scenario validation
+// happens during expansion, after overrides are applied.
+func (sw SweepSpec) Validate() error {
+	if sw.Version != SpecVersion {
+		return fmt.Errorf("sweep: sweep version %d unsupported (want %d)", sw.Version, SpecVersion)
+	}
+	for _, ax := range sw.Axes {
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("sweep: axis %q has no values", ax.Param)
+		}
+	}
+	if sw.Seeds.Replicates < 0 {
+		return fmt.Errorf("sweep: negative seed replicates")
+	}
+	return nil
+}
+
+// Marshal renders the sweep as indented JSON.
+func (sw SweepSpec) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(sw, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal sweep: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// ParseSweep decodes and validates a SweepSpec, rejecting unknown fields.
+func ParseSweep(data []byte) (SweepSpec, error) {
+	var sw SweepSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sw); err != nil {
+		return sw, fmt.Errorf("sweep: parse sweep: %w", err)
+	}
+	if err := sw.Validate(); err != nil {
+		return sw, err
+	}
+	return sw, nil
+}
+
+// LoadSweep reads a SweepSpec from a JSON file.
+func LoadSweep(path string) (SweepSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return SweepSpec{}, fmt.Errorf("sweep: read sweep: %w", err)
+	}
+	sw, err := ParseSweep(data)
+	if err != nil {
+		return sw, fmt.Errorf("%s: %w", path, err)
+	}
+	return sw, nil
+}
+
+// Param is one applied override, in axis order.
+type Param struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Run is one fully expanded run: a concrete scenario, its seed, and a
+// deterministic identity derived from the overridden parameters and seed.
+type Run struct {
+	// ID is filesystem-safe, human-readable and deterministic: the same
+	// sweep expands to the same IDs on every invocation, which is what
+	// makes the orchestrator's manifest resumable.
+	ID     string
+	Seed   int64
+	Params []Param
+	Spec   ScenarioSpec
+}
+
+// Expand produces every run of the sweep: the cartesian product of the
+// axes plus the explicit cases, each replicated across the seed policy.
+func Expand(sw SweepSpec) ([]Run, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	var points [][]Param
+	points = append(points, nil) // the all-defaults point
+	for _, ax := range sw.Axes {
+		var next [][]Param
+		for _, pt := range points {
+			for _, v := range ax.Values {
+				p := make([]Param, len(pt), len(pt)+1)
+				copy(p, pt)
+				next = append(next, append(p, Param{Key: ax.Param, Value: v}))
+			}
+		}
+		points = next
+	}
+	for _, c := range sw.Cases {
+		keys := make([]string, 0, len(c))
+		for k := range c {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var pt []Param
+		for _, k := range keys {
+			pt = append(pt, Param{Key: k, Value: c[k]})
+		}
+		points = append(points, pt)
+	}
+
+	replicates := sw.Seeds.Replicates
+	if replicates <= 0 {
+		replicates = 1
+	}
+	var runs []Run
+	seen := make(map[string]bool)
+	for _, pt := range points {
+		spec := sw.Base
+		for _, p := range pt {
+			if err := applyParam(&spec, p.Key, p.Value); err != nil {
+				return nil, err
+			}
+		}
+		for r := 0; r < replicates; r++ {
+			seed := sw.Seeds.Base + int64(r)
+			spec := spec
+			spec.Seed = seed
+			if err := spec.Validate(); err != nil {
+				return nil, fmt.Errorf("sweep: point %s: %w", pointLabel(pt), err)
+			}
+			id := runID(pt, seed)
+			if seen[id] {
+				return nil, fmt.Errorf("sweep: duplicate run %s (repeated case?)", id)
+			}
+			seen[id] = true
+			runs = append(runs, Run{ID: id, Seed: seed, Params: pt, Spec: spec})
+		}
+	}
+	return runs, nil
+}
+
+// FormatValue renders an override value the way run IDs and report axes
+// spell it: deterministic and compact.
+func FormatValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case bool:
+		return strconv.FormatBool(x)
+	case float64:
+		if x == float64(int64(x)) {
+			return strconv.FormatInt(int64(x), 10)
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+func pointLabel(pt []Param) string {
+	if len(pt) == 0 {
+		return "base"
+	}
+	parts := make([]string, len(pt))
+	for i, p := range pt {
+		parts[i] = p.Key + "=" + FormatValue(p.Value)
+	}
+	return strings.Join(parts, ",")
+}
+
+// runID derives the deterministic, filesystem-safe run identity.
+func runID(pt []Param, seed int64) string {
+	label := sanitize(pointLabel(pt))
+	return fmt.Sprintf("%s-s%d", label, seed)
+}
+
+// sanitize keeps run IDs safe as directory names.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '=', r == ',', r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// KnownParams lists the sweepable parameter names, sorted.
+func KnownParams() []string {
+	out := make([]string, 0, len(paramDocs))
+	for k := range paramDocs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParamDoc returns the one-line description of a sweepable parameter.
+func ParamDoc(name string) string { return paramDocs[name] }
+
+var paramDocs = map[string]string{
+	"nodes":                   "population size (int)",
+	"client_frac":             "DHT-client share (0..1)",
+	"stable_frac":             "never-churning share (0..1)",
+	"active_frac":             "requesting share (0..1)",
+	"degree_target":           "overlay connections per node (int)",
+	"bootstrap_servers":       "stable core size (int)",
+	"mean_session":            "mean online session (duration)",
+	"mean_offline":            "mean offline gap (duration)",
+	"mean_requests_per_hour":  "per-active-node request rate (float)",
+	"catalog_items":           "content population size (int)",
+	"personal_frac":           "personal-item request share (0..1)",
+	"personal_items_per_node": "personal set size (int)",
+	"global_hot_frac":         "hot-head request share (0..1)",
+	"global_warm_frac":        "warm-tier request share (0..1)",
+	"warm_items":              "warm tier size (int)",
+	"unresolved_cancel_after": "give-up time for unresolvable CIDs (duration)",
+	"legacy_frac":             "initial pre-v0.5 client share (0..1)",
+	"upgrade_after":           "upgrade wave start offset (duration)",
+	"upgrade_daily_frac":      "daily upgrade probability (0..1)",
+	"monitor_prob":            "independent per-monitor connectivity (0..1)",
+	"xor_bias":                "proximity-biased connectivity strength (float)",
+	"gateways":                "gateway fleet on/off (bool)",
+	"probes":                  "gateway identification probe on/off (bool)",
+	"warmup":                  "warmup before measurement (duration)",
+	"window":                  "measurement window (duration)",
+	"sample_every":            "sampler tick (duration)",
+	"bootstrap_iters":         "CSN bootstrap iterations (int)",
+	"engine":                  "simulation engine: serial or sharded (string)",
+	"shards":                  "sharded engine worker count (int)",
+}
+
+// applyParam sets one override on the spec, coercing the JSON value to the
+// field's type.
+func applyParam(s *ScenarioSpec, key string, v any) error {
+	switch key {
+	case "nodes":
+		return setInt(&s.Nodes, key, v)
+	case "client_frac":
+		return setFloat(&s.ClientFrac, key, v)
+	case "stable_frac":
+		return setFloat(&s.StableFrac, key, v)
+	case "active_frac":
+		return setFloat(&s.ActiveFrac, key, v)
+	case "degree_target":
+		return setInt(&s.DegreeTarget, key, v)
+	case "bootstrap_servers":
+		return setInt(&s.BootstrapServers, key, v)
+	case "mean_session":
+		return setDuration(&s.MeanSession, key, v)
+	case "mean_offline":
+		return setDuration(&s.MeanOffline, key, v)
+	case "mean_requests_per_hour":
+		return setFloat(&s.MeanRequestsPerHour, key, v)
+	case "catalog_items":
+		return setInt(&s.CatalogItems, key, v)
+	case "personal_frac":
+		return setFloat(&s.PersonalFrac, key, v)
+	case "personal_items_per_node":
+		return setInt(&s.PersonalItemsPerNode, key, v)
+	case "global_hot_frac":
+		return setFloat(&s.GlobalHotFrac, key, v)
+	case "global_warm_frac":
+		return setFloat(&s.GlobalWarmFrac, key, v)
+	case "warm_items":
+		return setInt(&s.WarmItems, key, v)
+	case "unresolved_cancel_after":
+		return setDuration(&s.UnresolvedCancelAfter, key, v)
+	case "legacy_frac":
+		return setFloat(&s.LegacyFrac, key, v)
+	case "upgrade_after":
+		return setDuration(&s.UpgradeAfter, key, v)
+	case "upgrade_daily_frac":
+		return setFloat(&s.UpgradeDailyFrac, key, v)
+	case "monitor_prob":
+		return setFloat(&s.MonitorProb, key, v)
+	case "xor_bias":
+		return setFloat(&s.XORBias, key, v)
+	case "gateways":
+		on, ok := v.(bool)
+		if !ok {
+			return coerceErr(key, v, "bool")
+		}
+		if on {
+			s.Gateways = nil // workload defaults
+		} else {
+			s.Gateways = []OperatorSpec{}
+		}
+		return nil
+	case "probes":
+		on, ok := v.(bool)
+		if !ok {
+			return coerceErr(key, v, "bool")
+		}
+		s.Probes = on
+		return nil
+	case "warmup":
+		return setDuration(&s.Warmup, key, v)
+	case "window":
+		return setDuration(&s.Window, key, v)
+	case "sample_every":
+		return setDuration(&s.SampleEvery, key, v)
+	case "bootstrap_iters":
+		return setInt(&s.BootstrapIters, key, v)
+	case "engine":
+		name, ok := v.(string)
+		if !ok {
+			return coerceErr(key, v, "string")
+		}
+		s.Engine = name
+		return nil
+	case "shards":
+		return setInt(&s.Shards, key, v)
+	default:
+		return fmt.Errorf("sweep: unknown sweep parameter %q (known: %s)", key, strings.Join(KnownParams(), ", "))
+	}
+}
+
+func coerceErr(key string, v any, want string) error {
+	return fmt.Errorf("sweep: parameter %s: cannot use %v (%T) as %s", key, v, v, want)
+}
+
+func setInt(dst *int, key string, v any) error {
+	switch x := v.(type) {
+	case float64:
+		if x != float64(int(x)) {
+			return coerceErr(key, v, "int")
+		}
+		*dst = int(x)
+	case int:
+		*dst = x
+	default:
+		return coerceErr(key, v, "int")
+	}
+	return nil
+}
+
+func setFloat(dst *float64, key string, v any) error {
+	switch x := v.(type) {
+	case float64:
+		*dst = x
+	case int:
+		*dst = float64(x)
+	default:
+		return coerceErr(key, v, "float")
+	}
+	return nil
+}
+
+func setDuration(dst *Duration, key string, v any) error {
+	switch x := v.(type) {
+	case string:
+		d, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("sweep: parameter %s: %w", key, err)
+		}
+		*dst = Duration(d)
+	case float64:
+		if x != float64(int64(x)) {
+			return coerceErr(key, v, "duration")
+		}
+		*dst = Duration(int64(x))
+	case time.Duration:
+		*dst = Duration(x)
+	default:
+		return coerceErr(key, v, "duration (string like \"6h\")")
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// manifestFile is the append-only run ledger inside a sweep root.
+const manifestFile = "manifest.jsonl"
+
+// Manifest entry statuses.
+const (
+	StatusDone   = "done"
+	StatusFailed = "failed"
+)
+
+// ManifestEntry records one run's outcome. Entries are appended (one JSON
+// object per line) only after the run's summary.json is durably on disk,
+// so a "done" entry is always backed by a complete summary. On restart the
+// orchestrator skips done runs and retries failed or missing ones — that
+// is the whole resume protocol.
+type ManifestEntry struct {
+	RunID  string `json:"run_id"`
+	Status string `json:"status"`
+	// Summary is the run's summary path, relative to the sweep root.
+	Summary string `json:"summary,omitempty"`
+	// Error preserves a failed run's message for bssweep report.
+	Error string `json:"error,omitempty"`
+}
+
+// manifest is the orchestrator's handle on the ledger: an append-only file
+// plus the latest-entry-per-run view.
+type manifest struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]ManifestEntry
+}
+
+// openManifest loads (creating if absent) the sweep root's manifest. A
+// truncated trailing line — the mark of a crash mid-append — is ignored;
+// its run simply re-executes.
+func openManifest(root string) (*manifest, error) {
+	path := filepath.Join(root, manifestFile)
+	entries := make(map[string]ManifestEntry)
+	if data, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(data)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e ManifestEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				continue // torn write from a crash; the run will re-run
+			}
+			entries[e.RunID] = e
+		}
+		data.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("sweep: read manifest: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sweep: open manifest: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: append manifest: %w", err)
+	}
+	return &manifest{f: f, entries: entries}, nil
+}
+
+// done reports whether the run is already recorded as completed.
+func (m *manifest) done(runID string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.entries[runID].Status == StatusDone
+}
+
+// record appends one entry and syncs it to disk before returning, so a
+// completed run survives a crash immediately after.
+func (m *manifest) record(e ManifestEntry) error {
+	blob, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("sweep: marshal manifest entry: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.f.Write(append(blob, '\n')); err != nil {
+		return fmt.Errorf("sweep: append manifest entry: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: sync manifest: %w", err)
+	}
+	m.entries[e.RunID] = e
+	return nil
+}
+
+func (m *manifest) close() error { return m.f.Close() }
+
+// LoadManifest returns the latest manifest entry per run in a sweep root.
+// Use it for read-only inspection (bssweep report).
+func LoadManifest(root string) (map[string]ManifestEntry, error) {
+	m, err := openManifest(root)
+	if err != nil {
+		return nil, err
+	}
+	defer m.close()
+	out := make(map[string]ManifestEntry, len(m.entries))
+	for k, v := range m.entries {
+		out[k] = v
+	}
+	return out, nil
+}

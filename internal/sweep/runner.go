@@ -1,0 +1,334 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bitswapmon/internal/attacks"
+	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/monitor"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/workload"
+)
+
+// SummaryVersion versions the per-run summary schema.
+const SummaryVersion = 1
+
+// summaryFile is the per-run summary's filename inside the run directory.
+const summaryFile = "summary.json"
+
+// RunSummary is the durable per-run result: every cross-run comparison
+// metric, computed once when the run finishes and persisted next to the
+// run's segment stores. The aggregation layer joins these JSON files —
+// never the raw traces. All fields except ElapsedMS are deterministic for
+// a given spec and seed under the serial engine.
+type RunSummary struct {
+	Version int     `json:"version"`
+	RunID   string  `json:"run_id"`
+	Seed    int64   `json:"seed"`
+	Params  []Param `json:"params,omitempty"`
+	Engine  string  `json:"engine,omitempty"`
+
+	// Population is the total node count (bootstrap core included).
+	Population int `json:"population"`
+	// OnlineAvg is the mean ground-truth online population over the window.
+	OnlineAvg float64 `json:"online_avg"`
+
+	// Unified-trace counters (all monitors merged, Sec. IV-B flags).
+	Entries       int     `json:"entries"`
+	DedupEntries  int     `json:"dedup_entries"`
+	Requests      int     `json:"requests"`
+	DedupRequests int     `json:"dedup_requests"`
+	RebroadShare  float64 `json:"rebroad_share"`
+	UniquePeers   int     `json:"unique_peers"`
+	UniqueCIDs    int     `json:"unique_cids"`
+	// Sketched one-pass estimates from the capture path (HyperLogLog).
+	DistinctPeersEst float64        `json:"distinct_peers_est"`
+	DistinctCIDsEst  float64        `json:"distinct_cids_est"`
+	PerType          map[string]int `json:"per_type,omitempty"`
+
+	// MonitorCoverage is each monitor's Bitswap-active peer count divided
+	// by the population (the paper's per-vantage-point coverage).
+	MonitorCoverage map[string]float64 `json:"monitor_coverage,omitempty"`
+	// PeerOverlap is |intersection| / |union| of Bitswap-active peer sets
+	// across all monitors (the paper's overlap across vantage points).
+	PeerOverlap float64 `json:"peer_overlap"`
+
+	// GatewayShare is the share of deduplicated requests originating from
+	// gateway nodes (the paper's gateway traffic share).
+	GatewayShare float64 `json:"gateway_share"`
+	// GatewayHitRate is the fleet-wide HTTP cache hit ratio.
+	GatewayHitRate float64 `json:"gateway_hit_rate"`
+
+	// Probe results (spec.Probes).
+	GatewaysProbed     int `json:"gateways_probed,omitempty"`
+	GatewaysIdentified int `json:"gateways_identified,omitempty"`
+
+	// ElapsedMS is wall-clock time; it is excluded from aggregate CSVs
+	// because it is not deterministic.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// ExecuteRun builds the run's world, measures it with every monitor
+// streaming into a per-monitor segment store under dir, and writes the
+// run's summary.json. The returned summary is what the orchestrator
+// aggregates later.
+//
+// Layout of dir after a completed run:
+//
+//	<dir>/mon-<name>.segments/   one segment store per monitor
+//	<dir>/summary.json           the RunSummary
+func ExecuteRun(dir string, run Run) (*RunSummary, error) {
+	start := time.Now()
+	spec := run.Spec
+	cfg, err := spec.WorkloadConfig(run.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Start from a clean directory: a retried run must not append to a
+	// failed attempt's leftover segment stores.
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("sweep: clear run dir: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: run dir: %w", err)
+	}
+	w, err := workload.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: build world for %s: %w", run.ID, err)
+	}
+
+	// Warm up with the default in-memory sinks, then discard the warmup
+	// trace and switch every monitor to its durable store plus a one-pass
+	// aggregator, so the measured window streams to disk as it happens.
+	w.Run(spec.Warmup.Std())
+	stores := make([]*ingest.SegmentStore, len(w.Monitors))
+	stats := make([]*ingest.OnlineStats, len(w.Monitors))
+	// Seal whatever is open on every exit path (Close is idempotent), so
+	// error returns do not leak file handles across a long campaign.
+	defer func() {
+		for _, store := range stores {
+			if store != nil {
+				store.Close()
+			}
+		}
+	}()
+	for i, m := range w.Monitors {
+		m.ResetTrace()
+		store, err := ingest.OpenSegmentStore(monitorStoreDir(dir, m.Name), ingest.SegmentOptions{})
+		if err != nil {
+			return nil, err
+		}
+		stores[i] = store
+		stats[i] = ingest.NewOnlineStats(ingest.StatsOptions{Bucket: time.Hour})
+		m.SetSink(ingest.Tee(store, stats[i]))
+	}
+
+	var sampler *monitor.Sampler
+	if len(w.Monitors) > 0 {
+		sampler = monitor.NewSampler(w.Net, w.Monitors, spec.SampleEvery.Std())
+		sampler.Start()
+	}
+
+	// Ground-truth online population at each sampler tick.
+	tick := spec.SampleEvery.Std()
+	if tick <= 0 {
+		tick = 30 * time.Minute
+	}
+	var onlineSamples []float64
+	var trackOnline func()
+	trackOnline = func() {
+		onlineSamples = append(onlineSamples, float64(w.OnlineCount()))
+		w.Net.After(tick, trackOnline)
+	}
+	w.Net.After(tick, trackOnline)
+
+	w.Run(spec.Window.Std())
+	if sampler != nil {
+		sampler.Stop()
+	}
+
+	sum := &RunSummary{
+		Version:    SummaryVersion,
+		RunID:      run.ID,
+		Seed:       run.Seed,
+		Params:     run.Params,
+		Engine:     spec.Engine,
+		Population: w.TotalPopulation(),
+	}
+
+	if spec.Probes && len(w.Monitors) > 0 && len(w.Registry.All()) > 0 {
+		prober := attacks.NewGatewayProber(w.Net, w.Monitors, w.Net.NewRand("gwprobe"))
+		var probes []attacks.ProbeResult
+		prober.ProbeAll(w.Registry, func(r []attacks.ProbeResult) { probes = r })
+		w.Run(time.Duration(len(w.Registry.All())+2) * prober.WaitFor)
+		identified, _, _ := attacks.CrossReference(probes, w.Registry.NodeIDs())
+		sum.GatewaysProbed = len(probes)
+		sum.GatewaysIdentified = identified
+	}
+
+	// Seal the stores before summarising; a run whose trace could not be
+	// persisted is a failed run, not a silently partial one.
+	for i, m := range w.Monitors {
+		if err := stores[i].Close(); err != nil {
+			return nil, fmt.Errorf("sweep: seal store for monitor %s: %w", m.Name, err)
+		}
+		if err := m.SinkErr(); err != nil {
+			return nil, fmt.Errorf("sweep: monitor %s sink: %w", m.Name, err)
+		}
+	}
+
+	if err := summarize(sum, w, stores, stats); err != nil {
+		return nil, err
+	}
+	for _, v := range onlineSamples {
+		sum.OnlineAvg += v
+	}
+	if len(onlineSamples) > 0 {
+		sum.OnlineAvg /= float64(len(onlineSamples))
+	}
+	sum.ElapsedMS = time.Since(start).Milliseconds()
+
+	if err := writeSummary(filepath.Join(dir, summaryFile), sum); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+func monitorStoreDir(runDir, monName string) string {
+	return filepath.Join(runDir, "mon-"+sanitize(monName)+".segments")
+}
+
+// summarize computes the unified-trace metrics with one streaming pass over
+// the run's own freshly written stores (bounded memory: the unifier's
+// window plus the summarizer's uniqueness sets), and folds in the capture
+// path's sketched estimates and the world's ground truth.
+func summarize(sum *RunSummary, w *workload.World, stores []*ingest.SegmentStore, stats []*ingest.OnlineStats) error {
+	sources := make([]ingest.EntrySource, len(stores))
+	for i, store := range stores {
+		it, err := store.Query(time.Time{}, time.Time{}, nil)
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+		sources[i] = it
+	}
+	unified := ingest.NewStreamUnifier(sources...)
+	gatewayIDs := w.GatewayNodeIDs()
+	z := trace.NewSummarizer()
+	gatewayDedupReqs := 0
+	for {
+		e, err := unified.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("sweep: summarize run: %w", err)
+		}
+		if err := z.Write(e); err != nil {
+			return err
+		}
+		if e.IsDuplicate() {
+			continue
+		}
+		sum.DedupEntries++
+		if e.IsRequest() {
+			sum.DedupRequests++
+			if gatewayIDs[e.NodeID] {
+				gatewayDedupReqs++
+			}
+		}
+	}
+	s := z.Summary()
+	sum.Entries = s.Entries
+	sum.Requests = s.Requests
+	sum.UniquePeers = s.UniquePeers
+	sum.UniqueCIDs = s.UniqueCIDs
+	if s.Entries > 0 {
+		sum.RebroadShare = 1 - float64(sum.DedupEntries)/float64(s.Entries)
+	}
+	sum.PerType = make(map[string]int, len(s.PerType))
+	for t, n := range s.PerType {
+		sum.PerType[t.String()] = n
+	}
+	if sum.DedupRequests > 0 {
+		sum.GatewayShare = float64(gatewayDedupReqs) / float64(sum.DedupRequests)
+	}
+
+	for _, st := range stats {
+		sum.DistinctPeersEst += st.DistinctPeers()
+		sum.DistinctCIDsEst += st.DistinctCIDs()
+	}
+
+	// Coverage and overlap from the monitors' Bitswap-active peer sets.
+	sum.MonitorCoverage = make(map[string]float64, len(w.Monitors))
+	union := make(map[simnet.NodeID]int)
+	for _, m := range w.Monitors {
+		active := m.BitswapActivePeers()
+		if w.TotalPopulation() > 0 {
+			sum.MonitorCoverage[m.Name] = float64(len(active)) / float64(w.TotalPopulation())
+		}
+		for id := range active {
+			union[id]++
+		}
+	}
+	if len(union) > 0 && len(w.Monitors) > 1 {
+		inAll := 0
+		for _, n := range union {
+			if n == len(w.Monitors) {
+				inAll++
+			}
+		}
+		sum.PeerOverlap = float64(inAll) / float64(len(union))
+	}
+
+	var hits, misses uint64
+	for _, g := range w.Gateways {
+		st := g.Stats()
+		hits += st.CacheHits
+		misses += st.CacheMisses
+	}
+	if hits+misses > 0 {
+		sum.GatewayHitRate = float64(hits) / float64(hits+misses)
+	}
+	return nil
+}
+
+// writeSummary persists the summary atomically (temp file + rename), so a
+// summary.json on disk is always complete: the manifest records a run as
+// done only after this succeeds.
+func writeSummary(path string, sum *RunSummary) error {
+	blob, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: marshal summary: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("sweep: write summary: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sweep: commit summary: %w", err)
+	}
+	return nil
+}
+
+// ReadSummary loads one run's summary.json.
+func ReadSummary(path string) (*RunSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read summary: %w", err)
+	}
+	var sum RunSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return nil, fmt.Errorf("sweep: decode summary %s: %w", path, err)
+	}
+	if sum.Version != SummaryVersion {
+		return nil, fmt.Errorf("sweep: summary %s: version %d unsupported (want %d)", path, sum.Version, SummaryVersion)
+	}
+	return &sum, nil
+}

@@ -1,0 +1,388 @@
+// Package sweep turns the single-run simulator into an experiment campaign
+// system: declarative scenario specifications, grid/sweep expansion into
+// families of runs with deterministic identities, a parallel orchestrator
+// with a resumable on-disk manifest, and durable per-run results (segment
+// stores + summary JSON) that the analysis layer can aggregate without
+// re-reading raw traces.
+//
+// The paper's headline results — request popularity, gateway traffic
+// shares, monitor overlap — all come from comparing many runs under varied
+// populations, churn and monitor placements. A ScenarioSpec captures one
+// such configuration flag-free; a SweepSpec varies it along axes.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"bitswapmon/internal/engine"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/workload"
+)
+
+// SpecVersion is the current ScenarioSpec/SweepSpec schema version. Loaders
+// reject other versions so stored specs never silently change meaning.
+const SpecVersion = 1
+
+// Duration marshals as a Go duration string ("6h30m"), keeping specs
+// human-editable; plain JSON numbers are accepted as nanoseconds.
+type Duration time.Duration
+
+// D converts a time.Duration for struct literals.
+func D(d time.Duration) Duration { return Duration(d) }
+
+// Std returns the standard-library duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// MarshalJSON encodes the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "1h30m" strings or nanosecond numbers.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("sweep: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("sweep: duration must be a string or nanoseconds: %s", data)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// MonitorSpec declares one monitoring vantage point.
+type MonitorSpec struct {
+	Name   string `json:"name"`
+	Region string `json:"region"`
+}
+
+// JointSpec is the 2-monitor joint connectivity model (see
+// workload.JointConnectivity).
+type JointSpec struct {
+	Both  float64 `json:"both"`
+	OnlyA float64 `json:"only_a"`
+	OnlyB float64 `json:"only_b"`
+}
+
+// OperatorSpec declares one gateway operator fleet.
+type OperatorSpec struct {
+	Name            string   `json:"name"`
+	Nodes           int      `json:"nodes"`
+	RequestsPerHour float64  `json:"requests_per_hour"`
+	HotBias         float64  `json:"hot_bias"`
+	Functional      bool     `json:"functional"`
+	CacheTTL        Duration `json:"cache_ttl,omitempty"`
+}
+
+// ScenarioSpec is the declarative, flag-free description of one simulation
+// run: population, churn, workload request mix, monitors and gateways,
+// attack toggles, measurement window, engine choice and seed. Zero-valued
+// fields take the workload package's documented defaults, so a spec states
+// only what it varies. Specs marshal to versioned JSON and round-trip
+// exactly; cmd/bsexperiments and the sweep orchestrator share this one
+// scenario-assembly code path.
+type ScenarioSpec struct {
+	Version int    `json:"version"`
+	Name    string `json:"name,omitempty"`
+
+	// Start is the simulation start time (RFC 3339; empty = workload
+	// default).
+	Start string `json:"start,omitempty"`
+
+	// Population.
+	Nodes            int     `json:"nodes,omitempty"`
+	ClientFrac       float64 `json:"client_frac,omitempty"`
+	StableFrac       float64 `json:"stable_frac,omitempty"`
+	ActiveFrac       float64 `json:"active_frac,omitempty"`
+	DegreeTarget     int     `json:"degree_target,omitempty"`
+	BootstrapServers int     `json:"bootstrap_servers,omitempty"`
+
+	// Churn.
+	MeanSession Duration `json:"mean_session,omitempty"`
+	MeanOffline Duration `json:"mean_offline,omitempty"`
+
+	// Workload: request mix and content population.
+	MeanRequestsPerHour   float64  `json:"mean_requests_per_hour,omitempty"`
+	CatalogItems          int      `json:"catalog_items,omitempty"`
+	PersonalFrac          float64  `json:"personal_frac,omitempty"`
+	PersonalItemsPerNode  int      `json:"personal_items_per_node,omitempty"`
+	GlobalHotFrac         float64  `json:"global_hot_frac,omitempty"`
+	GlobalWarmFrac        float64  `json:"global_warm_frac,omitempty"`
+	WarmItems             int      `json:"warm_items,omitempty"`
+	UnresolvedCancelAfter Duration `json:"unresolved_cancel_after,omitempty"`
+
+	// Upgrade wave (Fig. 4 scenarios): initial legacy share and the wave.
+	LegacyFrac       float64  `json:"legacy_frac,omitempty"`
+	UpgradeAfter     Duration `json:"upgrade_after,omitempty"`
+	UpgradeDailyFrac float64  `json:"upgrade_daily_frac,omitempty"`
+
+	// Monitors and their connectivity model.
+	Monitors    []MonitorSpec `json:"monitors,omitempty"`
+	Joint       *JointSpec    `json:"joint,omitempty"`
+	MonitorProb float64       `json:"monitor_prob,omitempty"`
+	// XORBias is the estimator-bias ablation (proximity-biased monitor
+	// connectivity); 0 = unbiased.
+	XORBias float64 `json:"xor_bias,omitempty"`
+
+	// Gateways: nil selects workload.DefaultOperators, an explicit empty
+	// list disables gateways. No omitempty: JSON must preserve the
+	// nil-vs-empty distinction (null vs []) or a spec would silently grow
+	// the default fleet when written and reloaded (e.g. across a sweep
+	// resume).
+	Gateways []OperatorSpec `json:"gateways"`
+
+	// Attack toggles.
+	//
+	// Probes runs the Sec. VI-B gateway identification probe after the
+	// measurement window.
+	Probes bool `json:"probes,omitempty"`
+
+	// Measurement window.
+	Warmup         Duration `json:"warmup,omitempty"`
+	Window         Duration `json:"window"`
+	SampleEvery    Duration `json:"sample_every,omitempty"`
+	BootstrapIters int      `json:"bootstrap_iters,omitempty"`
+
+	// Engine selection and seed policy. Seed is the run's base seed; sweep
+	// replication overrides it per run.
+	Engine string `json:"engine,omitempty"`
+	Shards int    `json:"shards,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+}
+
+// DefaultSpec returns a small week-style scenario: the paper's two
+// monitors, default operators, and a window sized for interactive runs.
+func DefaultSpec() ScenarioSpec {
+	return ScenarioSpec{
+		Version: SpecVersion,
+		Name:    "week-small",
+		Nodes:   250,
+		Monitors: []MonitorSpec{
+			{Name: "us", Region: string(simnet.RegionUS)},
+			{Name: "de", Region: string(simnet.RegionDE)},
+		},
+		CatalogItems:   3000,
+		Warmup:         D(time.Hour),
+		Window:         D(8 * time.Hour),
+		SampleEvery:    D(30 * time.Minute),
+		BootstrapIters: 30,
+		Probes:         true,
+		Seed:           42,
+	}
+}
+
+// knownRegions guards against typos in spec files.
+var knownRegions = map[string]bool{
+	string(simnet.RegionUS):    true,
+	string(simnet.RegionNL):    true,
+	string(simnet.RegionDE):    true,
+	string(simnet.RegionCA):    true,
+	string(simnet.RegionFR):    true,
+	string(simnet.RegionOther): true,
+}
+
+// Validate checks the spec for structural errors. Zero-valued tunables are
+// fine (they take workload defaults); what must hold is version, window,
+// engine name, region names and fraction ranges.
+func (s ScenarioSpec) Validate() error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("sweep: spec version %d unsupported (want %d)", s.Version, SpecVersion)
+	}
+	if s.Window <= 0 {
+		return fmt.Errorf("sweep: spec needs a positive window")
+	}
+	if s.Start != "" {
+		if _, err := time.Parse(time.RFC3339, s.Start); err != nil {
+			return fmt.Errorf("sweep: bad start time %q: %w", s.Start, err)
+		}
+	}
+	switch s.Engine {
+	case "", "serial", "sharded":
+	default:
+		return fmt.Errorf("sweep: unknown engine %q (want serial or sharded)", s.Engine)
+	}
+	if len(s.Monitors) > 64 {
+		return fmt.Errorf("sweep: at most 64 monitors (have %d)", len(s.Monitors))
+	}
+	seen := make(map[string]bool, len(s.Monitors))
+	for _, m := range s.Monitors {
+		if m.Name == "" {
+			return fmt.Errorf("sweep: monitor with empty name")
+		}
+		// Monitor names become per-run store directory names; restricting
+		// them to filename-safe characters keeps two monitors from ever
+		// sanitizing onto the same directory.
+		for _, r := range m.Name {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '.' || r == '_' || r == '-') {
+				return fmt.Errorf("sweep: monitor name %q: only letters, digits, '.', '_' and '-' are allowed", m.Name)
+			}
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("sweep: duplicate monitor name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if !knownRegions[m.Region] {
+			return fmt.Errorf("sweep: monitor %s: unknown region %q", m.Name, m.Region)
+		}
+	}
+	for _, g := range s.Gateways {
+		if g.Name == "" {
+			return fmt.Errorf("sweep: gateway operator with empty name")
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"client_frac", s.ClientFrac}, {"stable_frac", s.StableFrac},
+		{"active_frac", s.ActiveFrac}, {"personal_frac", s.PersonalFrac},
+		{"global_hot_frac", s.GlobalHotFrac}, {"global_warm_frac", s.GlobalWarmFrac},
+		{"legacy_frac", s.LegacyFrac}, {"upgrade_daily_frac", s.UpgradeDailyFrac},
+		{"monitor_prob", s.MonitorProb},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("sweep: %s = %v out of [0,1]", f.name, f.v)
+		}
+	}
+	if j := s.Joint; j != nil {
+		if j.Both < 0 || j.OnlyA < 0 || j.OnlyB < 0 || j.Both+j.OnlyA+j.OnlyB > 1 {
+			return fmt.Errorf("sweep: joint connectivity probabilities invalid")
+		}
+	}
+	return nil
+}
+
+// NewEngine returns the engine factory for the spec's engine selection
+// (nil = serial simnet reference), or an error for an unknown name.
+func (s ScenarioSpec) NewEngine() (func(start time.Time, seed int64) engine.Engine, error) {
+	switch s.Engine {
+	case "", "serial":
+		return nil, nil
+	case "sharded":
+		return engine.ShardedFactory(s.Shards), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown engine %q (want serial or sharded)", s.Engine)
+	}
+}
+
+// WorkloadConfig assembles the workload configuration this spec describes,
+// with seed overriding the spec's own base seed. This is the single
+// scenario-assembly code path shared by cmd/bsexperiments and the sweep
+// orchestrator: zero spec fields stay zero so workload defaults apply.
+func (s ScenarioSpec) WorkloadConfig(seed int64) (workload.Config, error) {
+	if err := s.Validate(); err != nil {
+		return workload.Config{}, err
+	}
+	newEngine, err := s.NewEngine()
+	if err != nil {
+		return workload.Config{}, err
+	}
+	cfg := workload.Config{
+		Seed:                  seed,
+		Nodes:                 s.Nodes,
+		ClientFrac:            s.ClientFrac,
+		StableFrac:            s.StableFrac,
+		ActiveFrac:            s.ActiveFrac,
+		MeanRequestsPerHour:   s.MeanRequestsPerHour,
+		DegreeTarget:          s.DegreeTarget,
+		MeanSession:           s.MeanSession.Std(),
+		MeanOffline:           s.MeanOffline.Std(),
+		Catalog:               workload.CatalogConfig{Items: s.CatalogItems},
+		MonitorProb:           s.MonitorProb,
+		XORBias:               s.XORBias,
+		UnresolvedCancelAfter: s.UnresolvedCancelAfter.Std(),
+		LegacyFrac:            s.LegacyFrac,
+		UpgradeDailyFrac:      s.UpgradeDailyFrac,
+		BootstrapServers:      s.BootstrapServers,
+		NewEngine:             newEngine,
+		PersonalFrac:          s.PersonalFrac,
+		PersonalItemsPerNode:  s.PersonalItemsPerNode,
+		GlobalHotFrac:         s.GlobalHotFrac,
+		GlobalWarmFrac:        s.GlobalWarmFrac,
+		WarmItems:             s.WarmItems,
+	}
+	if s.Start != "" {
+		cfg.Start, _ = time.Parse(time.RFC3339, s.Start) // validated above
+	}
+	if s.UpgradeAfter > 0 {
+		start := cfg.Start
+		if start.IsZero() {
+			// Mirror workload.Config.withDefaults so the offset is
+			// anchored to the same instant the world will start at.
+			start = time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+		}
+		cfg.UpgradeStart = start.Add(s.UpgradeAfter.Std())
+	}
+	for _, m := range s.Monitors {
+		cfg.Monitors = append(cfg.Monitors, workload.MonitorSpec{
+			Name:   m.Name,
+			Region: simnet.Region(m.Region),
+		})
+	}
+	if s.Joint != nil {
+		cfg.Joint = workload.JointConnectivity{Both: s.Joint.Both, OnlyA: s.Joint.OnlyA, OnlyB: s.Joint.OnlyB}
+	}
+	if s.Gateways != nil {
+		cfg.Operators = []workload.OperatorSpec{}
+		for _, g := range s.Gateways {
+			cfg.Operators = append(cfg.Operators, workload.OperatorSpec{
+				Name:            g.Name,
+				Nodes:           g.Nodes,
+				RequestsPerHour: g.RequestsPerHour,
+				HotBias:         g.HotBias,
+				Functional:      g.Functional,
+				CacheTTL:        g.CacheTTL.Std(),
+			})
+		}
+	}
+	return cfg, nil
+}
+
+// Marshal renders the spec as indented, human-editable JSON.
+func (s ScenarioSpec) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal spec: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// ParseSpec decodes and validates a ScenarioSpec. Unknown fields are
+// rejected: a typoed knob must fail loudly, not silently fall back to a
+// default.
+func ParseSpec(data []byte) (ScenarioSpec, error) {
+	var s ScenarioSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("sweep: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads a ScenarioSpec from a JSON file.
+func LoadSpec(path string) (ScenarioSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ScenarioSpec{}, fmt.Errorf("sweep: read spec: %w", err)
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -30,6 +30,7 @@ import (
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/node"
+	"bitswapmon/internal/replay"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
 	"bitswapmon/internal/wire"
@@ -381,6 +382,67 @@ func BenchmarkIngestSegmentStore(b *testing.B) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "retained-heap-MB")
+}
+
+// BenchmarkReplayDrive measures the trace-driven replay path end to end:
+// events streamed from an on-disk segment store through the unifier and
+// re-issued into a replay world. The events/sec metric is the replay
+// subsystem's throughput from disk to monitor-side observation.
+func BenchmarkReplayDrive(b *testing.B) {
+	dir := filepath.Join(b.TempDir(), "replay-bench.segments")
+	store, err := ingest.OpenSegmentStore(dir, ingest.SegmentOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+	cids := make([]cid.CID, 256)
+	for i := range cids {
+		cids[i] = cid.Sum(cid.Raw, []byte{byte(i), byte(i >> 8), 0xbe})
+	}
+	const events = 20000
+	for i := 0; i < events; i++ {
+		var id simnet.NodeID
+		id[0] = byte(i % 64)
+		e := trace.Entry{
+			// 20 events per virtual second over ~17 virtual minutes.
+			Timestamp: base.Add(time.Duration(i) * 50 * time.Millisecond),
+			Monitor:   "us",
+			NodeID:    id,
+			Addr:      "3.0.0.1:4001",
+			Type:      wire.EntryType(i%2 + 1),
+			CID:       cids[i%len(cids)],
+		}
+		if err := store.Write(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		sess, err := replay.Prepare(replay.Spec{
+			Mode:     replay.ModeDirect,
+			Inputs:   []string{dir},
+			TimeWarp: 60,
+			Seed:     int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := sess.Drive()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess.Close()
+		if stats.Events != events {
+			b.Fatalf("replayed %d events, wrote %d", stats.Events, events)
+		}
+	}
+	if wall := time.Since(start); wall > 0 {
+		b.ReportMetric(float64(events)*float64(b.N)/wall.Seconds(), "events/sec")
+	}
 }
 
 // BenchmarkCrawl measures one full DHT crawl over the shared world.

@@ -8,7 +8,12 @@
 //
 // Usage:
 //
-//	bsanalyze [-dedup] [-report summary|online|table1|table2|fig4|fig5] INPUT...
+//	bsanalyze [-dedup] [-report summary|online|popularity|table1|table2|fig4|fig5] INPUT...
+//
+// The popularity report streams the unified trace through an incremental
+// RRP/URP counter (memory proportional to distinct CIDs, not trace length)
+// and prints both ECDFs plus the CSN power-law fit; like every report it
+// accepts segment-store directories as well as flat trace files.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"bitswapmon/internal/analysis"
 	"bitswapmon/internal/geoip"
 	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/popularity"
 	"bitswapmon/internal/trace"
 )
 
@@ -34,7 +40,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bsanalyze", flag.ContinueOnError)
-	report := fs.String("report", "summary", "analysis to run: summary, online, table1, table2, fig4, fig5")
+	report := fs.String("report", "summary", "analysis to run: summary, online, popularity, table1, table2, fig4, fig5")
 	dedup := fs.Bool("dedup", true, "filter duplicates/rebroadcasts before analysis")
 	bucket := fs.Duration("bucket", time.Hour, "bucket size for fig4 and online")
 	iters := fs.Int("iters", 50, "bootstrap iterations for fig5")
@@ -43,7 +49,7 @@ func run(args []string) error {
 		return err
 	}
 	switch *report {
-	case "summary", "online", "table1", "table2", "fig4", "fig5":
+	case "summary", "online", "popularity", "table1", "table2", "fig4", "fig5":
 	default:
 		// Reject before opening (and potentially draining) the inputs.
 		return fmt.Errorf("unknown report %q", *report)
@@ -81,6 +87,18 @@ func run(args []string) error {
 			return err
 		}
 		printOnline(stats, *topk)
+	case "popularity":
+		// One pass into the incremental RRP/URP counter: segment stores
+		// and flat files alike stream through the unifier, never resident.
+		counter := popularity.NewCounter()
+		dst := ingest.Sink(counter)
+		if *dedup {
+			dst = dedupSink{counter}
+		}
+		if _, err := ingest.Copy(dst, unified); err != nil {
+			return err
+		}
+		printPopularity(counter, *iters)
 	default:
 		// The remaining reports need the full (possibly deduplicated)
 		// trace resident.
@@ -207,6 +225,46 @@ func printSummary(s trace.Summary) {
 	}
 	for typ, n := range s.PerType {
 		fmt.Printf("  %s: %d\n", typ, n)
+	}
+}
+
+func printPopularity(c *popularity.Counter, iters int) {
+	scores := c.Scores()
+	rrp := popularity.Values(scores.RRP)
+	urp := popularity.Values(scores.URP)
+	fmt.Printf("distinct CIDs: %d\n", c.CIDs())
+	fmt.Printf("single-requester CIDs (URP = 1): %.1f%%\n", 100*popularity.ShareWithValue(urp, 1))
+	printECDF("RRP", popularity.ECDF(rrp))
+	printECDF("URP", popularity.ECDF(urp))
+	if rejected, fit, p, err := popularity.RejectsPowerLaw(rrp, iters, rand.New(rand.NewSource(1))); err != nil {
+		fmt.Printf("power-law fit (RRP): %v\n", err)
+	} else {
+		verdict := "not rejected"
+		if rejected {
+			verdict = "REJECTED"
+		}
+		fmt.Printf("power-law fit (RRP): alpha=%.3f xmin=%d KS=%.4f p=%.2f => %s\n",
+			fit.Alpha, fit.Xmin, fit.KS, p, verdict)
+	}
+}
+
+// printECDF renders an ECDF compactly: every point for small supports, key
+// quantiles otherwise.
+func printECDF(label string, pts []popularity.ECDFPoint) {
+	fmt.Printf("%s ECDF:\n", label)
+	if len(pts) <= 12 {
+		for _, p := range pts {
+			fmt.Printf("  P(X <= %.0f) = %.4f\n", p.Value, p.Prob)
+		}
+		return
+	}
+	targets := []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1}
+	i := 0
+	for _, q := range targets {
+		for i < len(pts)-1 && pts[i].Prob < q {
+			i++
+		}
+		fmt.Printf("  P(X <= %.0f) = %.4f\n", pts[i].Value, pts[i].Prob)
 	}
 }
 

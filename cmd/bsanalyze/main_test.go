@@ -96,8 +96,9 @@ func TestBsanalyzeSegmentDirInputs(t *testing.T) {
 	p2 := filepath.Join(dir, "de.trace")
 	writeTestTrace(t, p2, "de", 80)
 
-	// Mixed inputs: one segment store, one flat file.
-	for _, report := range []string{"summary", "online", "table1", "fig4"} {
+	// Mixed inputs: one segment store, one flat file. The popularity
+	// (ECDF) report streams from segment dirs like every other report.
+	for _, report := range []string{"summary", "online", "table1", "fig4", "popularity"} {
 		if err := run([]string{"-report", report, s1, p2}); err != nil {
 			t.Errorf("report %s over mixed inputs: %v", report, err)
 		}

@@ -6,7 +6,18 @@
 //	bsexperiments [-scale small|default] [-seed N] [-only week|upgrade]
 //	              [-spec FILE] [-dump-spec]
 //	              [-engine serial|sharded] [-shards N]
+//	              [-replay INPUTS] [-replay-mode replay|fitted]
+//	              [-amplify N] [-timewarp N]
 //	              [-cpuprofile FILE] [-memprofile FILE]
+//
+// -replay switches from the synthetic scenarios to trace-driven replay:
+// INPUTS is a comma-separated list of recorded trace sources (segment-store
+// directories, flat .trace files, or .csv exports — one per recording
+// monitor). -replay-mode picks direct replay (re-issue every recorded entry
+// at its recorded offset) or fitted replay (fit empirical models, generate
+// a matched workload); -amplify scales the fitted population and volume,
+// -timewarp compresses replayed time. The replay world's monitors are
+// discovered from the inputs.
 //
 // The week scenario is assembled through a declarative sweep.ScenarioSpec:
 // -scale picks a built-in spec, -spec loads one from a JSON file instead,
@@ -28,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"bitswapmon/internal/experiments"
 	"bitswapmon/internal/sweep"
@@ -51,6 +63,10 @@ func run(args []string) error {
 	upgradeWeeks := fs.Int("upgrade-weeks", 3, "observed weeks for the Fig. 4 scenario")
 	engineName := fs.String("engine", "serial", "simulation engine: serial or sharded")
 	shards := fs.Int("shards", 0, "worker shards for -engine=sharded (0 = engine default)")
+	replayInputs := fs.String("replay", "", "comma-separated recorded trace inputs (segment dirs, .trace, .csv): replay them instead of the synthetic scenarios")
+	replayMode := fs.String("replay-mode", "replay", "trace replay mode: replay (direct) or fitted")
+	amplify := fs.Float64("amplify", 0, "fitted-replay population/volume multiplier")
+	timewarp := fs.Float64("timewarp", 0, "replay time compression factor (2 = twice as fast)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +76,20 @@ func run(args []string) error {
 	spec, err := assembleSpec(fs, *specPath, *scaleName, *seed, *engineName, *shards)
 	if err != nil {
 		return err
+	}
+	if *replayInputs != "" {
+		spec.WorkloadSource = &sweep.WorkloadSourceSpec{
+			Mode:     *replayMode,
+			Inputs:   strings.Split(*replayInputs, ","),
+			TimeWarp: *timewarp,
+			Amplify:  *amplify,
+		}
+		// The replay world's monitors come from the trace, not the
+		// synthetic scenario's vantage points.
+		spec.Monitors = nil
+		if err := spec.Validate(); err != nil {
+			return err
+		}
 	}
 	if *dumpSpec {
 		blob, err := spec.Marshal()
@@ -82,6 +112,15 @@ func run(args []string) error {
 		defer pprof.StopCPUProfile()
 	}
 
+	if spec.ReplayMode() {
+		rep, err := experiments.RunReplay(spec)
+		if err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		fmt.Println(rep.Render())
+		return writeMemProfile(*memprofile)
+	}
+
 	if *only == "" || *only == "week" {
 		rep, err := experiments.RunWeekSpec(spec)
 		if err != nil {
@@ -101,16 +140,21 @@ func run(args []string) error {
 		fmt.Println(rep.Render())
 	}
 
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			return fmt.Errorf("memprofile: %w", err)
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return fmt.Errorf("memprofile: %w", err)
-		}
+	return writeMemProfile(*memprofile)
+}
+
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
 	}
 	return nil
 }

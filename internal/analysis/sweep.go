@@ -35,6 +35,9 @@ var sweepMetrics = map[string]func(*sweep.RunSummary) float64{
 	"gateway_hit_rate":   func(r *sweep.RunSummary) float64 { return r.GatewayHitRate },
 	"online_avg":         func(r *sweep.RunSummary) float64 { return r.OnlineAvg },
 	"population":         func(r *sweep.RunSummary) float64 { return float64(r.Population) },
+	"replay_events":      func(r *sweep.RunSummary) float64 { return float64(r.ReplayEvents) },
+	"replay_requesters":  func(r *sweep.RunSummary) float64 { return float64(r.ReplayRequesters) },
+	"fitted_alpha":       func(r *sweep.RunSummary) float64 { return r.FittedAlpha },
 }
 
 // SweepMetrics lists the aggregatable metric names, sorted.

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bitswapmon/internal/popularity"
+	"bitswapmon/internal/replay"
+	"bitswapmon/internal/sweep"
+	"bitswapmon/internal/trace"
+)
+
+// ReplayReport carries the monitor-side aggregates of one replay run: what
+// was driven, what the monitors recorded, and — in fitted mode — how the
+// replayed popularity compares with the model it was generated from.
+type ReplayReport struct {
+	Mode  replay.Mode
+	Stats *replay.DriveStats
+
+	// Summary is the unified monitor-side trace summary of the replayed
+	// world (Sec. IV-B flags recomputed over the replay).
+	Summary trace.Summary
+	// PerMonitorRequests counts non-CANCEL entries per monitor.
+	PerMonitorRequests map[string]int
+
+	// Model is the fitted model (fitted mode only).
+	Model *replay.Model
+	// ReplayedAlpha is the power-law exponent fitted to the replayed
+	// deduplicated trace, 0 when the trace cannot support a fit. In fitted
+	// mode it tracks Model.PowerLaw.Alpha across amplification when the
+	// underlying popularity is power-law shaped (alpha is only
+	// scale-stable for actual power laws; the simulator's lognormal
+	// mixture, like the paper's data, is not one).
+	ReplayedAlpha float64
+	// ModelTopShare and ReplayTopShare are the fraction of (model /
+	// replayed deduplicated) requests landing on the model's ten most
+	// popular CIDs: a scale-invariant popularity-preservation check that
+	// holds for any distribution shape.
+	ModelTopShare  float64
+	ReplayTopShare float64
+
+	Elapsed time.Duration
+}
+
+// RunReplay executes the replay scenario a declarative spec describes (its
+// workload_source section selects direct or fitted mode) and computes the
+// report. Monitors record in memory; use the sweep orchestrator for runs
+// whose traces must stream to disk.
+func RunReplay(spec sweep.ScenarioSpec) (*ReplayReport, error) {
+	start := time.Now()
+	rs, err := spec.ReplaySpec(spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := replay.Prepare(rs)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	stats, err := sess.Drive()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ReplayReport{
+		Mode:               replay.ModeDirect,
+		Stats:              stats,
+		PerMonitorRequests: make(map[string]int),
+		Model:              sess.Model,
+	}
+	if sess.Model != nil {
+		rep.Mode = replay.ModeFitted
+	}
+	traces := make([][]trace.Entry, len(sess.World.Monitors))
+	for i, m := range sess.World.Monitors {
+		traces[i] = m.Trace()
+		for _, e := range traces[i] {
+			if e.IsRequest() {
+				rep.PerMonitorRequests[m.Name]++
+			}
+		}
+	}
+	unified := trace.Unify(traces...)
+	rep.Summary = trace.Summarize(unified)
+	counter := popularity.NewCounter()
+	for _, e := range unified {
+		if !e.IsDuplicate() {
+			counter.Write(e)
+		}
+	}
+	scores := counter.Scores()
+	if fit, err := popularity.FitPowerLaw(popularity.Values(scores.RRP)); err == nil {
+		rep.ReplayedAlpha = fit.Alpha
+	}
+	if m := sess.Model; m != nil && m.Requests > 0 {
+		top := make(map[string]bool)
+		topCount := 0
+		for _, cc := range m.TopCIDs(10) {
+			top[cc.CID.Key()] = true
+			topCount += cc.Count
+		}
+		rep.ModelTopShare = float64(topCount) / float64(m.Requests)
+		replayedTop, replayedTotal := 0, 0
+		for c, n := range scores.RRP {
+			replayedTotal += n
+			if top[c.Key()] {
+				replayedTop += n
+			}
+		}
+		if replayedTotal > 0 {
+			rep.ReplayTopShare = float64(replayedTop) / float64(replayedTotal)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// Render prints the report.
+func (r *ReplayReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "==== Replay report (%s mode) ====\n\n", r.Mode)
+	fmt.Fprintf(&sb, "driven: %d events (%d sends) from %d requesters over %v of virtual time\n",
+		r.Stats.Events, r.Stats.Sends, r.Stats.Requesters, r.Stats.VirtualDuration.Round(time.Second))
+	s := r.Summary
+	fmt.Fprintf(&sb, "recorded: %d entries (%d requests), %d peers, %d CIDs\n",
+		s.Entries, s.Requests, s.UniquePeers, s.UniqueCIDs)
+	names := make([]string, 0, len(r.PerMonitorRequests))
+	for name := range r.PerMonitorRequests {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "  monitor %s: %d requests\n", name, r.PerMonitorRequests[name])
+	}
+	if m := r.Model; m != nil {
+		fmt.Fprintf(&sb, "\nfitted model: %d requests / %d requesters / %d CIDs over %v (WANT_BLOCK share %.2f)\n",
+			m.Requests, m.Requesters, len(m.Popularity), m.Duration.Round(time.Second), m.WantBlockShare)
+		if m.PowerLaw != nil {
+			fmt.Fprintf(&sb, "popularity alpha: fitted %.3f, replayed %.3f\n", m.PowerLaw.Alpha, r.ReplayedAlpha)
+		}
+		fmt.Fprintf(&sb, "top-10 CID request share: model %.3f, replayed %.3f\n", r.ModelTopShare, r.ReplayTopShare)
+	} else if r.ReplayedAlpha > 0 {
+		fmt.Fprintf(&sb, "replayed popularity alpha: %.3f\n", r.ReplayedAlpha)
+	}
+	fmt.Fprintf(&sb, "\nwall time: %v\n", r.Elapsed.Round(time.Millisecond))
+	return sb.String()
+}

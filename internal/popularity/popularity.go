@@ -48,6 +48,60 @@ func Compute(entries []trace.Entry) Scores {
 	return Scores{RRP: rrp, URP: urp}
 }
 
+// Counter computes both popularity scores incrementally, so streaming
+// pipelines (segment-store queries, the replay fitter) can score a trace in
+// one pass without materialising it. Memory is proportional to the distinct
+// (CID, peer) pairs observed — the same bound as the batch Compute.
+//
+// Counter satisfies the ingest.Sink shape, so a unified stream can be copied
+// straight into it. As with Compute, the caller chooses whether to feed raw
+// or deduplicated entries; CANCELs are ignored.
+type Counter struct {
+	rrp         map[cid.CID]int
+	peersPerCID map[cid.CID]map[simnet.NodeID]bool
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter {
+	return &Counter{
+		rrp:         make(map[cid.CID]int),
+		peersPerCID: make(map[cid.CID]map[simnet.NodeID]bool),
+	}
+}
+
+// Write folds one entry into the scores. It never fails; the error return
+// satisfies streaming sink interfaces.
+func (c *Counter) Write(e trace.Entry) error {
+	if !e.IsRequest() {
+		return nil
+	}
+	c.rrp[e.CID]++
+	m, ok := c.peersPerCID[e.CID]
+	if !ok {
+		m = make(map[simnet.NodeID]bool)
+		c.peersPerCID[e.CID] = m
+	}
+	m[e.NodeID] = true
+	return nil
+}
+
+// CIDs returns the number of distinct CIDs scored so far.
+func (c *Counter) CIDs() int { return len(c.rrp) }
+
+// Scores returns the scores accumulated so far. The result is a snapshot:
+// further Write calls do not mutate it.
+func (c *Counter) Scores() Scores {
+	rrp := make(map[cid.CID]int, len(c.rrp))
+	for k, v := range c.rrp {
+		rrp[k] = v
+	}
+	urp := make(map[cid.CID]int, len(c.peersPerCID))
+	for k, peers := range c.peersPerCID {
+		urp[k] = len(peers)
+	}
+	return Scores{RRP: rrp, URP: urp}
+}
+
 // Values extracts the score values in ascending order.
 func Values(scores map[cid.CID]int) []int {
 	out := make([]int, 0, len(scores))

@@ -45,6 +45,47 @@ func TestComputeScores(t *testing.T) {
 	}
 }
 
+// TestCounterMatchesBatch: the incremental Counter agrees with the batch
+// Compute on a randomized entry stream.
+func TestCounterMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var entries []trace.Entry
+	for i := 0; i < 2000; i++ {
+		entries = append(entries, req(byte(rng.Intn(40)),
+			string(rune('a'+rng.Intn(25))), wire.EntryType(rng.Intn(3)+1)))
+	}
+	want := Compute(entries)
+	c := NewCounter()
+	for _, e := range entries {
+		if err := c.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Scores()
+	if len(got.RRP) != len(want.RRP) || len(got.URP) != len(want.URP) {
+		t.Fatalf("sizes: got %d/%d want %d/%d", len(got.RRP), len(got.URP), len(want.RRP), len(want.URP))
+	}
+	for k, v := range want.RRP {
+		if got.RRP[k] != v {
+			t.Errorf("rrp[%s] = %d, want %d", k, got.RRP[k], v)
+		}
+	}
+	for k, v := range want.URP {
+		if got.URP[k] != v {
+			t.Errorf("urp[%s] = %d, want %d", k, got.URP[k], v)
+		}
+	}
+	if c.CIDs() != len(want.RRP) {
+		t.Errorf("CIDs() = %d, want %d", c.CIDs(), len(want.RRP))
+	}
+	// The snapshot is detached: further writes must not mutate it.
+	before := got.RRP[cid.Sum(cid.Raw, []byte("a"))]
+	c.Write(req(1, "a", wire.WantHave))
+	if got.RRP[cid.Sum(cid.Raw, []byte("a"))] != before {
+		t.Error("Scores snapshot mutated by later Write")
+	}
+}
+
 func TestECDF(t *testing.T) {
 	pts := ECDF([]int{1, 1, 1, 2, 5})
 	if len(pts) != 3 {

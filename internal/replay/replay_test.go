@@ -1,0 +1,427 @@
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/engine"
+	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+var t0 = time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+
+// syntheticTrace builds a deterministic two-monitor recorded trace: a
+// population of requesters issuing wants (with occasional repeats and
+// CANCELs) over span, each entry recorded at one or both monitors.
+func syntheticTrace(seed int64, entries int, span time.Duration) map[string][]trace.Entry {
+	rng := rand.New(rand.NewSource(seed))
+	monitors := []string{"de", "us"}
+	out := make(map[string][]trace.Entry)
+	requesters := make([]simnet.NodeID, 20)
+	for i := range requesters {
+		requesters[i] = simnet.DeriveNodeID([]byte(fmt.Sprintf("orig-req-%d", i)))
+	}
+	cids := make([]cid.CID, 50)
+	for i := range cids {
+		cids[i] = cid.Sum(cid.Raw, []byte(fmt.Sprintf("item-%d", i)))
+	}
+	for i := 0; i < entries; i++ {
+		at := t0.Add(time.Duration(float64(span) * float64(i) / float64(entries)))
+		req := requesters[rng.Intn(len(requesters))]
+		// Zipf-ish popularity so power-law fits have a tail to work with.
+		c := cids[int(float64(len(cids))*rng.Float64()*rng.Float64())]
+		typ := wire.WantHave
+		switch {
+		case rng.Float64() < 0.2:
+			typ = wire.WantBlock
+		case rng.Float64() < 0.05:
+			typ = wire.Cancel
+		}
+		for m, name := range monitors {
+			if m == 0 || rng.Float64() < 0.5 { // "de" sees all, "us" half
+				out[name] = append(out[name], trace.Entry{
+					Timestamp: at,
+					Monitor:   name,
+					NodeID:    req,
+					Addr:      "3.0.0.1:4001",
+					Type:      typ,
+					CID:       c,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// writeStores persists a synthetic trace as per-monitor segment stores and
+// returns their paths.
+func writeStores(t *testing.T, dir string, traces map[string][]trace.Entry) []string {
+	t.Helper()
+	var paths []string
+	for name, entries := range traces {
+		path := filepath.Join(dir, name+".segments")
+		store, err := ingest.OpenSegmentStore(path, ingest.SegmentOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if err := store.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := store.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// monitorAggregates reduces one monitor trace to the quantities direct
+// replay must preserve exactly: entry count, request count, and the CID
+// request multiset.
+type aggregates struct {
+	entries  int
+	requests int
+	perCID   map[cid.CID]int
+}
+
+func aggregate(entries []trace.Entry) aggregates {
+	a := aggregates{perCID: make(map[cid.CID]int)}
+	for _, e := range entries {
+		a.entries++
+		if e.IsRequest() {
+			a.requests++
+			a.perCID[e.CID]++
+		}
+	}
+	return a
+}
+
+func topK(perCID map[cid.CID]int, k int) map[cid.CID]bool {
+	type cc struct {
+		c cid.CID
+		n int
+	}
+	var all []cc
+	for c, n := range perCID {
+		all = append(all, cc{c, n})
+	}
+	for i := range all { // selection sort: tiny k, test-only
+		for j := i + 1; j < len(all); j++ {
+			if all[j].n > all[i].n || (all[j].n == all[i].n && all[j].c.Key() < all[i].c.Key()) {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make(map[cid.CID]bool, k)
+	for _, x := range all[:k] {
+		out[x.c] = true
+	}
+	return out
+}
+
+// TestDirectReplayRoundTrip is the acceptance path: a recorded trace,
+// direct-replayed at 1×, reproduces each monitor's entry counts, request
+// counts and per-CID request multiset exactly.
+func TestDirectReplayRoundTrip(t *testing.T) {
+	traces := syntheticTrace(1, 400, 3*time.Minute)
+	paths := writeStores(t, t.TempDir(), traces)
+
+	sess, err := Prepare(Spec{Mode: ModeDirect, Inputs: paths, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	stats, err := sess.Drive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalRecorded := 0
+	for _, entries := range traces {
+		totalRecorded += len(entries)
+	}
+	if stats.Events != totalRecorded {
+		t.Fatalf("replayed %d events, recorded %d", stats.Events, totalRecorded)
+	}
+	if stats.Requesters != 20 {
+		t.Errorf("mapped %d requesters, want 20", stats.Requesters)
+	}
+	for _, m := range sess.World.Monitors {
+		want := aggregate(traces[m.Name])
+		got := aggregate(m.Trace())
+		if got.entries != want.entries || got.requests != want.requests {
+			t.Errorf("monitor %s: %d entries / %d requests, want %d / %d",
+				m.Name, got.entries, got.requests, want.entries, want.requests)
+		}
+		if len(got.perCID) != len(want.perCID) {
+			t.Errorf("monitor %s: %d distinct CIDs, want %d", m.Name, len(got.perCID), len(want.perCID))
+		}
+		for c, n := range want.perCID {
+			if got.perCID[c] != n {
+				t.Errorf("monitor %s: CID %s count %d, want %d", m.Name, c, got.perCID[c], n)
+			}
+		}
+		wantTop := topK(want.perCID, 10)
+		gotTop := topK(got.perCID, 10)
+		for c := range wantTop {
+			if !gotTop[c] {
+				t.Errorf("monitor %s: top-10 CID %s missing after replay", m.Name, c)
+			}
+		}
+	}
+}
+
+// TestDirectReplayTimeWarp: warping compresses the replayed span without
+// changing what is replayed.
+func TestDirectReplayTimeWarp(t *testing.T) {
+	traces := syntheticTrace(2, 200, 4*time.Minute)
+	paths := writeStores(t, t.TempDir(), traces)
+	sess, err := Prepare(Spec{Mode: ModeDirect, Inputs: paths, TimeWarp: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	stats, err := sess.Drive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 minutes warped 4× ≈ 1 minute plus the drain grace.
+	if stats.VirtualDuration > 2*time.Minute+graceFor {
+		t.Errorf("warped replay took %v of virtual time", stats.VirtualDuration)
+	}
+	got := aggregate(sess.World.MonitorByName("de").Trace())
+	want := aggregate(traces["de"])
+	if got.entries != want.entries {
+		t.Errorf("warped replay recorded %d entries, want %d", got.entries, want.entries)
+	}
+}
+
+// unifiedCSV replays the trace with the given engine factory and renders
+// the unified monitor-side output as CSV bytes, with timestamps rebased to
+// offsets so the byte comparison is about content and order.
+func unifiedCSV(t *testing.T, paths []string, seed int64, newEngine func(time.Time, int64) engine.Engine) []byte {
+	t.Helper()
+	sess, err := Prepare(Spec{Mode: ModeDirect, Inputs: paths, Seed: seed, NewEngine: newEngine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Drive(); err != nil {
+		t.Fatal(err)
+	}
+	var sources []ingest.EntrySource
+	for _, m := range sess.World.Monitors {
+		sources = append(sources, ingest.SliceSource(m.Trace()))
+	}
+	u := ingest.NewStreamUnifier(sources...)
+	var buf bytes.Buffer
+	cw := trace.NewCSVWriter(&buf)
+	for {
+		e, err := u.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReplayDeterminismSerial: same trace + seed ⇒ byte-identical unified
+// output CSV on the serial engine.
+func TestReplayDeterminismSerial(t *testing.T) {
+	traces := syntheticTrace(3, 300, 2*time.Minute)
+	paths := writeStores(t, t.TempDir(), traces)
+	a := unifiedCSV(t, paths, 42, nil)
+	b := unifiedCSV(t, paths, 42, nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("serial replay produced different unified CSV bytes across runs")
+	}
+}
+
+// TestReplayDeterminismSharded: same trace + seed + shard count ⇒
+// byte-identical unified output CSV on the sharded engine, and the same
+// aggregate counts as the serial engine.
+func TestReplayDeterminismSharded(t *testing.T) {
+	traces := syntheticTrace(4, 300, 2*time.Minute)
+	paths := writeStores(t, t.TempDir(), traces)
+	a := unifiedCSV(t, paths, 42, engine.ShardedFactory(2))
+	b := unifiedCSV(t, paths, 42, engine.ShardedFactory(2))
+	if !bytes.Equal(a, b) {
+		t.Fatal("sharded replay produced different unified CSV bytes across runs")
+	}
+	// Serial and sharded draw different latencies, so bytes differ — but
+	// the replayed content (entry counts per monitor) must agree exactly.
+	serial := unifiedCSV(t, paths, 42, nil)
+	if lines(a) != lines(serial) {
+		t.Fatalf("sharded unified CSV has %d lines, serial %d", lines(a), lines(serial))
+	}
+}
+
+func lines(b []byte) int { return bytes.Count(b, []byte("\n")) }
+
+// TestDirectSourceDedupOnly: the dedup-only source drops flagged entries.
+func TestDirectSourceDedupOnly(t *testing.T) {
+	entries := []trace.Entry{
+		{Timestamp: t0, Monitor: "us", Type: wire.WantHave, CID: cid.Sum(cid.Raw, []byte("x"))},
+		{Timestamp: t0.Add(time.Second), Monitor: "us", Type: wire.WantHave,
+			CID: cid.Sum(cid.Raw, []byte("x")), Flags: trace.FlagRebroadcast},
+	}
+	src := NewDirectSource(ingest.SliceSource(entries)).DedupOnly()
+	if ev, err := src.Next(); err != nil || ev.Offset != 0 {
+		t.Fatalf("first event: %v %v", ev, err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want EOF after flagged entry, got %v", err)
+	}
+}
+
+// TestPoolSmallerThanRequesters: mapping collisions coarsen attribution but
+// never lose entries.
+func TestPoolSmallerThanRequesters(t *testing.T) {
+	traces := syntheticTrace(5, 200, time.Minute)
+	paths := writeStores(t, t.TempDir(), traces)
+	sess, err := Prepare(Spec{Mode: ModeDirect, Inputs: paths, Nodes: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	stats, err := sess.Drive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.World.PoolSize() != 4 {
+		t.Fatalf("pool size %d", sess.World.PoolSize())
+	}
+	total := 0
+	for _, entries := range traces {
+		total += len(entries)
+	}
+	if stats.Events != total {
+		t.Errorf("replayed %d events, want %d", stats.Events, total)
+	}
+	got := aggregate(sess.World.MonitorByName("de").Trace())
+	if got.entries != len(traces["de"]) {
+		t.Errorf("monitor de recorded %d entries, want %d", got.entries, len(traces["de"]))
+	}
+}
+
+// TestDiscoverMonitors covers store-footer and flat-file discovery.
+func TestDiscoverMonitors(t *testing.T) {
+	traces := syntheticTrace(6, 50, time.Minute)
+	dir := t.TempDir()
+	paths := writeStores(t, dir, traces)
+	specs, err := DiscoverMonitors(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "de" || specs[1].Name != "us" {
+		t.Fatalf("discovered %+v", specs)
+	}
+	if specs[0].Region != simnet.RegionDE || specs[1].Region != simnet.RegionUS {
+		t.Errorf("regions %+v", specs)
+	}
+	// Flat-file discovery takes a streaming pass.
+	flat := filepath.Join(dir, "flat.trace")
+	f := mustCreate(t, flat)
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range traces["us"] {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	specs, err = DiscoverMonitors([]string{flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Name != "us" {
+		t.Fatalf("flat discovery: %+v", specs)
+	}
+}
+
+// TestOpenInputsCSV: a CSV export feeds replay like any other input.
+func TestOpenInputsCSV(t *testing.T) {
+	traces := syntheticTrace(7, 40, time.Minute)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "us.csv")
+	f := mustCreate(t, path)
+	if err := trace.WriteCSV(f, traces["us"]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sources, cleanup, err := OpenInputs([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	n := 0
+	for {
+		_, err := sources[0].Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(traces["us"]) {
+		t.Fatalf("CSV input yielded %d entries, want %d", n, len(traces["us"]))
+	}
+}
+
+// TestDriveUnknownMonitor: direct replay against a world missing the
+// trace's monitor fails loudly instead of silently dropping traffic.
+func TestDriveUnknownMonitor(t *testing.T) {
+	traces := syntheticTrace(8, 20, time.Minute)
+	paths := writeStores(t, t.TempDir(), traces)
+	sess, err := Prepare(Spec{
+		Mode:     ModeDirect,
+		Inputs:   paths,
+		Monitors: []MonitorSpec{{Name: "only-this-one", Region: simnet.RegionUS}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Drive(); err == nil {
+		t.Fatal("expected unknown-monitor error")
+	}
+}
+
+func mustCreate(t *testing.T, path string) *os.File {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

@@ -1,0 +1,226 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+// Event is one replayable request: a want-list entry at an offset from the
+// trace start. Monitor names the vantage point that recorded it (direct
+// replay re-issues the entry to exactly that monitor); an empty Monitor
+// means the event is broadcast to the replaying node's connected monitors
+// (fitted replay, where generated requests have no recording vantage point).
+type Event struct {
+	Offset    time.Duration
+	Requester simnet.NodeID
+	Monitor   string
+	Type      wire.EntryType
+	CID       cid.CID
+}
+
+// EventSource yields events in nondecreasing offset order and returns
+// io.EOF after the last one.
+type EventSource interface {
+	Next() (Event, error)
+}
+
+// DirectSource adapts a unified trace stream (ingest.StreamUnifier, a
+// segment query, a trace file) into replay events. Offsets are relative to
+// the first entry's timestamp. Every entry replays, including re-broadcasts
+// and CANCELs, so the monitor-side trace reproduces the recorded one
+// entry-for-entry; set DedupOnly to replay only unflagged entries (the
+// user-level request stream).
+type DirectSource struct {
+	src       ingest.EntrySource
+	base      time.Time
+	started   bool
+	dedupOnly bool
+}
+
+// NewDirectSource wraps src. The source must be time-ordered, which
+// StreamUnifier guarantees.
+func NewDirectSource(src ingest.EntrySource) *DirectSource {
+	return &DirectSource{src: src}
+}
+
+// DedupOnly makes the source skip entries carrying preprocessing flags.
+func (s *DirectSource) DedupOnly() *DirectSource {
+	s.dedupOnly = true
+	return s
+}
+
+// Next returns the next event, or io.EOF.
+func (s *DirectSource) Next() (Event, error) {
+	for {
+		e, err := s.src.Read()
+		if err != nil {
+			return Event{}, err
+		}
+		if s.dedupOnly && e.IsDuplicate() {
+			continue
+		}
+		if !s.started {
+			s.base = e.Timestamp
+			s.started = true
+		}
+		off := e.Timestamp.Sub(s.base)
+		if off < 0 {
+			return Event{}, fmt.Errorf("replay: source went back in time at %s", e.Timestamp.Format(time.RFC3339Nano))
+		}
+		return Event{
+			Offset:    off,
+			Requester: e.NodeID,
+			Monitor:   e.Monitor,
+			Type:      e.Type,
+			CID:       e.CID,
+		}, nil
+	}
+}
+
+// OpenInputs opens each path as a time-ordered entry source: directories
+// are segment stores, *.csv files are trace CSV exports, anything else is a
+// flat binary trace. Each input is one monitor's stream; merge them with
+// ingest.NewStreamUnifier. The returned cleanup closes every opened file
+// and iterator.
+func OpenInputs(paths []string) ([]ingest.EntrySource, func(), error) {
+	var sources []ingest.EntrySource
+	var closers []io.Closer
+	cleanup := func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}
+	fail := func(err error) ([]ingest.EntrySource, func(), error) {
+		cleanup()
+		return nil, nil, err
+	}
+	for _, path := range paths {
+		st, err := os.Stat(path)
+		if err != nil {
+			return fail(fmt.Errorf("replay: open %s: %w", path, err))
+		}
+		if st.IsDir() {
+			store, err := ingest.OpenSegmentStore(path, ingest.SegmentOptions{})
+			if err != nil {
+				return fail(fmt.Errorf("replay: open store %s: %w", path, err))
+			}
+			if orphans := store.Skipped(); len(orphans) > 0 {
+				return fail(fmt.Errorf("replay: store %s has %d segment file(s) without a valid footer (e.g. %s); repair or remove them", path, len(orphans), orphans[0]))
+			}
+			it, err := store.Query(time.Time{}, time.Time{}, nil)
+			if err != nil {
+				return fail(err)
+			}
+			sources = append(sources, it)
+			closers = append(closers, it)
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return fail(fmt.Errorf("replay: open %s: %w", path, err))
+		}
+		if strings.EqualFold(filepath.Ext(path), ".csv") {
+			r, err := trace.NewCSVReader(f)
+			if err != nil {
+				f.Close()
+				return fail(fmt.Errorf("replay: read %s: %w", path, err))
+			}
+			sources = append(sources, r)
+			closers = append(closers, f)
+			continue
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return fail(fmt.Errorf("replay: read %s: %w", path, err))
+		}
+		sources = append(sources, r)
+		closers = append(closers, f)
+	}
+	return sources, cleanup, nil
+}
+
+// DiscoverMonitors derives the monitor set a trace references. Segment
+// stores answer from their footers without touching entry data; flat files
+// need one streaming pass. Names map onto regions by spelling ("us" → US,
+// "de" → DE, ...), defaulting to Other.
+func DiscoverMonitors(paths []string) ([]MonitorSpec, error) {
+	names := make(map[string]bool)
+	var flat []string
+	for _, path := range paths {
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("replay: %w", err)
+		}
+		if !st.IsDir() {
+			flat = append(flat, path)
+			continue
+		}
+		store, err := ingest.OpenSegmentStore(path, ingest.SegmentOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("replay: open store %s: %w", path, err)
+		}
+		for name := range store.Totals().PerMonitor {
+			names[name] = true
+		}
+	}
+	if len(flat) > 0 {
+		sources, cleanup, err := OpenInputs(flat)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		for _, src := range sources {
+			for {
+				e, err := src.Read()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				names[e.Monitor] = true
+			}
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	specs := make([]MonitorSpec, 0, len(sorted))
+	for _, n := range sorted {
+		specs = append(specs, MonitorSpec{Name: n, Region: regionForName(n)})
+	}
+	return specs, nil
+}
+
+// regionForName guesses a monitor's region from its name, matching the
+// convention used throughout the repo ("us"/"de" vantage points).
+func regionForName(name string) simnet.Region {
+	switch strings.ToUpper(name) {
+	case "US":
+		return simnet.RegionUS
+	case "NL":
+		return simnet.RegionNL
+	case "DE":
+		return simnet.RegionDE
+	case "CA":
+		return simnet.RegionCA
+	case "FR":
+		return simnet.RegionFR
+	default:
+		return simnet.RegionOther
+	}
+}

@@ -265,6 +265,10 @@ var paramDocs = map[string]string{
 	"upgrade_daily_frac":      "daily upgrade probability (0..1)",
 	"monitor_prob":            "independent per-monitor connectivity (0..1)",
 	"xor_bias":                "proximity-biased connectivity strength (float)",
+	"time_warp":               "replay time compression factor (float; workload_source runs)",
+	"amplify":                 "fitted-replay population/volume multiplier (float)",
+	"replay_nodes":            "replay requester pool size (int; workload_source runs)",
+	"monitor_frac":            "fitted-replay per-monitor connectivity (0..1; 0 = full)",
 	"gateways":                "gateway fleet on/off (bool)",
 	"probes":                  "gateway identification probe on/off (bool)",
 	"warmup":                  "warmup before measurement (duration)",
@@ -321,6 +325,14 @@ func applyParam(s *ScenarioSpec, key string, v any) error {
 		return setFloat(&s.MonitorProb, key, v)
 	case "xor_bias":
 		return setFloat(&s.XORBias, key, v)
+	case "time_warp":
+		return setFloat(&workloadSource(s).TimeWarp, key, v)
+	case "amplify":
+		return setFloat(&workloadSource(s).Amplify, key, v)
+	case "replay_nodes":
+		return setInt(&workloadSource(s).ReplayNodes, key, v)
+	case "monitor_frac":
+		return setFloat(&workloadSource(s).MonitorFrac, key, v)
 	case "gateways":
 		on, ok := v.(bool)
 		if !ok {
@@ -359,6 +371,20 @@ func applyParam(s *ScenarioSpec, key string, v any) error {
 	default:
 		return fmt.Errorf("sweep: unknown sweep parameter %q (known: %s)", key, strings.Join(KnownParams(), ", "))
 	}
+}
+
+// workloadSource returns the spec's workload source for an override,
+// cloning it first: grid expansion copies specs by value, so without the
+// clone every grid point would share (and mutate) the base spec's struct.
+func workloadSource(s *ScenarioSpec) *WorkloadSourceSpec {
+	if s.WorkloadSource == nil {
+		s.WorkloadSource = &WorkloadSourceSpec{}
+	} else {
+		clone := *s.WorkloadSource
+		clone.Inputs = append([]string(nil), s.WorkloadSource.Inputs...)
+		s.WorkloadSource = &clone
+	}
+	return s.WorkloadSource
 }
 
 func coerceErr(key string, v any, want string) error {

@@ -11,6 +11,7 @@ import (
 	"bitswapmon/internal/attacks"
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
+	"bitswapmon/internal/replay"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
 	"bitswapmon/internal/workload"
@@ -69,6 +70,17 @@ type RunSummary struct {
 	GatewaysProbed     int `json:"gateways_probed,omitempty"`
 	GatewaysIdentified int `json:"gateways_identified,omitempty"`
 
+	// Replay-sourced runs (workload_source mode replay or fitted).
+	//
+	// ReplayEvents counts replayed want-list events; ReplayRequesters the
+	// distinct observed (or generated) requesters mapped onto the pool.
+	ReplayEvents     int `json:"replay_events,omitempty"`
+	ReplayRequesters int `json:"replay_requesters,omitempty"`
+	// FittedAlpha is the model's power-law exponent (fitted mode, when the
+	// trace supports a fit) — compare across amplification factors to check
+	// popularity-shape preservation.
+	FittedAlpha float64 `json:"fitted_alpha,omitempty"`
+
 	// ElapsedMS is wall-clock time; it is excluded from aggregate CSVs
 	// because it is not deterministic.
 	ElapsedMS int64 `json:"elapsed_ms"`
@@ -86,6 +98,9 @@ type RunSummary struct {
 func ExecuteRun(dir string, run Run) (*RunSummary, error) {
 	start := time.Now()
 	spec := run.Spec
+	if spec.ReplayMode() {
+		return executeReplayRun(dir, run, start)
+	}
 	cfg, err := spec.WorkloadConfig(run.Seed)
 	if err != nil {
 		return nil, err
@@ -107,27 +122,16 @@ func ExecuteRun(dir string, run Run) (*RunSummary, error) {
 	// trace and switch every monitor to its durable store plus a one-pass
 	// aggregator, so the measured window streams to disk as it happens.
 	w.Run(spec.Warmup.Std())
-	stores := make([]*ingest.SegmentStore, len(w.Monitors))
-	stats := make([]*ingest.OnlineStats, len(w.Monitors))
+	for _, m := range w.Monitors {
+		m.ResetTrace()
+	}
+	stores, stats, closeStores, err := openMonitorStores(dir, w.Monitors)
+	if err != nil {
+		return nil, err
+	}
 	// Seal whatever is open on every exit path (Close is idempotent), so
 	// error returns do not leak file handles across a long campaign.
-	defer func() {
-		for _, store := range stores {
-			if store != nil {
-				store.Close()
-			}
-		}
-	}()
-	for i, m := range w.Monitors {
-		m.ResetTrace()
-		store, err := ingest.OpenSegmentStore(monitorStoreDir(dir, m.Name), ingest.SegmentOptions{})
-		if err != nil {
-			return nil, err
-		}
-		stores[i] = store
-		stats[i] = ingest.NewOnlineStats(ingest.StatsOptions{Bucket: time.Hour})
-		m.SetSink(ingest.Tee(store, stats[i]))
-	}
+	defer closeStores()
 
 	var sampler *monitor.Sampler
 	if len(w.Monitors) > 0 {
@@ -174,13 +178,8 @@ func ExecuteRun(dir string, run Run) (*RunSummary, error) {
 
 	// Seal the stores before summarising; a run whose trace could not be
 	// persisted is a failed run, not a silently partial one.
-	for i, m := range w.Monitors {
-		if err := stores[i].Close(); err != nil {
-			return nil, fmt.Errorf("sweep: seal store for monitor %s: %w", m.Name, err)
-		}
-		if err := m.SinkErr(); err != nil {
-			return nil, fmt.Errorf("sweep: monitor %s sink: %w", m.Name, err)
-		}
+	if err := sealMonitorStores(w.Monitors, stores); err != nil {
+		return nil, err
 	}
 
 	if err := summarize(sum, w, stores, stats); err != nil {
@@ -204,11 +203,52 @@ func monitorStoreDir(runDir, monName string) string {
 	return filepath.Join(runDir, "mon-"+sanitize(monName)+".segments")
 }
 
-// summarize computes the unified-trace metrics with one streaming pass over
-// the run's own freshly written stores (bounded memory: the unifier's
-// window plus the summarizer's uniqueness sets), and folds in the capture
-// path's sketched estimates and the world's ground truth.
-func summarize(sum *RunSummary, w *workload.World, stores []*ingest.SegmentStore, stats []*ingest.OnlineStats) error {
+// openMonitorStores redirects every monitor into a per-monitor segment
+// store plus a one-pass aggregator under dir. The returned closeStores is
+// the defer-safe cleanup (Close is idempotent), shared by the synthetic
+// and replay execution paths so their store lifecycles cannot diverge.
+func openMonitorStores(dir string, monitors []*monitor.Monitor) ([]*ingest.SegmentStore, []*ingest.OnlineStats, func(), error) {
+	stores := make([]*ingest.SegmentStore, len(monitors))
+	stats := make([]*ingest.OnlineStats, len(monitors))
+	closeStores := func() {
+		for _, store := range stores {
+			if store != nil {
+				store.Close()
+			}
+		}
+	}
+	for i, m := range monitors {
+		store, err := ingest.OpenSegmentStore(monitorStoreDir(dir, m.Name), ingest.SegmentOptions{})
+		if err != nil {
+			closeStores()
+			return nil, nil, nil, err
+		}
+		stores[i] = store
+		stats[i] = ingest.NewOnlineStats(ingest.StatsOptions{Bucket: time.Hour})
+		m.SetSink(ingest.Tee(store, stats[i]))
+	}
+	return stores, stats, closeStores, nil
+}
+
+// sealMonitorStores closes every store and surfaces any sink error a
+// monitor recorded during the run.
+func sealMonitorStores(monitors []*monitor.Monitor, stores []*ingest.SegmentStore) error {
+	for i, m := range monitors {
+		if err := stores[i].Close(); err != nil {
+			return fmt.Errorf("sweep: seal store for monitor %s: %w", m.Name, err)
+		}
+		if err := m.SinkErr(); err != nil {
+			return fmt.Errorf("sweep: monitor %s sink: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// summarizeStores computes the unified-trace metrics with one streaming
+// pass over a run's freshly written stores (bounded memory: the unifier's
+// window plus the summarizer's uniqueness sets) and folds in the capture
+// path's sketched estimates. gatewayIDs may be nil (no gateway share).
+func summarizeStores(sum *RunSummary, stores []*ingest.SegmentStore, stats []*ingest.OnlineStats, gatewayIDs map[simnet.NodeID]bool) error {
 	sources := make([]ingest.EntrySource, len(stores))
 	for i, store := range stores {
 		it, err := store.Query(time.Time{}, time.Time{}, nil)
@@ -219,7 +259,6 @@ func summarize(sum *RunSummary, w *workload.World, stores []*ingest.SegmentStore
 		sources[i] = it
 	}
 	unified := ingest.NewStreamUnifier(sources...)
-	gatewayIDs := w.GatewayNodeIDs()
 	z := trace.NewSummarizer()
 	gatewayDedupReqs := 0
 	for {
@@ -259,34 +298,45 @@ func summarize(sum *RunSummary, w *workload.World, stores []*ingest.SegmentStore
 	if sum.DedupRequests > 0 {
 		sum.GatewayShare = float64(gatewayDedupReqs) / float64(sum.DedupRequests)
 	}
-
 	for _, st := range stats {
 		sum.DistinctPeersEst += st.DistinctPeers()
 		sum.DistinctCIDsEst += st.DistinctCIDs()
 	}
+	return nil
+}
 
-	// Coverage and overlap from the monitors' Bitswap-active peer sets.
-	sum.MonitorCoverage = make(map[string]float64, len(w.Monitors))
+// fillMonitorCoverage derives coverage and overlap from the monitors'
+// Bitswap-active peer sets against the given population size.
+func fillMonitorCoverage(sum *RunSummary, monitors []*monitor.Monitor, population int) {
+	sum.MonitorCoverage = make(map[string]float64, len(monitors))
 	union := make(map[simnet.NodeID]int)
-	for _, m := range w.Monitors {
+	for _, m := range monitors {
 		active := m.BitswapActivePeers()
-		if w.TotalPopulation() > 0 {
-			sum.MonitorCoverage[m.Name] = float64(len(active)) / float64(w.TotalPopulation())
+		if population > 0 {
+			sum.MonitorCoverage[m.Name] = float64(len(active)) / float64(population)
 		}
 		for id := range active {
 			union[id]++
 		}
 	}
-	if len(union) > 0 && len(w.Monitors) > 1 {
+	if len(union) > 0 && len(monitors) > 1 {
 		inAll := 0
 		for _, n := range union {
-			if n == len(w.Monitors) {
+			if n == len(monitors) {
 				inAll++
 			}
 		}
 		sum.PeerOverlap = float64(inAll) / float64(len(union))
 	}
+}
 
+// summarize folds the streaming store metrics together with the synthetic
+// world's ground truth (coverage, overlap, gateway cache performance).
+func summarize(sum *RunSummary, w *workload.World, stores []*ingest.SegmentStore, stats []*ingest.OnlineStats) error {
+	if err := summarizeStores(sum, stores, stats, w.GatewayNodeIDs()); err != nil {
+		return err
+	}
+	fillMonitorCoverage(sum, w.Monitors, w.TotalPopulation())
 	var hits, misses uint64
 	for _, g := range w.Gateways {
 		st := g.Stats()
@@ -297,6 +347,68 @@ func summarize(sum *RunSummary, w *workload.World, stores []*ingest.SegmentStore
 		sum.GatewayHitRate = float64(hits) / float64(hits+misses)
 	}
 	return nil
+}
+
+// executeReplayRun is ExecuteRun for workload_source runs: it builds an
+// internal/replay world from the spec, drives the recorded (or fitted)
+// trace through it with every monitor streaming into a per-run segment
+// store, and writes the same summary.json layout as synthetic runs so
+// campaigns can mix and aggregate both.
+func executeReplayRun(dir string, run Run, start time.Time) (*RunSummary, error) {
+	spec := run.Spec
+	rs, err := spec.ReplaySpec(run.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("sweep: clear run dir: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: run dir: %w", err)
+	}
+	sess, err := replay.Prepare(rs)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: prepare replay for %s: %w", run.ID, err)
+	}
+	defer sess.Close()
+
+	monitors := sess.World.Monitors
+	stores, stats, closeStores, err := openMonitorStores(dir, monitors)
+	if err != nil {
+		return nil, err
+	}
+	defer closeStores()
+
+	drive, err := sess.Drive()
+	if err != nil {
+		return nil, fmt.Errorf("sweep: replay run %s: %w", run.ID, err)
+	}
+	if err := sealMonitorStores(monitors, stores); err != nil {
+		return nil, err
+	}
+
+	sum := &RunSummary{
+		Version:          SummaryVersion,
+		RunID:            run.ID,
+		Seed:             run.Seed,
+		Params:           run.Params,
+		Engine:           spec.Engine,
+		Population:       sess.World.PoolSize(),
+		ReplayEvents:     drive.Events,
+		ReplayRequesters: drive.Requesters,
+	}
+	if sess.Model != nil && sess.Model.PowerLaw != nil {
+		sum.FittedAlpha = sess.Model.PowerLaw.Alpha
+	}
+	if err := summarizeStores(sum, stores, stats, nil); err != nil {
+		return nil, err
+	}
+	fillMonitorCoverage(sum, monitors, sess.World.PoolSize())
+	sum.ElapsedMS = time.Since(start).Milliseconds()
+	if err := writeSummary(filepath.Join(dir, summaryFile), sum); err != nil {
+		return nil, err
+	}
+	return sum, nil
 }
 
 // writeSummary persists the summary atomically (temp file + rename), so a

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"bitswapmon/internal/engine"
+	"bitswapmon/internal/replay"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/workload"
 )
@@ -85,6 +86,31 @@ type OperatorSpec struct {
 	CacheTTL        Duration `json:"cache_ttl,omitempty"`
 }
 
+// WorkloadSourceSpec selects where a run's request workload comes from:
+// synthetic generation (the default), direct replay of a recorded trace, or
+// a fitted replay that regenerates a statistically matched (and optionally
+// amplified) workload from the trace's empirical models. Replay runs build
+// an internal/replay world instead of a synthetic workload world; campaigns
+// can sweep time_warp and amplify like any other parameter.
+type WorkloadSourceSpec struct {
+	// Mode is "synthetic", "replay" (direct) or "fitted".
+	Mode string `json:"mode"`
+	// Inputs are the recorded trace sources: segment-store directories,
+	// flat binary traces, or CSV exports — one per recording monitor.
+	Inputs []string `json:"inputs,omitempty"`
+	// TimeWarp compresses (>1) or stretches (<1) replayed time.
+	TimeWarp float64 `json:"time_warp,omitempty"`
+	// Amplify scales the fitted population and request volume.
+	Amplify float64 `json:"amplify,omitempty"`
+	// ReplayNodes overrides the replay requester pool size.
+	ReplayNodes int `json:"replay_nodes,omitempty"`
+	// MonitorFrac is the fitted-mode probability that a replay node
+	// connects to each monitor. Zero means unset and selects full
+	// coverage (1), like every zero-valued spec field; use a small
+	// positive value for near-zero coverage.
+	MonitorFrac float64 `json:"monitor_frac,omitempty"`
+}
+
 // ScenarioSpec is the declarative, flag-free description of one simulation
 // run: population, churn, workload request mix, monitors and gateways,
 // attack toggles, measurement window, engine choice and seed. Zero-valued
@@ -148,6 +174,10 @@ type ScenarioSpec struct {
 	// measurement window.
 	Probes bool `json:"probes,omitempty"`
 
+	// WorkloadSource selects synthetic generation (nil or mode
+	// "synthetic") or trace replay for this run's request workload.
+	WorkloadSource *WorkloadSourceSpec `json:"workload_source,omitempty"`
+
 	// Measurement window.
 	Warmup         Duration `json:"warmup,omitempty"`
 	Window         Duration `json:"window"`
@@ -199,8 +229,41 @@ func (s ScenarioSpec) Validate() error {
 	if s.Version != SpecVersion {
 		return fmt.Errorf("sweep: spec version %d unsupported (want %d)", s.Version, SpecVersion)
 	}
-	if s.Window <= 0 {
+	// Replay runs are driven to source exhaustion, so they need no window.
+	if s.Window <= 0 && !s.ReplayMode() {
 		return fmt.Errorf("sweep: spec needs a positive window")
+	}
+	if ws := s.WorkloadSource; ws != nil {
+		switch ws.Mode {
+		case "", "synthetic":
+			if len(ws.Inputs) > 0 {
+				return fmt.Errorf("sweep: workload_source inputs need mode replay or fitted")
+			}
+			if ws.TimeWarp > 0 || ws.ReplayNodes > 0 || ws.MonitorFrac > 0 {
+				return fmt.Errorf("sweep: workload_source replay knobs need mode replay or fitted")
+			}
+		case "replay", "fitted":
+			if len(ws.Inputs) == 0 {
+				return fmt.Errorf("sweep: workload_source mode %q needs at least one input", ws.Mode)
+			}
+		default:
+			return fmt.Errorf("sweep: unknown workload_source mode %q (want synthetic, replay or fitted)", ws.Mode)
+		}
+		if ws.TimeWarp < 0 {
+			return fmt.Errorf("sweep: negative time_warp")
+		}
+		if ws.Amplify < 0 {
+			return fmt.Errorf("sweep: negative amplify")
+		}
+		if ws.Amplify > 0 && ws.Mode != "fitted" {
+			return fmt.Errorf("sweep: amplify requires workload_source mode fitted")
+		}
+		if ws.ReplayNodes < 0 {
+			return fmt.Errorf("sweep: negative replay_nodes")
+		}
+		if ws.MonitorFrac < 0 || ws.MonitorFrac > 1 {
+			return fmt.Errorf("sweep: monitor_frac = %v out of [0,1]", ws.MonitorFrac)
+		}
 	}
 	if s.Start != "" {
 		if _, err := time.Parse(time.RFC3339, s.Start); err != nil {
@@ -261,6 +324,55 @@ func (s ScenarioSpec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ReplayMode reports whether the spec's workload replays a recorded trace
+// (directly or fitted) instead of generating a synthetic scenario.
+func (s ScenarioSpec) ReplayMode() bool {
+	return s.WorkloadSource != nil &&
+		(s.WorkloadSource.Mode == "replay" || s.WorkloadSource.Mode == "fitted")
+}
+
+// ReplaySpec assembles the replay execution spec this scenario describes,
+// with seed overriding the spec's own base seed — the replay counterpart of
+// WorkloadConfig. Monitors listed on the spec become the replay world's
+// vantage points; an empty list lets replay.Prepare discover them from the
+// inputs.
+func (s ScenarioSpec) ReplaySpec(seed int64) (replay.Spec, error) {
+	if err := s.Validate(); err != nil {
+		return replay.Spec{}, err
+	}
+	if !s.ReplayMode() {
+		return replay.Spec{}, fmt.Errorf("sweep: spec has no replay workload source")
+	}
+	newEngine, err := s.NewEngine()
+	if err != nil {
+		return replay.Spec{}, err
+	}
+	ws := s.WorkloadSource
+	rs := replay.Spec{
+		Mode:        replay.ModeDirect,
+		Inputs:      ws.Inputs,
+		TimeWarp:    ws.TimeWarp,
+		Amplify:     ws.Amplify,
+		Nodes:       ws.ReplayNodes,
+		MonitorFrac: ws.MonitorFrac,
+		Seed:        seed,
+		NewEngine:   newEngine,
+	}
+	if ws.Mode == "fitted" {
+		rs.Mode = replay.ModeFitted
+	}
+	if s.Start != "" {
+		rs.Start, _ = time.Parse(time.RFC3339, s.Start) // validated above
+	}
+	for _, m := range s.Monitors {
+		rs.Monitors = append(rs.Monitors, replay.MonitorSpec{
+			Name:   m.Name,
+			Region: simnet.Region(m.Region),
+		})
+	}
+	return rs, nil
 }
 
 // NewEngine returns the engine factory for the spec's engine selection

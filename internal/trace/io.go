@@ -5,6 +5,7 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"encoding/csv"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -235,4 +236,66 @@ func WriteCSV(w io.Writer, entries []Entry) error {
 		}
 	}
 	return cw.Close()
+}
+
+// CSVReader streams entries back out of the CSV exchange format written by
+// CSVWriter, so externally produced or exported traces can feed the same
+// pipelines (unification, replay) as binary traces. It satisfies the
+// ingest.EntrySource shape: Read returns io.EOF after the last row.
+type CSVReader struct {
+	cr *csv.Reader
+}
+
+// ErrBadCSV is returned for rows that do not parse as trace entries.
+var ErrBadCSV = errors.New("trace: malformed trace CSV")
+
+// NewCSVReader wraps r and validates the header row.
+func NewCSVReader(r io.Reader) (*CSVReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrBadCSV, err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("%w: header column %d is %q, want %q", ErrBadCSV, i, header[i], col)
+		}
+	}
+	return &CSVReader{cr: cr}, nil
+}
+
+// Read returns the next entry, or io.EOF at end of input.
+func (r *CSVReader) Read() (Entry, error) {
+	var e Entry
+	rec, err := r.cr.Read()
+	if err == io.EOF {
+		return e, io.EOF
+	}
+	if err != nil {
+		return e, fmt.Errorf("%w: %v", ErrBadCSV, err)
+	}
+	if e.Timestamp, err = time.Parse(time.RFC3339Nano, rec[0]); err != nil {
+		return e, fmt.Errorf("%w: timestamp %q: %v", ErrBadCSV, rec[0], err)
+	}
+	e.Timestamp = e.Timestamp.UTC()
+	e.Monitor = rec[1]
+	raw, err := hex.DecodeString(rec[2])
+	if err != nil || len(raw) != len(e.NodeID) {
+		return e, fmt.Errorf("%w: node id %q", ErrBadCSV, rec[2])
+	}
+	copy(e.NodeID[:], raw)
+	e.Addr = rec[3]
+	if e.Type, err = wire.ParseEntryType(rec[4]); err != nil {
+		return e, fmt.Errorf("%w: %v", ErrBadCSV, err)
+	}
+	if e.CID, err = cid.Parse(rec[5]); err != nil {
+		return e, fmt.Errorf("%w: cid %q: %v", ErrBadCSV, rec[5], err)
+	}
+	flags, err := strconv.Atoi(rec[6])
+	if err != nil || flags < 0 || flags > 255 {
+		return e, fmt.Errorf("%w: flags %q", ErrBadCSV, rec[6])
+	}
+	e.Flags = Flag(flags)
+	return e, nil
 }

@@ -163,22 +163,35 @@ func BuildCatalog(cfg CatalogConfig, rng *rand.Rand) *Catalog {
 }
 
 // finalize computes cumulative weights; must run after publish assigns all
-// root CIDs.
+// root CIDs. Weights that cannot order a cumulative scan (negative, NaN,
+// infinite) contribute zero instead of corrupting every later prefix sum.
 func (c *Catalog) finalize() {
 	c.cum = make([]float64, len(c.Items))
 	acc := 0.0
 	for i, item := range c.Items {
-		acc += item.Weight
+		w := item.Weight
+		if w > 0 && !math.IsInf(w, 1) {
+			acc += w
+		}
 		c.cum[i] = acc
 	}
 }
 
-// Sample draws an item index proportional to weight.
+// Sample draws an item index proportional to weight. It is empty-safe rather
+// than panicking: an empty catalog yields nil (callers treat that as "no
+// request"), and a catalog whose weights sum to zero falls back to a uniform
+// draw.
 func (c *Catalog) Sample(rng *rand.Rand) *Item {
+	if len(c.Items) == 0 {
+		return nil
+	}
 	if len(c.cum) != len(c.Items) {
 		c.finalize()
 	}
 	total := c.cum[len(c.cum)-1]
+	if !(total > 0) {
+		return &c.Items[rng.Intn(len(c.Items))]
+	}
 	u := rng.Float64() * total
 	idx := sort.SearchFloat64s(c.cum, u)
 	if idx >= len(c.Items) {

@@ -694,6 +694,9 @@ func (w *World) issueRequest(sn *ScenarioNode) {
 	default:
 		item = w.Catalog.Sample(sn.rng)
 	}
+	if item == nil {
+		return // empty catalog: nothing to request
+	}
 	w.statsMu.Lock()
 	w.RequestsIssued[sn.Country]++
 	w.statsMu.Unlock()
@@ -744,7 +747,9 @@ func (w *World) armGatewayTraffic() {
 			g := gws[w.rng.Intn(len(gws))]
 			var root cid.CID
 			if w.rng.Float64() < opSpec.HotBias {
-				root = w.sampleGatewayItem(1, w.rng).Root
+				if item := w.sampleGatewayItem(1, w.rng); item != nil {
+					root = item.Root
+				}
 			} else {
 				// Long-tail web request: a one-off CID. The real CID
 				// universe is effectively unbounded (806M unique CIDs in
@@ -753,13 +758,17 @@ func (w *World) armGatewayTraffic() {
 				var err error
 				root, err = w.newWebItem()
 				if err != nil {
-					root = w.sampleGatewayItem(1, w.rng).Root
+					if item := w.sampleGatewayItem(1, w.rng); item != nil {
+						root = item.Root
+					}
 				}
 			}
-			w.statsMu.Lock()
-			w.GatewayRequestsIssued[opSpec.Name]++
-			w.statsMu.Unlock()
-			g.Retrieve(root, func(gateway.Result) {})
+			if root.Defined() {
+				w.statsMu.Lock()
+				w.GatewayRequestsIssued[opSpec.Name]++
+				w.statsMu.Unlock()
+				g.Retrieve(root, func(gateway.Result) {})
+			}
 			gap := time.Duration(w.rng.ExpFloat64() / opSpec.RequestsPerHour * float64(time.Hour))
 			if gap < 100*time.Millisecond {
 				gap = 100 * time.Millisecond

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -168,6 +169,51 @@ func TestCatalogSampleRespectsWeights(t *testing.T) {
 	// hot should dominate.
 	if share := float64(hot) / draws; share < 0.5 {
 		t.Errorf("hot share = %.2f, want > 0.5", share)
+	}
+}
+
+func TestCatalogSampleEmptySafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	empty := &Catalog{}
+	if item := empty.Sample(rng); item != nil {
+		t.Fatalf("empty catalog sampled %+v, want nil", item)
+	}
+}
+
+func TestCatalogSampleZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cat := &Catalog{Items: make([]Item, 10)} // all weights zero
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		item := cat.Sample(rng)
+		if item == nil {
+			t.Fatal("zero-weight catalog sampled nil")
+		}
+		for j := range cat.Items {
+			if item == &cat.Items[j] {
+				seen[j] = true
+			}
+		}
+	}
+	// Zero total weight falls back to a uniform draw: every index shows up.
+	if len(seen) != len(cat.Items) {
+		t.Errorf("uniform fallback hit %d/%d items", len(seen), len(cat.Items))
+	}
+}
+
+func TestCatalogSampleSanitizesBadWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cat := &Catalog{Items: []Item{
+		{Weight: -5},
+		{Weight: math.NaN()},
+		{Weight: math.Inf(1)},
+		{Weight: 1},
+	}}
+	for i := 0; i < 1000; i++ {
+		item := cat.Sample(rng)
+		if item != &cat.Items[3] {
+			t.Fatalf("draw %d picked a zero/NaN/Inf-weight item", i)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ package bitswapmon_test
 
 import (
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -27,10 +28,12 @@ import (
 	"bitswapmon/internal/engine"
 	"bitswapmon/internal/estimate"
 	"bitswapmon/internal/experiments"
+	"bitswapmon/internal/geoip"
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/node"
 	"bitswapmon/internal/replay"
+	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
 	"bitswapmon/internal/wire"
@@ -102,14 +105,32 @@ func BenchmarkFig4RequestTypes(b *testing.B) {
 	b.ReportMetric(float64(late.WantHave), "late-want-have")
 }
 
+// runReport streams the entries through one registered report and returns
+// its result: the measured path of the per-figure benchmarks below.
+func runReport(b *testing.B, name string, opts report.Options, entries []trace.Entry) report.Result {
+	b.Helper()
+	drv := report.NewDriver(true)
+	if err := drv.AddByName([]string{name}, opts); err != nil {
+		b.Fatal(err)
+	}
+	if err := drv.Run(ingest.SliceSource(entries)); err != nil {
+		b.Fatal(err)
+	}
+	results, err := drv.Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return results.Get(name)
+}
+
 // BenchmarkTable1Multicodec regenerates Table I: multicodec shares of raw
 // requests.
 func BenchmarkTable1Multicodec(b *testing.B) {
 	d := sharedWeek(b)
-	var tab analysis.Table1
+	var tab *report.Table1
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tab = analysis.ComputeTable1(d.Unified)
+		tab = runReport(b, "table1", report.Options{}, d.Unified).(*report.Table1)
 	}
 	for _, row := range tab.Rows {
 		switch row.Codec {
@@ -126,10 +147,10 @@ func BenchmarkTable1Multicodec(b *testing.B) {
 // BenchmarkTable2Countries regenerates Table II: request shares by country.
 func BenchmarkTable2Countries(b *testing.B) {
 	d := sharedWeek(b)
-	var tab analysis.Table2
+	var tab *report.Table2
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tab = analysis.ComputeTable2(d.Dedup, d.World.Geo)
+		tab = runReport(b, "table2", report.Options{Geo: d.World.Geo}, d.Unified).(*report.Table2)
 	}
 	for _, row := range tab.Rows {
 		switch row.Country {
@@ -147,14 +168,14 @@ func BenchmarkTable2Countries(b *testing.B) {
 // power-law rejection.
 func BenchmarkFig5Popularity(b *testing.B) {
 	d := sharedWeek(b)
-	var fig analysis.Fig5
-	var err error
+	var fig *report.Fig5
+	opts := report.Options{
+		BootstrapIters: 20,
+		Rand:           func() *rand.Rand { return d.World.Net.NewRand("bench-fig5") },
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fig, err = analysis.ComputeFig5(d.Dedup, 20, d.World.Net.NewRand("bench-fig5"))
-		if err != nil {
-			b.Fatal(err)
-		}
+		fig = runReport(b, "fig5", opts, d.Unified).(*report.Fig5)
 	}
 	b.ReportMetric(100*fig.URPShare1, "urp-share1-pct")
 	b.ReportMetric(fig.URPPValue, "urp-pvalue")
@@ -166,15 +187,91 @@ func BenchmarkFig5Popularity(b *testing.B) {
 // by origin group.
 func BenchmarkFig6GatewayRates(b *testing.B) {
 	d := sharedWeek(b)
-	var fig analysis.Fig6
+	var fig *report.Fig6
+	opts := report.Options{
+		Slice:       time.Hour,
+		GatewayIDs:  d.World.GatewayNodeIDs(),
+		MegagateIDs: d.MegagateIDs(),
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fig = analysis.ComputeFig6(d.Dedup, d.World.GatewayNodeIDs(), d.MegagateIDs(), time.Hour)
+		fig = runReport(b, "fig6", opts, d.Unified).(*report.Fig6)
 	}
 	gw, mg, ng := fig.Totals()
 	b.ReportMetric(gw, "gateway-req-per-s")
 	b.ReportMetric(mg, "megagate-req-per-s")
 	b.ReportMetric(ng, "non-gateway-req-per-s")
+}
+
+// BenchmarkReportDriver measures the unified analysis surface end to end:
+// every registered report attached to one Driver, one pass over ~1M
+// synthetic entries. The events/sec metric is the throughput of "all
+// figures at once" — the bsanalyze and live-experiment hot path.
+func BenchmarkReportDriver(b *testing.B) {
+	const entryCount = 1 << 20
+	geo := geoip.New()
+	addrs := make([]string, 512)
+	regions := geo.Countries()
+	for i := range addrs {
+		addr, err := geo.Allocate(regions[i%len(regions)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = addr
+	}
+	cids := make([]cid.CID, 4096)
+	for i := range cids {
+		cids[i] = cid.Sum(cid.DagProtobuf, []byte{byte(i), byte(i >> 8), 0xab})
+	}
+	base := time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+	entries := make([]trace.Entry, entryCount)
+	for i := range entries {
+		var id simnet.NodeID
+		id[0], id[1] = byte(i), byte(i>>8)
+		entries[i] = trace.Entry{
+			// 50 entries per virtual second: a heavy aggregated feed.
+			Timestamp: base.Add(time.Duration(i) * 20 * time.Millisecond),
+			Monitor:   "us",
+			NodeID:    id,
+			Addr:      addrs[i%len(addrs)],
+			Type:      wire.EntryType(i%3 + 1),
+			CID:       cids[(i*i)%len(cids)],
+		}
+		if i%5 == 0 {
+			entries[i].Flags = trace.FlagRebroadcast
+		}
+	}
+	gateways := make(map[simnet.NodeID]bool)
+	for i := 0; i < 8; i++ {
+		var id simnet.NodeID
+		id[0] = byte(i)
+		gateways[id] = true
+	}
+	opts := report.Options{
+		Geo:            geo,
+		GatewayIDs:     gateways,
+		MegagateIDs:    map[simnet.NodeID]bool{},
+		BootstrapIters: 5, // keep the fig5/popularity bootstrap off the critical path
+	}
+	names := report.Names()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		drv := report.NewDriver(true)
+		if err := drv.AddByName(names, opts); err != nil {
+			b.Fatal(err)
+		}
+		if err := drv.Run(ingest.SliceSource(entries)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := drv.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if wall := time.Since(start); wall > 0 {
+		b.ReportMetric(float64(entryCount)*float64(b.N)/wall.Seconds(), "events/sec")
+	}
+	b.ReportMetric(float64(len(names)), "reports")
 }
 
 // BenchmarkSecVIBGatewayProbe regenerates the Sec. VI-B probing experiment:

@@ -3,31 +3,32 @@
 // directories (bsmon's M.segments); each input is one monitor's
 // time-ordered stream. Unification runs online through ingest.StreamUnifier
 // — identical flags to the batch trace.Unify, but one sliding window of
-// state — and the summary and online reports never materialise the trace
-// in memory.
+// state — and every report observes the unified stream entry by entry, so
+// memory is bounded by report state, never trace length.
 //
 // Usage:
 //
-//	bsanalyze [-dedup] [-report summary|online|popularity|table1|table2|fig4|fig5] INPUT...
+//	bsanalyze [-dedup] [-report NAME[,NAME...]] INPUT...
 //
-// The popularity report streams the unified trace through an incremental
-// RRP/URP counter (memory proportional to distinct CIDs, not trace length)
-// and prints both ECDFs plus the CSN power-law fit; like every report it
-// accepts segment-store directories as well as flat trace files.
+// -report names any combination of registered reports (internal/report);
+// all of them run in the same single pass over the inputs. Each report
+// declares whether it consumes the raw or the deduplicated view — Table I
+// counts duplicate requests per the paper, Table II and the figures do not
+// — and -dedup=false feeds everything the raw trace. Unknown report names
+// fail before any input is opened, listing what is available.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
+	"strings"
 	"time"
 
-	"bitswapmon/internal/analysis"
 	"bitswapmon/internal/geoip"
 	"bitswapmon/internal/ingest"
-	"bitswapmon/internal/popularity"
+	"bitswapmon/internal/report"
 	"bitswapmon/internal/trace"
 )
 
@@ -40,88 +41,64 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bsanalyze", flag.ContinueOnError)
-	report := fs.String("report", "summary", "analysis to run: summary, online, popularity, table1, table2, fig4, fig5")
-	dedup := fs.Bool("dedup", true, "filter duplicates/rebroadcasts before analysis")
+	reports := fs.String("report", "summary", "comma-separated reports to run in one pass: "+strings.Join(report.Names(), ", "))
+	dedup := fs.Bool("dedup", true, "filter duplicates/rebroadcasts for reports that analyse the deduplicated view")
 	bucket := fs.Duration("bucket", time.Hour, "bucket size for fig4 and online")
-	iters := fs.Int("iters", 50, "bootstrap iterations for fig5")
+	iters := fs.Int("iters", 50, "bootstrap iterations for fig5 and popularity")
 	topk := fs.Int("topk", 10, "popular CIDs to list for online")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	switch *report {
-	case "summary", "online", "popularity", "table1", "table2", "fig4", "fig5":
-	default:
-		// Reject before opening (and potentially draining) the inputs.
-		return fmt.Errorf("unknown report %q", *report)
+
+	// Resolve every report before opening (and potentially draining) the
+	// inputs: an unknown name must fail fast, with the registry's list.
+	opts := report.Options{
+		Bucket:         *bucket,
+		TopK:           *topk,
+		BootstrapIters: *iters,
+		Geo:            geoip.New(),
 	}
+	names := strings.Split(*reports, ",")
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+	}
+	drv := report.NewDriver(*dedup)
+	if err := drv.AddByName(names, opts); err != nil {
+		return err
+	}
+
 	paths := fs.Args()
 	if len(paths) == 0 {
 		return fmt.Errorf("no trace inputs given")
 	}
-
 	sources, cleanup, err := openSources(paths)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
-	unified := ingest.NewStreamUnifier(sources...)
 
-	switch *report {
-	case "summary":
-		// One pass, no resident trace: summarise the unified stream as it
-		// is produced.
-		z := trace.NewSummarizer()
-		if _, err := ingest.Copy(z, unified); err != nil {
-			return err
-		}
-		printSummary(z.Summary())
-	case "online":
-		// One pass with sketched aggregates: the figures a long-running
-		// collector can afford to keep per entry.
-		stats := ingest.NewOnlineStats(ingest.StatsOptions{Bucket: *bucket, TopK: *topk})
-		dst := ingest.Sink(stats)
-		if *dedup {
-			dst = dedupSink{stats}
-		}
-		if _, err := ingest.Copy(dst, unified); err != nil {
-			return err
-		}
-		printOnline(stats, *topk)
-	case "popularity":
-		// One pass into the incremental RRP/URP counter: segment stores
-		// and flat files alike stream through the unifier, never resident.
-		counter := popularity.NewCounter()
-		dst := ingest.Sink(counter)
-		if *dedup {
-			dst = dedupSink{counter}
-		}
-		if _, err := ingest.Copy(dst, unified); err != nil {
-			return err
-		}
-		printPopularity(counter, *iters)
-	default:
-		// The remaining reports need the full (possibly deduplicated)
-		// trace resident.
-		entries, err := drainFiltered(unified, *dedup && *report != "table1")
-		if err != nil {
-			return err
-		}
-		switch *report {
-		case "table1":
-			fmt.Println(analysis.ComputeTable1(entries).Render())
-		case "table2":
-			fmt.Println(analysis.ComputeTable2(entries, geoip.New()).Render())
-		case "fig4":
-			fmt.Println(analysis.ComputeFig4(entries, *bucket).Render())
-		case "fig5":
-			f, err := analysis.ComputeFig5(entries, *iters, rand.New(rand.NewSource(1)))
-			if err != nil {
-				return err
-			}
-			fmt.Println(f.Render())
-		}
+	// One pass: the unified stream is teed through every requested report.
+	if err := drv.Run(ingest.NewStreamUnifier(sources...)); err != nil {
+		return err
 	}
-	return nil
+	// A report that cannot finalize (e.g. fig5 on a trace too small to
+	// fit) must not swallow the others' completed results: print what
+	// succeeded, then fail.
+	results, ferr := drv.Finalize()
+	for _, nr := range results {
+		if nr.Result == nil {
+			continue
+		}
+		// Diagnostics stay on stderr; stdout carries only report bodies.
+		if online, ok := nr.Result.(*report.Online); ok && online.EvictedBuckets > 0 {
+			fmt.Fprintf(os.Stderr, "bsanalyze: warning: %d oldest time buckets evicted; the online series covers only the trace tail (raise -bucket)\n", online.EvictedBuckets)
+		}
+		if len(results) > 1 {
+			fmt.Printf("==== %s ====\n", nr.Name)
+		}
+		fmt.Println(nr.Result.Render())
+	}
+	return ferr
 }
 
 // openSources opens each input as an EntrySource: a directory is a segment
@@ -182,105 +159,4 @@ func openSources(paths []string) ([]ingest.EntrySource, func(), error) {
 		closers = append(closers, f)
 	}
 	return sources, cleanup, nil
-}
-
-// dedupSink drops flagged duplicates before the wrapped sink.
-type dedupSink struct{ s ingest.Sink }
-
-func (d dedupSink) Write(e trace.Entry) error {
-	if e.IsDuplicate() {
-		return nil
-	}
-	return d.s.Write(e)
-}
-
-// drainFiltered materialises the unified stream, optionally dropping
-// duplicates on the way in (so the resident slice is already the dedup
-// view).
-func drainFiltered(src ingest.EntrySource, dedup bool) ([]trace.Entry, error) {
-	if !dedup {
-		return ingest.Drain(src)
-	}
-	var out []trace.Entry
-	for {
-		e, err := src.Read()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return out, err
-		}
-		if !e.IsDuplicate() {
-			out = append(out, e)
-		}
-	}
-}
-
-func printSummary(s trace.Summary) {
-	fmt.Printf("entries: %d (requests %d), peers %d, CIDs %d\n", s.Entries, s.Requests, s.UniquePeers, s.UniqueCIDs)
-	fmt.Printf("rebroadcasts: %d, inter-monitor dups: %d\n", s.Rebroadcasts, s.InterMonDups)
-	fmt.Printf("window: %s .. %s\n", s.First.Format(time.RFC3339), s.Last.Format(time.RFC3339))
-	for mon, n := range s.PerMonitor {
-		fmt.Printf("  monitor %s: %d entries\n", mon, n)
-	}
-	for typ, n := range s.PerType {
-		fmt.Printf("  %s: %d\n", typ, n)
-	}
-}
-
-func printPopularity(c *popularity.Counter, iters int) {
-	scores := c.Scores()
-	rrp := popularity.Values(scores.RRP)
-	urp := popularity.Values(scores.URP)
-	fmt.Printf("distinct CIDs: %d\n", c.CIDs())
-	fmt.Printf("single-requester CIDs (URP = 1): %.1f%%\n", 100*popularity.ShareWithValue(urp, 1))
-	printECDF("RRP", popularity.ECDF(rrp))
-	printECDF("URP", popularity.ECDF(urp))
-	if rejected, fit, p, err := popularity.RejectsPowerLaw(rrp, iters, rand.New(rand.NewSource(1))); err != nil {
-		fmt.Printf("power-law fit (RRP): %v\n", err)
-	} else {
-		verdict := "not rejected"
-		if rejected {
-			verdict = "REJECTED"
-		}
-		fmt.Printf("power-law fit (RRP): alpha=%.3f xmin=%d KS=%.4f p=%.2f => %s\n",
-			fit.Alpha, fit.Xmin, fit.KS, p, verdict)
-	}
-}
-
-// printECDF renders an ECDF compactly: every point for small supports, key
-// quantiles otherwise.
-func printECDF(label string, pts []popularity.ECDFPoint) {
-	fmt.Printf("%s ECDF:\n", label)
-	if len(pts) <= 12 {
-		for _, p := range pts {
-			fmt.Printf("  P(X <= %.0f) = %.4f\n", p.Value, p.Prob)
-		}
-		return
-	}
-	targets := []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1}
-	i := 0
-	for _, q := range targets {
-		for i < len(pts)-1 && pts[i].Prob < q {
-			i++
-		}
-		fmt.Printf("  P(X <= %.0f) = %.4f\n", pts[i].Value, pts[i].Prob)
-	}
-}
-
-func printOnline(s *ingest.OnlineStats, topk int) {
-	fmt.Printf("entries: %d (requests %d)\n", s.Entries(), s.Requests())
-	fmt.Printf("distinct peers ~%.0f, distinct CIDs ~%.0f\n", s.DistinctPeers(), s.DistinctCIDs())
-	fmt.Printf("window: %s .. %s\n", s.First().Format(time.RFC3339), s.Last().Format(time.RFC3339))
-	for typ, n := range s.TypeCounts() {
-		fmt.Printf("  %s: %d\n", typ, n)
-	}
-	if n := s.EvictedBuckets(); n > 0 {
-		fmt.Fprintf(os.Stderr, "bsanalyze: warning: %d oldest time buckets evicted; the series below covers only the trace tail (raise -bucket)\n", n)
-	}
-	fmt.Println(analysis.Fig4FromStats(s).Render())
-	fmt.Printf("top %d CIDs (space-saving estimates):\n", topk)
-	for i, tc := range s.TopCIDs(topk) {
-		fmt.Printf("  %2d. %s  ~%d requests (overcount <= %d)\n", i+1, tc.CID, tc.Count, tc.ErrBound)
-	}
 }

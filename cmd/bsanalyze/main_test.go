@@ -3,11 +3,13 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
 	"bitswapmon/internal/wire"
@@ -53,10 +55,37 @@ func TestBsanalyzeReports(t *testing.T) {
 	writeTestTrace(t, p1, "us", 120)
 	writeTestTrace(t, p2, "de", 80)
 
-	for _, report := range []string{"summary", "online", "table1", "table2", "fig4"} {
-		if err := run([]string{"-report", report, p1, p2}); err != nil {
-			t.Errorf("report %s: %v", report, err)
+	for _, name := range []string{"summary", "online", "table1", "table2", "fig4", "traffic"} {
+		if err := run([]string{"-report", name, p1, p2}); err != nil {
+			t.Errorf("report %s: %v", name, err)
 		}
+	}
+	// Any combination runs in one pass over the same inputs.
+	if err := run([]string{"-report", "summary,table1,table2,fig4,popularity", p1, p2}); err != nil {
+		t.Errorf("multi-report pass: %v", err)
+	}
+	// Spaces after commas are tolerated.
+	if err := run([]string{"-report", "summary, table1", p1, p2}); err != nil {
+		t.Errorf("spaced report list: %v", err)
+	}
+}
+
+// TestBsanalyzeUnknownReport: unknown names fail before any input is
+// opened, and the error lists the registry so the operator can self-serve.
+func TestBsanalyzeUnknownReport(t *testing.T) {
+	err := run([]string{"-report", "vibes", "does-not-exist"})
+	if err == nil {
+		t.Fatal("unknown report accepted")
+	}
+	for _, name := range report.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list %q: %v", name, err)
+		}
+	}
+	// One bad name poisons a multi-report list too.
+	if err := run([]string{"-report", "summary,vibes", "does-not-exist"}); err == nil ||
+		!strings.Contains(err.Error(), "vibes") {
+		t.Errorf("bad name in list: %v", err)
 	}
 }
 

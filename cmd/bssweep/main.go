@@ -34,6 +34,7 @@ import (
 	"syscall"
 
 	"bitswapmon/internal/analysis"
+	"bitswapmon/internal/report"
 	"bitswapmon/internal/sweep"
 )
 
@@ -197,5 +198,7 @@ func cmdParams() error {
 	fmt.Println("\nreport metrics:")
 	fmt.Printf("  %s\n", strings.Join(analysis.SweepMetrics(), ", "))
 	fmt.Println("  coverage:<monitor>")
+	fmt.Printf("  <report>:<metric> for any extra report a spec requests (registered: %s)\n",
+		strings.Join(report.Names(), ", "))
 	return nil
 }

@@ -10,6 +10,13 @@
 // statistics) instead of accumulating them, and analyses read the trace
 // back one segment at a time.
 //
+// Analysis is registry-driven: every table and figure is a streaming
+// internal/report Report (Observe one entry, Finalize a Result), and a
+// Driver tees a single pass — over files, segment stores, or a live
+// simulation — through any named combination. Adding a metric means
+// registering a report; bsanalyze, sweep summaries and the experiment
+// drivers pick it up by name.
+//
 // See README.md for the layout, commands and package map. The root package
 // only hosts the benchmark harness (bench_test.go), which regenerates every
 // table and figure of the paper.

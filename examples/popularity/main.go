@@ -7,11 +7,13 @@ package main
 import (
 	"fmt"
 	"log"
+	"math/rand"
 	"strings"
 	"time"
 
-	"bitswapmon/internal/analysis"
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/popularity"
+	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
 	"bitswapmon/internal/workload"
@@ -46,10 +48,23 @@ func run() error {
 	dedup := trace.Deduplicated(unified)
 	fmt.Printf("trace: %d entries raw, %d deduplicated\n\n", len(unified), len(dedup))
 
-	fig5, err := analysis.ComputeFig5(dedup, 60, w.Net.NewRand("fig5"))
+	// One streaming pass through the registered fig5 report: the same code
+	// path bsanalyze and the live experiment sinks use.
+	drv := report.NewDriver(true)
+	if err := drv.AddByName([]string{"fig5"}, report.Options{
+		BootstrapIters: 60,
+		Rand:           func() *rand.Rand { return w.Net.NewRand("fig5") },
+	}); err != nil {
+		return err
+	}
+	if err := drv.Run(ingest.SliceSource(unified)); err != nil {
+		return err
+	}
+	results, err := drv.Finalize()
 	if err != nil {
 		return err
 	}
+	fig5 := results.Get("fig5").(*report.Fig5)
 	fmt.Println(fig5.Render())
 
 	fmt.Println("URP ECDF (paper Fig. 5b):")

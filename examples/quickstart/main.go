@@ -9,10 +9,11 @@ import (
 	"time"
 
 	"bitswapmon/internal/dht"
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/node"
+	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
-	"bitswapmon/internal/trace"
 )
 
 func main() {
@@ -78,8 +79,23 @@ func run() error {
 			e.Timestamp.Format("15:04:05.000"), e.NodeID, e.Addr, e.Type, e.CID)
 	}
 
-	sum := trace.Summarize(mon.Trace())
-	fmt.Printf("\nsummary: %d entries from %d peers over %d CIDs\n",
-		sum.Entries, sum.UniquePeers, sum.UniqueCIDs)
+	// Analyse it with the streaming report registry: any combination of
+	// named reports runs in one pass over the trace — the same code path
+	// bsanalyze uses over segment stores and live experiments attach as
+	// monitor sinks.
+	drv := report.NewDriver(true)
+	if err := drv.AddByName([]string{"summary", "table1"}, report.Options{}); err != nil {
+		return err
+	}
+	if err := drv.Run(ingest.SliceSource(mon.Trace())); err != nil {
+		return err
+	}
+	results, err := drv.Finalize()
+	if err != nil {
+		return err
+	}
+	for _, nr := range results {
+		fmt.Printf("\n==== %s ====\n%s", nr.Name, nr.Result.Render())
+	}
 	return nil
 }

@@ -32,7 +32,11 @@ func run() error {
 	defer os.RemoveAll(root)
 
 	// One declarative scenario: a small, traffic-dense two-monitor world.
-	// Everything left zero takes the workload package's defaults.
+	// Everything left zero takes the workload package's defaults. Reports
+	// names an extra registered report (internal/report) to run over each
+	// run's unified trace: its metrics land in the per-run summary as
+	// "table1:<metric>" and aggregate by name like any built-in metric —
+	// a new comparison metric without touching the sweep layer.
 	base := sweep.ScenarioSpec{
 		Version:          sweep.SpecVersion,
 		Name:             "demo",
@@ -49,6 +53,7 @@ func run() error {
 		Warmup:              sweep.D(10 * time.Minute),
 		Window:              sweep.D(time.Hour),
 		SampleEvery:         sweep.D(20 * time.Minute),
+		Reports:             []string{"table1"},
 	}
 
 	// Vary population × churn, two seeds per cell: 3×2×2 = 12 runs.
@@ -92,6 +97,8 @@ func run() error {
 
 	// Aggregate: join the per-run summaries into the comparison panel.
 	// Only summary.json files are read here — never raw trace segments.
+	// Metrics are resolved by name from each summary's metrics map, so the
+	// extra report's numbers aggregate exactly like the built-ins.
 	recs, err := sweep.LoadSummaries(root)
 	if err != nil {
 		return err
@@ -103,6 +110,12 @@ func run() error {
 	fmt.Print(table.Render())
 	fmt.Println()
 	table, err = analysis.ComputeSweepTable(recs, "nodes", "mean_session", "dedup_entries")
+	if err != nil {
+		return err
+	}
+	fmt.Print(table.Render())
+	fmt.Println()
+	table, err = analysis.ComputeSweepTable(recs, "nodes", "mean_session", "table1:requests")
 	if err != nil {
 		return err
 	}

@@ -1,26 +1,19 @@
-// Package analysis computes the paper's tables and figures from monitoring
-// traces: Fig. 3 (peer-ID uniformity), Sec. V-C (coverage and network size),
-// Fig. 4 (request types over time), Table I (multicodec shares), Table II
-// (country shares), Fig. 5 (popularity ECDFs + power-law test), and Fig. 6
-// (request rates by origin group).
+// Package analysis holds the paper artifacts that are not trace-stream
+// reports: Fig. 3 (peer-ID uniformity, a monitor snapshot), the Sec. V-C
+// coverage/network-size panel, and the sweep aggregation layer that joins
+// per-run summaries into cross-run comparison tables.
+//
+// Every trace-derived table and figure (Fig. 4–6, Tables I–II, popularity)
+// lives in internal/report as a one-pass streaming Report; the batch
+// Compute* paths that demanded a fully materialized []trace.Entry are gone.
 package analysis
 
 import (
 	"fmt"
-	"math/rand"
-	"sort"
 	"strings"
-	"time"
 
-	"bitswapmon/internal/cid"
 	"bitswapmon/internal/estimate"
-	"bitswapmon/internal/geoip"
-	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
-	"bitswapmon/internal/popularity"
-	"bitswapmon/internal/simnet"
-	"bitswapmon/internal/trace"
-	"bitswapmon/internal/wire"
 )
 
 // --- Fig. 3: peer-ID uniformity -------------------------------------------
@@ -52,322 +45,6 @@ func (f Fig3) Render() string {
 	fmt.Fprintf(&sb, "%12s %12s\n", "theoretical", "sample")
 	for _, p := range f.Points {
 		fmt.Fprintf(&sb, "%12.3f %12.3f\n", p.Theoretical, p.Sample)
-	}
-	return sb.String()
-}
-
-// --- Fig. 4: request types over time --------------------------------------
-
-// Fig4Bucket is one time bucket of Fig. 4.
-type Fig4Bucket struct {
-	Start     time.Time
-	WantBlock int
-	WantHave  int
-}
-
-// Fig4 is the requests-over-time-by-type series.
-type Fig4 struct {
-	BucketSize time.Duration
-	Buckets    []Fig4Bucket
-}
-
-// ComputeFig4 buckets raw requests by entry type over time (the paper uses
-// per-day buckets over months; scaled scenarios use smaller buckets).
-func ComputeFig4(entries []trace.Entry, bucket time.Duration) Fig4 {
-	if bucket <= 0 {
-		bucket = 24 * time.Hour
-	}
-	byBucket := make(map[int64]*Fig4Bucket)
-	for _, e := range entries {
-		if !e.IsRequest() {
-			continue
-		}
-		k := e.Timestamp.UnixNano() / int64(bucket)
-		b, ok := byBucket[k]
-		if !ok {
-			b = &Fig4Bucket{Start: time.Unix(0, k*int64(bucket)).UTC()}
-			byBucket[k] = b
-		}
-		switch e.Type {
-		case wire.WantBlock:
-			b.WantBlock++
-		case wire.WantHave:
-			b.WantHave++
-		}
-	}
-	out := Fig4{BucketSize: bucket}
-	for _, b := range byBucket {
-		out.Buckets = append(out.Buckets, *b)
-	}
-	sort.Slice(out.Buckets, func(i, j int) bool { return out.Buckets[i].Start.Before(out.Buckets[j].Start) })
-	return out
-}
-
-// Fig4FromStats builds the Fig. 4 series from a one-pass ingest aggregate
-// instead of a resident trace: the streaming capture path (ingest.OnlineStats
-// Tee'd next to a segment store) can render the figure without re-reading a
-// single entry.
-func Fig4FromStats(s *ingest.OnlineStats) Fig4 {
-	out := Fig4{BucketSize: s.BucketSize()}
-	for _, b := range s.Buckets() {
-		if b.WantBlock == 0 && b.WantHave == 0 {
-			continue // CANCEL-only buckets carry no requests
-		}
-		out.Buckets = append(out.Buckets, Fig4Bucket{
-			Start:     b.Start,
-			WantBlock: int(b.WantBlock),
-			WantHave:  int(b.WantHave),
-		})
-	}
-	return out
-}
-
-// Render prints the series.
-func (f Fig4) Render() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "Fig. 4 — requests per %v by entry type\n", f.BucketSize)
-	fmt.Fprintf(&sb, "%-25s %12s %12s\n", "bucket", "WANT_BLOCK", "WANT_HAVE")
-	for _, b := range f.Buckets {
-		fmt.Fprintf(&sb, "%-25s %12d %12d\n", b.Start.Format(time.RFC3339), b.WantBlock, b.WantHave)
-	}
-	return sb.String()
-}
-
-// --- Table I: multicodec shares -------------------------------------------
-
-// Table1Row is one multicodec share.
-type Table1Row struct {
-	Codec string
-	Count int
-	Share float64
-}
-
-// Table1 is the share of data requests by multicodec.
-type Table1 struct {
-	Total int
-	Rows  []Table1Row
-}
-
-// ComputeTable1 derives the multicodec distribution from raw (per the
-// paper: unprocessed, requests-only, no CANCELs) trace entries.
-func ComputeTable1(entries []trace.Entry) Table1 {
-	counts := make(map[cid.Codec]int)
-	total := 0
-	for _, e := range entries {
-		if !e.IsRequest() {
-			continue
-		}
-		counts[e.CID.Codec()]++
-		total++
-	}
-	t := Table1{Total: total}
-	for codec, n := range counts {
-		t.Rows = append(t.Rows, Table1Row{
-			Codec: codec.String(),
-			Count: n,
-			Share: float64(n) / float64(total),
-		})
-	}
-	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i].Count > t.Rows[j].Count })
-	return t
-}
-
-// Render prints the table.
-func (t Table1) Render() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "Table I — share of data requests by multicodec (%d requests)\n", t.Total)
-	fmt.Fprintf(&sb, "%-22s %12s %9s\n", "codec", "count", "share")
-	for _, r := range t.Rows {
-		fmt.Fprintf(&sb, "%-22s %12d %8.2f%%\n", r.Codec, r.Count, 100*r.Share)
-	}
-	return sb.String()
-}
-
-// --- Table II: country shares ---------------------------------------------
-
-// Table2Row is one country share.
-type Table2Row struct {
-	Country simnet.Region
-	Count   int
-	Share   float64
-}
-
-// Table2 is the share of data requests by origin country.
-type Table2 struct {
-	Total   int
-	Unknown int
-	Rows    []Table2Row
-}
-
-// ComputeTable2 resolves the deduplicated trace's addresses through the
-// GeoIP database.
-func ComputeTable2(entries []trace.Entry, db *geoip.DB) Table2 {
-	counts := make(map[simnet.Region]int)
-	t := Table2{}
-	for _, e := range entries {
-		if !e.IsRequest() {
-			continue
-		}
-		region, ok := db.Lookup(e.Addr)
-		if !ok {
-			t.Unknown++
-			continue
-		}
-		counts[region]++
-		t.Total++
-	}
-	for region, n := range counts {
-		t.Rows = append(t.Rows, Table2Row{
-			Country: region,
-			Count:   n,
-			Share:   float64(n) / float64(t.Total),
-		})
-	}
-	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i].Count > t.Rows[j].Count })
-	return t
-}
-
-// Render prints the table.
-func (t Table2) Render() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "Table II — share of data requests by country (%d resolved, %d unknown)\n", t.Total, t.Unknown)
-	fmt.Fprintf(&sb, "%-10s %12s %9s\n", "country", "count", "share")
-	for _, r := range t.Rows {
-		fmt.Fprintf(&sb, "%-10s %12d %8.2f%%\n", r.Country, r.Count, 100*r.Share)
-	}
-	return sb.String()
-}
-
-// --- Fig. 5: content popularity -------------------------------------------
-
-// Fig5 is the popularity analysis: ECDFs of both scores plus the power-law
-// hypothesis test.
-type Fig5 struct {
-	CIDs        int
-	RRPECDF     []popularity.ECDFPoint
-	URPECDF     []popularity.ECDFPoint
-	URPShare1   float64 // share of CIDs requested by exactly one peer
-	RRPFit      popularity.PowerLawFit
-	URPFit      popularity.PowerLawFit
-	RRPPValue   float64
-	URPPValue   float64
-	RRPRejected bool
-	URPRejected bool
-}
-
-// ComputeFig5 runs the popularity pipeline on a deduplicated trace.
-// bootstrapIters controls the CSN p-value precision.
-func ComputeFig5(entries []trace.Entry, bootstrapIters int, rng *rand.Rand) (Fig5, error) {
-	scores := popularity.Compute(entries)
-	rrp := popularity.Values(scores.RRP)
-	urp := popularity.Values(scores.URP)
-	f := Fig5{
-		CIDs:      len(rrp),
-		RRPECDF:   popularity.ECDF(rrp),
-		URPECDF:   popularity.ECDF(urp),
-		URPShare1: popularity.ShareWithValue(urp, 1),
-	}
-	var err error
-	f.RRPRejected, f.RRPFit, f.RRPPValue, err = popularity.RejectsPowerLaw(rrp, bootstrapIters, rng)
-	if err != nil {
-		return f, fmt.Errorf("rrp fit: %w", err)
-	}
-	f.URPRejected, f.URPFit, f.URPPValue, err = popularity.RejectsPowerLaw(urp, bootstrapIters, rng)
-	if err != nil {
-		return f, fmt.Errorf("urp fit: %w", err)
-	}
-	return f, nil
-}
-
-// Render prints the analysis.
-func (f Fig5) Render() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "Fig. 5 — content popularity over %d CIDs\n", f.CIDs)
-	fmt.Fprintf(&sb, "URP share with exactly 1 peer: %.1f%% (paper: >80%%)\n", 100*f.URPShare1)
-	fmt.Fprintf(&sb, "RRP power law: alpha=%.2f xmin=%d KS=%.4f p=%.3f rejected=%v\n",
-		f.RRPFit.Alpha, f.RRPFit.Xmin, f.RRPFit.KS, f.RRPPValue, f.RRPRejected)
-	fmt.Fprintf(&sb, "URP power law: alpha=%.2f xmin=%d KS=%.4f p=%.3f rejected=%v\n",
-		f.URPFit.Alpha, f.URPFit.Xmin, f.URPFit.KS, f.URPPValue, f.URPRejected)
-	fmt.Fprintf(&sb, "RRP ECDF (%d points), URP ECDF (%d points)\n", len(f.RRPECDF), len(f.URPECDF))
-	return sb.String()
-}
-
-// --- Fig. 6: request rates by origin group --------------------------------
-
-// Fig6Slice is one time slice of Fig. 6.
-type Fig6Slice struct {
-	Start      time.Time
-	AllGateway float64 // requests/s from any gateway node
-	Megagate   float64 // requests/s from the large operator's nodes
-	NonGateway float64 // requests/s from everyone else
-}
-
-// Fig6 is the deduplicated request rate by origin group over time.
-type Fig6 struct {
-	SliceSize time.Duration
-	Slices    []Fig6Slice
-}
-
-// ComputeFig6 classifies each deduplicated request by its sender group.
-func ComputeFig6(entries []trace.Entry, gatewayIDs, megagateIDs map[simnet.NodeID]bool, slice time.Duration) Fig6 {
-	if slice <= 0 {
-		slice = time.Hour
-	}
-	bySlice := make(map[int64]*Fig6Slice)
-	for _, e := range entries {
-		if !e.IsRequest() {
-			continue
-		}
-		k := e.Timestamp.UnixNano() / int64(slice)
-		s, ok := bySlice[k]
-		if !ok {
-			s = &Fig6Slice{Start: time.Unix(0, k*int64(slice)).UTC()}
-			bySlice[k] = s
-		}
-		switch {
-		case megagateIDs[e.NodeID]:
-			s.Megagate++
-			s.AllGateway++
-		case gatewayIDs[e.NodeID]:
-			s.AllGateway++
-		default:
-			s.NonGateway++
-		}
-	}
-	out := Fig6{SliceSize: slice}
-	secs := slice.Seconds()
-	for _, s := range bySlice {
-		s.AllGateway /= secs
-		s.Megagate /= secs
-		s.NonGateway /= secs
-		out.Slices = append(out.Slices, *s)
-	}
-	sort.Slice(out.Slices, func(i, j int) bool { return out.Slices[i].Start.Before(out.Slices[j].Start) })
-	return out
-}
-
-// Totals sums rates across slices (requests/s averages).
-func (f Fig6) Totals() (gateway, megagate, nonGateway float64) {
-	if len(f.Slices) == 0 {
-		return 0, 0, 0
-	}
-	for _, s := range f.Slices {
-		gateway += s.AllGateway
-		megagate += s.Megagate
-		nonGateway += s.NonGateway
-	}
-	n := float64(len(f.Slices))
-	return gateway / n, megagate / n, nonGateway / n
-}
-
-// Render prints the series.
-func (f Fig6) Render() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "Fig. 6 — deduplicated request rate by origin group (per %v slice)\n", f.SliceSize)
-	fmt.Fprintf(&sb, "%-25s %12s %12s %12s\n", "slice", "all-gateways", "megagate", "non-gateway")
-	for _, s := range f.Slices {
-		fmt.Fprintf(&sb, "%-25s %12.3f %12.3f %12.3f\n",
-			s.Start.Format(time.RFC3339), s.AllGateway, s.Megagate, s.NonGateway)
 	}
 	return sb.String()
 }

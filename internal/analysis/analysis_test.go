@@ -1,174 +1,16 @@
 package analysis
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 	"time"
 
-	"bitswapmon/internal/cid"
 	"bitswapmon/internal/dht"
-	"bitswapmon/internal/geoip"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/simnet"
-	"bitswapmon/internal/trace"
-	"bitswapmon/internal/wire"
 )
 
 var t0 = time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
-
-func entry(node byte, addr, c string, typ wire.EntryType, codec cid.Codec, at time.Time) trace.Entry {
-	var id simnet.NodeID
-	id[0] = node
-	return trace.Entry{
-		Timestamp: at,
-		Monitor:   "us",
-		NodeID:    id,
-		Addr:      addr,
-		Type:      typ,
-		CID:       cid.Sum(codec, []byte(c)),
-	}
-}
-
-func TestComputeFig4Buckets(t *testing.T) {
-	entries := []trace.Entry{
-		entry(1, "3.0.0.1:1", "a", wire.WantBlock, cid.Raw, t0),
-		entry(1, "3.0.0.1:1", "b", wire.WantBlock, cid.Raw, t0.Add(time.Hour)),
-		entry(2, "3.0.0.2:1", "c", wire.WantHave, cid.Raw, t0.Add(25*time.Hour)),
-		entry(2, "3.0.0.2:1", "c", wire.Cancel, cid.Raw, t0.Add(26*time.Hour)), // ignored
-	}
-	fig := ComputeFig4(entries, 24*time.Hour)
-	if len(fig.Buckets) != 2 {
-		t.Fatalf("buckets = %d", len(fig.Buckets))
-	}
-	if fig.Buckets[0].WantBlock != 2 || fig.Buckets[0].WantHave != 0 {
-		t.Errorf("bucket 0 = %+v", fig.Buckets[0])
-	}
-	if fig.Buckets[1].WantHave != 1 || fig.Buckets[1].WantBlock != 0 {
-		t.Errorf("bucket 1 = %+v", fig.Buckets[1])
-	}
-	if !strings.Contains(fig.Render(), "WANT_BLOCK") {
-		t.Error("render missing header")
-	}
-}
-
-func TestComputeTable1Shares(t *testing.T) {
-	var entries []trace.Entry
-	for i := 0; i < 86; i++ {
-		entries = append(entries, entry(1, "3.0.0.1:1", string(rune(i)), wire.WantHave, cid.DagProtobuf, t0))
-	}
-	for i := 0; i < 13; i++ {
-		entries = append(entries, entry(1, "3.0.0.1:1", string(rune(100+i)), wire.WantHave, cid.Raw, t0))
-	}
-	entries = append(entries, entry(1, "3.0.0.1:1", "x", wire.WantHave, cid.DagCBOR, t0))
-	entries = append(entries, entry(1, "3.0.0.1:1", "x", wire.Cancel, cid.DagCBOR, t0)) // ignored
-
-	tab := ComputeTable1(entries)
-	if tab.Total != 100 {
-		t.Fatalf("total = %d", tab.Total)
-	}
-	if tab.Rows[0].Codec != "DagProtobuf" || tab.Rows[0].Share != 0.86 {
-		t.Errorf("row 0 = %+v", tab.Rows[0])
-	}
-	if tab.Rows[1].Codec != "Raw" || tab.Rows[1].Share != 0.13 {
-		t.Errorf("row 1 = %+v", tab.Rows[1])
-	}
-	if !strings.Contains(tab.Render(), "DagProtobuf") {
-		t.Error("render missing codec")
-	}
-}
-
-func TestComputeTable2(t *testing.T) {
-	db := geoip.New()
-	usAddr, _ := db.Allocate(simnet.RegionUS)
-	deAddr, _ := db.Allocate(simnet.RegionDE)
-	entries := []trace.Entry{
-		entry(1, usAddr, "a", wire.WantHave, cid.Raw, t0),
-		entry(2, usAddr, "b", wire.WantHave, cid.Raw, t0),
-		entry(3, deAddr, "c", wire.WantHave, cid.Raw, t0),
-		entry(4, "250.0.0.1:4001", "d", wire.WantHave, cid.Raw, t0), // unknown
-	}
-	tab := ComputeTable2(entries, db)
-	if tab.Total != 3 || tab.Unknown != 1 {
-		t.Fatalf("total=%d unknown=%d", tab.Total, tab.Unknown)
-	}
-	if tab.Rows[0].Country != simnet.RegionUS || tab.Rows[0].Count != 2 {
-		t.Errorf("row 0 = %+v", tab.Rows[0])
-	}
-	if !strings.Contains(tab.Render(), "US") {
-		t.Error("render missing country")
-	}
-}
-
-func TestComputeFig5SmallTrace(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	var entries []trace.Entry
-	// 200 CIDs requested once each by distinct nodes, 5 CIDs requested by
-	// many nodes.
-	for i := 0; i < 200; i++ {
-		entries = append(entries, entry(byte(i%250), "3.0.0.1:1", string(rune(i))+"solo", wire.WantHave, cid.Raw, t0))
-	}
-	for i := 0; i < 5; i++ {
-		for p := 0; p < 30; p++ {
-			entries = append(entries, entry(byte(p), "3.0.0.1:1", string(rune(i))+"hot", wire.WantHave, cid.Raw, t0))
-		}
-	}
-	fig, err := ComputeFig5(entries, 10, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fig.CIDs != 205 {
-		t.Errorf("cids = %d", fig.CIDs)
-	}
-	if fig.URPShare1 < 0.9 {
-		t.Errorf("urp share1 = %v", fig.URPShare1)
-	}
-	if len(fig.URPECDF) == 0 || len(fig.RRPECDF) == 0 {
-		t.Error("ecdfs empty")
-	}
-	if !strings.Contains(fig.Render(), "power law") {
-		t.Error("render missing fit")
-	}
-}
-
-func TestComputeFig6Groups(t *testing.T) {
-	var gwID, mgID, userID simnet.NodeID
-	gwID[0], mgID[0], userID[0] = 1, 2, 3
-	gateways := map[simnet.NodeID]bool{gwID: true, mgID: true}
-	megagate := map[simnet.NodeID]bool{mgID: true}
-
-	var entries []trace.Entry
-	for i := 0; i < 3600; i++ {
-		e := entry(1, "3.0.0.1:1", string(rune(i)), wire.WantHave, cid.Raw, t0.Add(time.Duration(i)*time.Second))
-		e.NodeID = gwID
-		entries = append(entries, e)
-	}
-	for i := 0; i < 7200; i++ {
-		e := entry(2, "3.0.0.1:1", "mg"+string(rune(i)), wire.WantHave, cid.Raw, t0.Add(time.Duration(i/2)*time.Second))
-		e.NodeID = mgID
-		entries = append(entries, e)
-	}
-	for i := 0; i < 1800; i++ {
-		e := entry(3, "3.0.0.1:1", "u"+string(rune(i)), wire.WantHave, cid.Raw, t0.Add(time.Duration(i*2)*time.Second))
-		e.NodeID = userID
-		entries = append(entries, e)
-	}
-	fig := ComputeFig6(entries, gateways, megagate, time.Hour)
-	if len(fig.Slices) != 1 {
-		t.Fatalf("slices = %d", len(fig.Slices))
-	}
-	s := fig.Slices[0]
-	if s.AllGateway != 3 || s.Megagate != 2 || s.NonGateway != 0.5 {
-		t.Errorf("rates: %+v", s)
-	}
-	gw, mg, ng := fig.Totals()
-	if gw != 3 || mg != 2 || ng != 0.5 {
-		t.Errorf("totals: %v %v %v", gw, mg, ng)
-	}
-	if !strings.Contains(fig.Render(), "megagate") {
-		t.Error("render missing column")
-	}
-}
 
 func TestSecVCRenderAndEmpty(t *testing.T) {
 	sec := ComputeSecVC(nil, nil, dht.CrawlResult{}, 0, 0)

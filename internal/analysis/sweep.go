@@ -18,54 +18,15 @@ import (
 // rows, columns and long-form lines are sorted, and wall-clock fields are
 // excluded.
 
-// sweepMetrics maps metric names to summary extractors. Monitor coverage
-// is addressed as "coverage:<monitor>".
-var sweepMetrics = map[string]func(*sweep.RunSummary) float64{
-	"entries":            func(r *sweep.RunSummary) float64 { return float64(r.Entries) },
-	"dedup_entries":      func(r *sweep.RunSummary) float64 { return float64(r.DedupEntries) },
-	"requests":           func(r *sweep.RunSummary) float64 { return float64(r.Requests) },
-	"dedup_requests":     func(r *sweep.RunSummary) float64 { return float64(r.DedupRequests) },
-	"rebroad_share":      func(r *sweep.RunSummary) float64 { return r.RebroadShare },
-	"unique_peers":       func(r *sweep.RunSummary) float64 { return float64(r.UniquePeers) },
-	"unique_cids":        func(r *sweep.RunSummary) float64 { return float64(r.UniqueCIDs) },
-	"distinct_peers_est": func(r *sweep.RunSummary) float64 { return r.DistinctPeersEst },
-	"distinct_cids_est":  func(r *sweep.RunSummary) float64 { return r.DistinctCIDsEst },
-	"peer_overlap":       func(r *sweep.RunSummary) float64 { return r.PeerOverlap },
-	"gateway_share":      func(r *sweep.RunSummary) float64 { return r.GatewayShare },
-	"gateway_hit_rate":   func(r *sweep.RunSummary) float64 { return r.GatewayHitRate },
-	"online_avg":         func(r *sweep.RunSummary) float64 { return r.OnlineAvg },
-	"population":         func(r *sweep.RunSummary) float64 { return float64(r.Population) },
-	"replay_events":      func(r *sweep.RunSummary) float64 { return float64(r.ReplayEvents) },
-	"replay_requesters":  func(r *sweep.RunSummary) float64 { return float64(r.ReplayRequesters) },
-	"fitted_alpha":       func(r *sweep.RunSummary) float64 { return r.FittedAlpha },
-}
+// Metrics are resolved by name through sweep.(*RunSummary).Metric: the
+// extensible metrics map written by the report-driven summaries, with
+// "coverage:<monitor>" addressing and typed-field fallback for version-1
+// summaries. This layer no longer knows any metric by field.
 
-// SweepMetrics lists the aggregatable metric names, sorted.
-func SweepMetrics() []string {
-	out := make([]string, 0, len(sweepMetrics))
-	for k := range sweepMetrics {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// sweepMetricValue resolves one metric on one summary.
-func sweepMetricValue(r *sweep.RunSummary, name string) (float64, error) {
-	if mon, ok := strings.CutPrefix(name, "coverage:"); ok {
-		v, ok := r.MonitorCoverage[mon]
-		if !ok {
-			return 0, fmt.Errorf("analysis: run %s has no monitor %q", r.RunID, mon)
-		}
-		return v, nil
-	}
-	fn, ok := sweepMetrics[name]
-	if !ok {
-		return 0, fmt.Errorf("analysis: unknown sweep metric %q (known: %s, coverage:<monitor>)",
-			name, strings.Join(SweepMetrics(), ", "))
-	}
-	return fn(r), nil
-}
+// SweepMetrics lists the canonical aggregatable metric names, sorted.
+// Summaries may carry additional "<report>:<metric>" names contributed by a
+// spec's extra reports; those aggregate by name exactly the same way.
+func SweepMetrics() []string { return sweep.KnownMetrics() }
 
 // paramString renders a run's override value for one parameter; runs that
 // did not override it report the base-spec marker.
@@ -120,7 +81,7 @@ func ComputeSweepTable(recs []*sweep.RunSummary, rowParam, colParam, metric stri
 	rowSet := make(map[string]bool)
 	colSet := make(map[string]bool)
 	for _, r := range recs {
-		v, err := sweepMetricValue(r, metric)
+		v, err := r.Metric(metric)
 		if err != nil {
 			return t, err
 		}
@@ -247,15 +208,21 @@ func SweepCSV(recs []*sweep.RunSummary) string {
 	copy(sorted, recs)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RunID < sorted[j].RunID })
 
-	// The parameter and monitor columns are the union across runs.
+	// The parameter, metric and monitor columns are the union across runs
+	// (a run missing a metric — e.g. an extra report only some specs
+	// requested — leaves its cell empty).
 	paramSet := make(map[string]bool)
 	monSet := make(map[string]bool)
+	metricSet := make(map[string]bool)
 	for _, r := range sorted {
 		for _, p := range r.Params {
 			paramSet[p.Key] = true
 		}
 		for mon := range r.MonitorCoverage {
 			monSet[mon] = true
+		}
+		for _, m := range r.MetricNames() {
+			metricSet[m] = true
 		}
 	}
 	params := make([]string, 0, len(paramSet))
@@ -268,7 +235,11 @@ func SweepCSV(recs []*sweep.RunSummary) string {
 		mons = append(mons, m)
 	}
 	sort.Strings(mons)
-	metrics := SweepMetrics()
+	metrics := make([]string, 0, len(metricSet))
+	for m := range metricSet {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
 
 	var sb strings.Builder
 	sb.WriteString("run_id,seed")
@@ -295,8 +266,10 @@ func SweepCSV(recs []*sweep.RunSummary) string {
 			}
 		}
 		for _, m := range metrics {
-			v, _ := sweepMetricValue(r, m)
-			sb.WriteString("," + strconv.FormatFloat(v, 'g', -1, 64))
+			sb.WriteString(",")
+			if v, err := r.Metric(m); err == nil {
+				sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
 		}
 		for _, m := range mons {
 			sb.WriteString(",")

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -14,8 +15,10 @@ import (
 	"bitswapmon/internal/attacks"
 	"bitswapmon/internal/dht"
 	"bitswapmon/internal/engine"
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/node"
+	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/sweep"
 	"bitswapmon/internal/trace"
@@ -102,14 +105,17 @@ func DenseConfig(seed int64, nodes int, newEngine func(start time.Time, seed int
 	}
 }
 
-// WeekReport carries every artifact computed from the main scenario.
+// WeekReport carries every artifact computed from the main scenario. The
+// trace-derived artifacts are internal/report results, produced by one
+// streaming pass — live during the run (RunWeekSpec) or over collected data
+// (ComputeReport).
 type WeekReport struct {
 	Fig3us analysis.Fig3
 	SecVC  analysis.SecVC
-	Tab1   analysis.Table1
-	Tab2   analysis.Table2
-	Fig5   analysis.Fig5
-	Fig6   analysis.Fig6
+	Tab1   *report.Table1
+	Tab2   *report.Table2
+	Fig5   *report.Fig5
+	Fig6   *report.Fig6
 
 	GatewaysProbed     int
 	GatewaysIdentified int
@@ -167,10 +173,20 @@ func CollectWeek(scale Scale, seed int64) (*Data, error) {
 }
 
 // CollectSpec runs the scenario a declarative spec describes and gathers
-// raw measurement data. The week pipeline needs at least two monitors (the
-// paper's coverage and overlap panels compare vantage points); the DHT
-// crawl always runs, gateway probing obeys spec.Probes.
+// raw measurement data with the unified trace resident — the benchmark
+// harness recomputes individual artifacts from it. The streaming path
+// (RunWeekSpec) attaches live report sinks instead and retains nothing.
 func CollectSpec(spec sweep.ScenarioSpec) (*Data, error) {
+	return collectSpec(spec, nil)
+}
+
+// collectSpec runs the week pipeline. attach, when non-nil, is invoked with
+// the built world after warmup and returns the live sink every monitor
+// streams into for the measured window; the returned Data then carries no
+// resident trace (Unified and Dedup stay nil). The pipeline needs at least
+// two monitors (the paper's coverage and overlap panels compare vantage
+// points); the DHT crawl always runs, gateway probing obeys spec.Probes.
+func collectSpec(spec sweep.ScenarioSpec, attach func(w *workload.World) (ingest.Sink, error)) (*Data, error) {
 	cfg, err := spec.WorkloadConfig(spec.Seed)
 	if err != nil {
 		return nil, err
@@ -183,10 +199,20 @@ func CollectSpec(spec sweep.ScenarioSpec) (*Data, error) {
 		return nil, fmt.Errorf("build world: %w", err)
 	}
 
-	// Warm up, then reset traces so the window is clean.
+	// Warm up, then reset traces so the window is clean. The live sink, if
+	// any, is attached only now: the warmup must not reach the reports.
 	w.Run(spec.Warmup.Std())
 	for _, m := range w.Monitors {
 		m.ResetTrace()
+	}
+	if attach != nil {
+		sink, err := attach(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range w.Monitors {
+			m.SetSink(sink)
+		}
 	}
 
 	// A zero tick would make the self-rescheduling tracker below spin at a
@@ -227,11 +253,21 @@ func CollectSpec(spec sweep.ScenarioSpec) (*Data, error) {
 		w.Run(time.Duration(len(w.Registry.All())+2) * prober.WaitFor)
 	}
 
-	traces := make([][]trace.Entry, len(w.Monitors))
-	for i, m := range w.Monitors {
-		traces[i] = m.Trace()
+	var unified, dedup []trace.Entry
+	if attach == nil {
+		traces := make([][]trace.Entry, len(w.Monitors))
+		for i, m := range w.Monitors {
+			traces[i] = m.Trace()
+		}
+		unified = trace.Unify(traces...)
+		dedup = trace.Deduplicated(unified)
+	} else {
+		for _, m := range w.Monitors {
+			if err := m.SinkErr(); err != nil {
+				return nil, fmt.Errorf("monitor %s sink: %w", m.Name, err)
+			}
+		}
 	}
-	unified := trace.Unify(traces...)
 	var onlineAvg float64
 	for _, v := range onlineSamples {
 		onlineAvg += v
@@ -242,7 +278,7 @@ func CollectSpec(spec sweep.ScenarioSpec) (*Data, error) {
 	return &Data{
 		World:     w,
 		Unified:   unified,
-		Dedup:     trace.Deduplicated(unified),
+		Dedup:     dedup,
 		Samples:   sampler.Samples(),
 		Crawl:     crawlRes,
 		OnlineAvg: onlineAvg,
@@ -253,34 +289,72 @@ func CollectSpec(spec sweep.ScenarioSpec) (*Data, error) {
 // MegagateIDs returns the large operator's gateway node IDs.
 func (d *Data) MegagateIDs() map[simnet.NodeID]bool { return megagateIDs(d.World) }
 
-// ComputeReport derives the full report from collected data.
-func ComputeReport(d *Data, bootstrapIters int) (*WeekReport, error) {
-	start := time.Now()
+// weekReports lists the report set the main scenario runs in one pass. The
+// summary report is deliberately absent: nothing in WeekReport reads it,
+// and its unique-peer/CID sets would be the largest resident state of the
+// live path.
+var weekReports = []string{"traffic", "table1", "table2", "fig5", "fig6"}
+
+// weekDriver builds the week scenario's report driver wired to the world's
+// ground truth (GeoIP, gateway fleets). Fig. 5's bootstrap RNG is derived
+// from the engine only when the report finalizes, preserving the engine's
+// RNG draw order no matter when the driver was attached.
+func weekDriver(w *workload.World, bootstrapIters int) (*report.Driver, error) {
+	opts := report.Options{
+		Slice:          time.Hour,
+		BootstrapIters: bootstrapIters,
+		Rand:           func() *rand.Rand { return w.Net.NewRand("fig5") },
+		Geo:            w.Geo,
+		GatewayIDs:     w.GatewayNodeIDs(),
+		MegagateIDs:    megagateIDs(w),
+	}
+	d := report.NewDriver(true)
+	if err := d.AddByName(weekReports, opts); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// weekReportFromResults folds one driver pass together with the world's
+// ground-truth panels (Fig. 3, Sec. V-C, Sec. VI-B).
+func weekReportFromResults(d *Data, results report.Results) *WeekReport {
 	w := d.World
+	traffic := results.Get("traffic").(*report.Traffic)
 	rep := &WeekReport{
 		Fig3us:       analysis.ComputeFig3(w.Monitors[0], 50),
-		Tab1:         analysis.ComputeTable1(d.Unified),
-		Tab2:         analysis.ComputeTable2(d.Dedup, w.Geo),
-		Fig6:         analysis.ComputeFig6(d.Dedup, w.GatewayNodeIDs(), megagateIDs(w), time.Hour),
-		RawEntries:   len(d.Unified),
-		DedupEntries: len(d.Dedup),
-	}
-	if len(d.Unified) > 0 {
-		rep.RebroadShare = 1 - float64(len(d.Dedup))/float64(len(d.Unified))
+		Tab1:         results.Get("table1").(*report.Table1),
+		Tab2:         results.Get("table2").(*report.Table2),
+		Fig5:         results.Get("fig5").(*report.Fig5),
+		Fig6:         results.Get("fig6").(*report.Fig6),
+		RawEntries:   traffic.Entries,
+		DedupEntries: traffic.DedupEntries,
+		RebroadShare: traffic.RebroadShare,
 	}
 	rep.SecVC = analysis.ComputeSecVC(w.Monitors, d.Samples, d.Crawl, d.OnlineAvg, w.TotalPopulation())
-
-	fig5, err := analysis.ComputeFig5(d.Dedup, bootstrapIters, w.Net.NewRand("fig5"))
-	if err != nil {
-		return nil, fmt.Errorf("fig5: %w", err)
-	}
-	rep.Fig5 = fig5
-
 	identified, total, correct := attacks.CrossReference(d.Probes, w.Registry.NodeIDs())
 	rep.GatewaysProbed = len(d.Probes)
 	rep.GatewaysIdentified = identified
 	rep.GatewayIDsFound = total
 	rep.GatewayIDsCorrect = correct
+	return rep
+}
+
+// ComputeReport derives the full report from collected data: the same
+// streaming report set as the live path, driven over the resident trace.
+func ComputeReport(d *Data, bootstrapIters int) (*WeekReport, error) {
+	start := time.Now()
+	drv, err := weekDriver(d.World, bootstrapIters)
+	if err != nil {
+		return nil, err
+	}
+	if err := drv.Run(ingest.SliceSource(d.Unified)); err != nil {
+		return nil, err
+	}
+	results, err := drv.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	rep := weekReportFromResults(d, results)
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
@@ -290,21 +364,38 @@ func RunWeek(scale Scale, seed int64) (*WeekReport, error) {
 	return RunWeekSpec(scale.Spec(seed))
 }
 
-// RunWeekSpec executes the main scenario from a declarative spec.
+// RunWeekSpec executes the main scenario from a declarative spec. The
+// reports are attached to the monitors as live sinks — one UnifySink
+// computes the Sec. IV-B flags online and tees into the report driver — so
+// every figure is emitted without the trace ever becoming resident.
 func RunWeekSpec(spec sweep.ScenarioSpec) (*WeekReport, error) {
 	start := time.Now()
-	data, err := CollectSpec(spec)
-	if err != nil {
-		return nil, err
-	}
 	iters := spec.BootstrapIters
 	if iters <= 0 {
 		iters = 30
 	}
-	rep, err := ComputeReport(data, iters)
+	var drv *report.Driver
+	var uni *ingest.UnifySink
+	data, err := collectSpec(spec, func(w *workload.World) (ingest.Sink, error) {
+		d, err := weekDriver(w, iters)
+		if err != nil {
+			return nil, err
+		}
+		drv = d
+		uni = ingest.NewUnifySink(d)
+		return uni, nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	if err := uni.Flush(); err != nil {
+		return nil, err
+	}
+	results, err := drv.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	rep := weekReportFromResults(data, results)
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
@@ -365,14 +456,16 @@ func (r *WeekReport) Render() string {
 
 // UpgradeReport carries the Fig. 4 artifact.
 type UpgradeReport struct {
-	Fig4    analysis.Fig4
+	Fig4    *report.Fig4
 	Elapsed time.Duration
 }
 
 // RunUpgrade executes the Fig. 4 scenario: a population starting almost
 // entirely on the pre-v0.5 client (WANT_BLOCK broadcasts), upgrading in a
 // wave after the release date, observed over several weeks. newEngine
-// selects the simulation core (nil = serial reference).
+// selects the simulation core (nil = serial reference). The fig4 report is
+// attached as the monitor's live sink, so the weeks-long trace is bucketed
+// as it happens and never resident.
 func RunUpgrade(nodes int, weeks int, seed int64, newEngine func(start time.Time, seed int64) engine.Engine) (*UpgradeReport, error) {
 	start := time.Now()
 	simStart := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
@@ -395,10 +488,26 @@ func RunUpgrade(nodes int, weeks int, seed int64, newEngine func(start time.Time
 	if err != nil {
 		return nil, fmt.Errorf("build world: %w", err)
 	}
+	// Fig. 4 buckets the raw request series (no dedup filter).
+	drv := report.NewDriver(false)
+	if err := drv.AddByName([]string{"fig4"}, report.Options{Bucket: 24 * time.Hour}); err != nil {
+		return nil, err
+	}
+	uni := ingest.NewUnifySink(drv)
+	w.Monitors[0].SetSink(uni)
 	w.Run(time.Duration(weeks) * 7 * 24 * time.Hour)
-	unified := trace.Unify(w.Monitors[0].Trace())
+	if err := w.Monitors[0].SinkErr(); err != nil {
+		return nil, fmt.Errorf("monitor sink: %w", err)
+	}
+	if err := uni.Flush(); err != nil {
+		return nil, err
+	}
+	results, err := drv.Finalize()
+	if err != nil {
+		return nil, err
+	}
 	return &UpgradeReport{
-		Fig4:    analysis.ComputeFig4(unified, 24*time.Hour),
+		Fig4:    results.Get("fig4").(*report.Fig4),
 		Elapsed: time.Since(start),
 	}, nil
 }

@@ -6,8 +6,10 @@ import (
 	"strings"
 	"time"
 
+	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/popularity"
 	"bitswapmon/internal/replay"
+	"bitswapmon/internal/report"
 	"bitswapmon/internal/sweep"
 	"bitswapmon/internal/trace"
 )
@@ -20,7 +22,7 @@ type ReplayReport struct {
 	Stats *replay.DriveStats
 
 	// Summary is the unified monitor-side trace summary of the replayed
-	// world (Sec. IV-B flags recomputed over the replay).
+	// world (Sec. IV-B flags recomputed online over the replay).
 	Summary trace.Summary
 	// PerMonitorRequests counts non-CANCEL entries per monitor.
 	PerMonitorRequests map[string]int
@@ -44,10 +46,67 @@ type ReplayReport struct {
 	Elapsed time.Duration
 }
 
+// monitorRequests is a custom streaming report: non-CANCEL entries per
+// monitor. It is the template for a new metric — implement Report, return
+// report.Values, and any driver (live sink, bsanalyze, sweep summaries) can
+// run it.
+type monitorRequests map[string]int
+
+func (r monitorRequests) WantsDedup() bool { return false }
+
+func (r monitorRequests) Observe(e trace.Entry) error {
+	if e.IsRequest() {
+		r[e.Monitor]++
+	}
+	return nil
+}
+
+func (r monitorRequests) Finalize() (report.Result, error) {
+	v := make(report.Values, len(r))
+	for mon, n := range r {
+		v[mon] = float64(n)
+	}
+	return v, nil
+}
+
+// replayPopularity scores the replayed deduplicated trace (RRP/URP) and
+// fits the power-law exponent, keeping the full score snapshot for the
+// fitted-mode top-share comparison. Unlike the registered popularity report
+// it skips the bootstrap p-value — replay validation only needs alpha.
+type replayPopularity struct {
+	counter *popularity.Counter
+}
+
+func (r *replayPopularity) WantsDedup() bool            { return true }
+func (r *replayPopularity) Observe(e trace.Entry) error { return r.counter.Write(e) }
+
+func (r *replayPopularity) Finalize() (report.Result, error) {
+	res := &replayPopularityResult{Scores: r.counter.Scores()}
+	if fit, err := popularity.FitPowerLaw(popularity.Values(res.Scores.RRP)); err == nil {
+		res.Alpha = fit.Alpha
+	}
+	return res, nil
+}
+
+type replayPopularityResult struct {
+	Scores popularity.Scores
+	Alpha  float64
+}
+
+func (r *replayPopularityResult) values() report.Values {
+	return report.Values{"replayed_alpha": r.Alpha, "cids": float64(len(r.Scores.RRP))}
+}
+func (r *replayPopularityResult) Render() string              { return r.values().Render() }
+func (r *replayPopularityResult) CSV() string                 { return r.values().CSV() }
+func (r *replayPopularityResult) JSON() ([]byte, error)       { return r.values().JSON() }
+func (r *replayPopularityResult) Metrics() map[string]float64 { return r.values() }
+
 // RunReplay executes the replay scenario a declarative spec describes (its
 // workload_source section selects direct or fitted mode) and computes the
-// report. Monitors record in memory; use the sweep orchestrator for runs
-// whose traces must stream to disk.
+// report. The reports ride as live monitor sinks behind one UnifySink, so
+// the replayed trace is summarized and scored as it is observed, never
+// retained; use the sweep orchestrator for runs whose traces must stream to
+// disk.
 func RunReplay(spec sweep.ScenarioSpec) (*ReplayReport, error) {
 	start := time.Now()
 	rs, err := spec.ReplaySpec(spec.Seed)
@@ -59,7 +118,33 @@ func RunReplay(spec sweep.ScenarioSpec) (*ReplayReport, error) {
 		return nil, err
 	}
 	defer sess.Close()
+
+	drv := report.NewDriver(true)
+	if err := drv.AddByName([]string{"summary"}, report.Options{}); err != nil {
+		return nil, err
+	}
+	pop := &replayPopularity{counter: popularity.NewCounter()}
+	drv.Add("popularity", pop)
+	perMon := make(monitorRequests)
+	drv.Add("monitor_requests", perMon)
+	uni := ingest.NewUnifySink(drv)
+	for _, m := range sess.World.Monitors {
+		m.SetSink(uni)
+	}
+
 	stats, err := sess.Drive()
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range sess.World.Monitors {
+		if err := m.SinkErr(); err != nil {
+			return nil, fmt.Errorf("monitor %s sink: %w", m.Name, err)
+		}
+	}
+	if err := uni.Flush(); err != nil {
+		return nil, err
+	}
+	results, err := drv.Finalize()
 	if err != nil {
 		return nil, err
 	}
@@ -67,33 +152,15 @@ func RunReplay(spec sweep.ScenarioSpec) (*ReplayReport, error) {
 	rep := &ReplayReport{
 		Mode:               replay.ModeDirect,
 		Stats:              stats,
-		PerMonitorRequests: make(map[string]int),
+		PerMonitorRequests: map[string]int(perMon),
 		Model:              sess.Model,
+		Summary:            results.Get("summary").(*report.SummaryResult).Summary,
 	}
 	if sess.Model != nil {
 		rep.Mode = replay.ModeFitted
 	}
-	traces := make([][]trace.Entry, len(sess.World.Monitors))
-	for i, m := range sess.World.Monitors {
-		traces[i] = m.Trace()
-		for _, e := range traces[i] {
-			if e.IsRequest() {
-				rep.PerMonitorRequests[m.Name]++
-			}
-		}
-	}
-	unified := trace.Unify(traces...)
-	rep.Summary = trace.Summarize(unified)
-	counter := popularity.NewCounter()
-	for _, e := range unified {
-		if !e.IsDuplicate() {
-			counter.Write(e)
-		}
-	}
-	scores := counter.Scores()
-	if fit, err := popularity.FitPowerLaw(popularity.Values(scores.RRP)); err == nil {
-		rep.ReplayedAlpha = fit.Alpha
-	}
+	popRes := results.Get("popularity").(*replayPopularityResult)
+	rep.ReplayedAlpha = popRes.Alpha
 	if m := sess.Model; m != nil && m.Requests > 0 {
 		top := make(map[string]bool)
 		topCount := 0
@@ -103,7 +170,7 @@ func RunReplay(spec sweep.ScenarioSpec) (*ReplayReport, error) {
 		}
 		rep.ModelTopShare = float64(topCount) / float64(m.Requests)
 		replayedTop, replayedTotal := 0, 0
-		for c, n := range scores.RRP {
+		for c, n := range popRes.Scores.RRP {
 			replayedTotal += n
 			if top[c.Key()] {
 				replayedTop += n

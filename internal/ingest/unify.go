@@ -84,6 +84,73 @@ func (m *windowMap) expire(watermark time.Time) {
 
 func (m *windowMap) size() int { return len(m.last) }
 
+// unifyState is the Sec. IV-B classification state shared by the pull-mode
+// StreamUnifier and the push-mode UnifySink: per-monitor rebroadcast windows
+// plus the cross-monitor duplicate window.
+type unifyState struct {
+	perMonitor map[string]*windowMap
+	any        *windowMap
+}
+
+func newUnifyState() *unifyState {
+	return &unifyState{
+		perMonitor: make(map[string]*windowMap),
+		any:        newWindowMap(trace.InterMonitorWindow),
+	}
+}
+
+// expire advances the watermark: nothing older than it can arrive anymore.
+func (s *unifyState) expire(watermark time.Time) {
+	s.any.expire(watermark)
+	for _, pm := range s.perMonitor {
+		pm.expire(watermark)
+	}
+}
+
+// flag applies Sec. IV-B classification to one entry, in unified order.
+func (s *unifyState) flag(e *trace.Entry) {
+	key := dupKey{node: e.NodeID, typ: e.Type, c: e.CID}
+
+	pm, ok := s.perMonitor[e.Monitor]
+	if !ok {
+		pm = newWindowMap(trace.RebroadcastWindow)
+		s.perMonitor[e.Monitor] = pm
+	}
+	if prev, seen := pm.get(key); seen && e.Timestamp.Sub(prev.at) <= trace.RebroadcastWindow {
+		e.Flags |= trace.FlagRebroadcast
+	}
+	pm.put(key, e.Timestamp, "")
+
+	if prev, seen := s.any.get(key); seen && prev.monitor != e.Monitor &&
+		e.Timestamp.Sub(prev.at) <= trace.InterMonitorWindow {
+		e.Flags |= trace.FlagInterMonitorDup
+	}
+	s.any.put(key, e.Timestamp, e.Monitor)
+}
+
+func (s *unifyState) size() int {
+	n := s.any.size()
+	for _, pm := range s.perMonitor {
+		n += pm.size()
+	}
+	return n
+}
+
+// sortBatch orders one timestamp's entries by trace.Sort's tie-breaks
+// (stable, so source/arrival order breaks exact ties).
+func sortBatch(batch []trace.Entry) {
+	sort.SliceStable(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if a.Monitor != b.Monitor {
+			return a.Monitor < b.Monitor
+		}
+		if a.NodeID != b.NodeID {
+			return a.NodeID.Less(b.NodeID)
+		}
+		return a.CID.Key() < b.CID.Key()
+	})
+}
+
 // StreamUnifier merges several time-ordered monitor streams into the
 // paper's unified trace (Sec. IV-B) online: same-monitor repetitions within
 // trace.RebroadcastWindow are flagged FlagRebroadcast and requests seen at
@@ -107,8 +174,7 @@ type StreamUnifier struct {
 	batch    []trace.Entry
 	batchPos int
 
-	perMonitor map[string]*windowMap
-	any        *windowMap
+	state *unifyState
 
 	err error
 }
@@ -118,12 +184,11 @@ type StreamUnifier struct {
 // earlier sources win — matching the argument order of trace.Unify.
 func NewStreamUnifier(sources ...EntrySource) *StreamUnifier {
 	return &StreamUnifier{
-		srcs:       sources,
-		heads:      make([]*trace.Entry, len(sources)),
-		lastTS:     make([]time.Time, len(sources)),
-		done:       make([]bool, len(sources)),
-		perMonitor: make(map[string]*windowMap),
-		any:        newWindowMap(trace.InterMonitorWindow),
+		srcs:   sources,
+		heads:  make([]*trace.Entry, len(sources)),
+		lastTS: make([]time.Time, len(sources)),
+		done:   make([]bool, len(sources)),
+		state:  newUnifyState(),
 	}
 }
 
@@ -203,58 +268,98 @@ func (u *StreamUnifier) refill() error {
 	}
 
 	// trace.Sort's tie-breaks within one timestamp.
-	sort.SliceStable(u.batch, func(i, j int) bool {
-		a, b := u.batch[i], u.batch[j]
-		if a.Monitor != b.Monitor {
-			return a.Monitor < b.Monitor
-		}
-		if a.NodeID != b.NodeID {
-			return a.NodeID.Less(b.NodeID)
-		}
-		return a.CID.Key() < b.CID.Key()
-	})
+	sortBatch(u.batch)
 
 	// Advance the watermark before flagging: nothing older than minTS can
 	// arrive anymore, so state outside the windows relative to minTS is
 	// dead.
-	u.any.expire(minTS)
-	for _, pm := range u.perMonitor {
-		pm.expire(minTS)
-	}
+	u.state.expire(minTS)
 
 	for i := range u.batch {
-		u.flag(&u.batch[i])
+		u.state.flag(&u.batch[i])
 	}
 	return nil
 }
 
-// flag applies Sec. IV-B classification to one entry, in unified order.
-func (u *StreamUnifier) flag(e *trace.Entry) {
-	key := dupKey{node: e.NodeID, typ: e.Type, c: e.CID}
-
-	pm, ok := u.perMonitor[e.Monitor]
-	if !ok {
-		pm = newWindowMap(trace.RebroadcastWindow)
-		u.perMonitor[e.Monitor] = pm
-	}
-	if prev, seen := pm.get(key); seen && e.Timestamp.Sub(prev.at) <= trace.RebroadcastWindow {
-		e.Flags |= trace.FlagRebroadcast
-	}
-	pm.put(key, e.Timestamp, "")
-
-	if prev, seen := u.any.get(key); seen && prev.monitor != e.Monitor &&
-		e.Timestamp.Sub(prev.at) <= trace.InterMonitorWindow {
-		e.Flags |= trace.FlagInterMonitorDup
-	}
-	u.any.put(key, e.Timestamp, e.Monitor)
-}
-
 // stateSize reports the resident window state (distinct keys tracked), for
 // tests asserting bounded memory.
-func (u *StreamUnifier) stateSize() int {
-	n := u.any.size()
-	for _, pm := range u.perMonitor {
-		n += pm.size()
+func (u *StreamUnifier) stateSize() int { return u.state.size() }
+
+// UnifySink is the push-mode counterpart of StreamUnifier: raw monitor
+// observations are written in as they happen (in nondecreasing timestamp
+// order across all monitors — the natural order of a simulation's event
+// loop, where every monitor shares one clock), and the sink forwards them to
+// dst carrying the Sec. IV-B flags. Entries sharing a timestamp are buffered
+// until the clock advances, then ordered by trace.Sort's tie-breaks before
+// flagging — the same order and flags the batch trace.Unify produces.
+//
+// Attach one UnifySink as every monitor's sink (directly or inside a Tee)
+// to feed live reports without retaining the trace; call Flush after the
+// run to deliver the final timestamp's batch.
+type UnifySink struct {
+	dst   Sink
+	state *unifyState
+
+	batch []trace.Entry
+	ts    time.Time
+	any   bool
+	err   error
+}
+
+// NewUnifySink returns a sink unifying into dst.
+func NewUnifySink(dst Sink) *UnifySink {
+	return &UnifySink{dst: dst, state: newUnifyState()}
+}
+
+// Write buffers or forwards one raw observation. Entries must arrive in
+// nondecreasing timestamp order across all writers. Once the sink has
+// failed (unsorted input or a dst error), every further Write returns the
+// same error: retrying could re-flag and re-deliver entries already
+// forwarded mid-batch.
+func (u *UnifySink) Write(e trace.Entry) error {
+	if u.err != nil {
+		return u.err
 	}
-	return n
+	if u.any && e.Timestamp.Before(u.ts) {
+		u.err = fmt.Errorf("%w: %s after %s", ErrUnsortedSource,
+			e.Timestamp.Format(time.RFC3339Nano), u.ts.Format(time.RFC3339Nano))
+		return u.err
+	}
+	if u.any && e.Timestamp.After(u.ts) {
+		if err := u.flush(); err != nil {
+			return err
+		}
+	}
+	u.ts = e.Timestamp
+	u.any = true
+	u.batch = append(u.batch, e)
+	return nil
+}
+
+// flush flags and forwards the pending timestamp batch, latching any dst
+// error.
+func (u *UnifySink) flush() error {
+	if len(u.batch) == 0 {
+		return nil
+	}
+	sortBatch(u.batch)
+	u.state.expire(u.ts)
+	for i := range u.batch {
+		u.state.flag(&u.batch[i])
+		if err := u.dst.Write(u.batch[i]); err != nil {
+			u.err = err
+			return err
+		}
+	}
+	u.batch = u.batch[:0]
+	return nil
+}
+
+// Flush delivers the final timestamp's buffered entries. Call it once after
+// the last Write; further writes must not go backwards in time.
+func (u *UnifySink) Flush() error {
+	if u.err != nil {
+		return u.err
+	}
+	return u.flush()
 }

@@ -171,6 +171,107 @@ func TestStreamUnifierEmpty(t *testing.T) {
 	}
 }
 
+// unifySinkRun pushes the (globally time-ordered) raw entries through a
+// UnifySink and returns the flagged output.
+func unifySinkRun(t *testing.T, entries []trace.Entry) []trace.Entry {
+	t.Helper()
+	ms := NewMemorySink()
+	u := NewUnifySink(ms)
+	for _, e := range entries {
+		if err := u.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return ms.Snapshot()
+}
+
+// TestUnifySinkEquivalence: pushing the interleaved monitor streams through
+// the push-mode sink must produce exactly what batch trace.Unify produces —
+// the property that lets live simulations unify without retaining traces.
+func TestUnifySinkEquivalence(t *testing.T) {
+	monitors := []string{"us", "de", "jp"}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(7000 + seed))
+		nMon := 1 + rng.Intn(len(monitors))
+		traces := make([][]trace.Entry, nMon)
+		var merged []trace.Entry
+		for i := 0; i < nMon; i++ {
+			n := rng.Intn(300)
+			span := time.Duration(1+rng.Intn(4)) * time.Minute * time.Duration(n+1)
+			traces[i] = randomMonitorTrace(rng, monitors[i], n, span)
+			merged = append(merged, traces[i]...)
+		}
+		// The sink sees one globally time-ordered arrival stream, with
+		// per-monitor relative order preserved (a simulation clock only
+		// moves forward) but same-timestamp interleaving arbitrary.
+		sortByTimestampOnly(merged)
+		batch := trace.Unify(traces...)
+		got := unifySinkRun(t, merged)
+		if len(batch) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(batch, got) {
+			t.Fatalf("seed %d: push-mode unification diverges from batch Unify", seed)
+		}
+	}
+}
+
+func TestUnifySinkRejectsBackwardsTime(t *testing.T) {
+	u := NewUnifySink(NewMemorySink())
+	if err := u.Write(entry("us", 1, "a", wire.WantHave, t0.Add(time.Minute))); err != nil {
+		t.Fatal(err)
+	}
+	err := u.Write(entry("us", 1, "b", wire.WantHave, t0))
+	if !errors.Is(err, ErrUnsortedSource) {
+		t.Errorf("err = %v, want ErrUnsortedSource", err)
+	}
+}
+
+// failAfterSink fails every write after the first n.
+type failAfterSink struct {
+	n    int
+	seen []trace.Entry
+}
+
+func (s *failAfterSink) Write(e trace.Entry) error {
+	if len(s.seen) >= s.n {
+		return errors.New("disk full")
+	}
+	s.seen = append(s.seen, e)
+	return nil
+}
+
+// TestUnifySinkLatchesError: after a downstream write error the sink must
+// refuse further work with the same error — retrying would re-flag and
+// re-deliver entries already forwarded mid-batch.
+func TestUnifySinkLatchesError(t *testing.T) {
+	dst := &failAfterSink{n: 1}
+	u := NewUnifySink(dst)
+	// Two entries share t0 (one batch), a third advances time and flushes.
+	for _, e := range []trace.Entry{
+		entry("us", 1, "a", wire.WantHave, t0),
+		entry("us", 2, "b", wire.WantHave, t0),
+		entry("us", 3, "c", wire.WantHave, t0.Add(time.Minute)),
+	} {
+		if err := u.Write(e); err != nil {
+			break
+		}
+	}
+	err := u.Write(entry("us", 4, "d", wire.WantHave, t0.Add(2*time.Minute)))
+	if err == nil || err.Error() != "disk full" {
+		t.Fatalf("write after failure = %v, want latched disk-full error", err)
+	}
+	if ferr := u.Flush(); ferr == nil || ferr.Error() != "disk full" {
+		t.Fatalf("flush after failure = %v, want latched disk-full error", ferr)
+	}
+	if len(dst.seen) != 1 {
+		t.Fatalf("downstream received %d entries after failure, want 1 (no redelivery)", len(dst.seen))
+	}
+}
+
 func TestStreamUnifierFromSegmentStores(t *testing.T) {
 	// End-to-end: two monitors' traces streamed through segment stores,
 	// then unified from Query iterators — the bsanalyze pipeline.

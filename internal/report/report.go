@@ -1,0 +1,255 @@
+// Package report is the unified streaming analysis surface: every table and
+// figure derived from a monitoring trace is a Report that observes one entry
+// at a time and finalizes into a Result. A name-keyed Registry constructs
+// reports from Options, and a Driver tees a single pass over any
+// ingest.EntrySource — or, since the Driver is itself an ingest.Sink, a live
+// simulation — through any combination of reports.
+//
+// The package replaces the figure-shaped batch paths (ComputeFig4…ComputeFig6,
+// ComputeTable1/2) that demanded a fully materialized []trace.Entry: every
+// built-in report accumulates in one pass with memory bounded by its own
+// state (codec counters, time buckets, popularity score maps), never by
+// trace length. Adding a new metric is a one-file change: implement Report,
+// register a constructor, and every consumer — bsanalyze, sweep summaries,
+// live experiment sinks — can run it by name.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/trace"
+)
+
+// Report consumes a unified trace stream in one pass. Implementations
+// accumulate whatever state the analysis needs and produce their Result once
+// the stream ends.
+type Report interface {
+	// WantsDedup reports whether the analysis is defined over the
+	// deduplicated view of the unified trace (Sec. IV-B flags removed).
+	// The Driver skips duplicate-flagged entries for reports that want
+	// dedup; reports of the raw trace (e.g. Table I, the summary) see
+	// every entry.
+	WantsDedup() bool
+	// Observe folds one entry into the report's state.
+	Observe(e trace.Entry) error
+	// Finalize completes the analysis. A report is single-use: Observe
+	// must not be called after Finalize.
+	Finalize() (Result, error)
+}
+
+// Result is one finished analysis artifact.
+type Result interface {
+	// Render prints the artifact as the paper-style text table/figure.
+	Render() string
+	// CSV renders the artifact as machine-readable CSV.
+	CSV() string
+	// JSON marshals the artifact.
+	JSON() ([]byte, error)
+	// Metrics exposes the artifact's headline numbers by name, the
+	// currency of cross-run comparison (sweep summaries, CSV joins).
+	Metrics() map[string]float64
+}
+
+// Constructor builds one report instance from shared options.
+type Constructor func(Options) (Report, error)
+
+// Registry maps report names to constructors.
+type Registry struct {
+	ctors map[string]Constructor
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ctors: make(map[string]Constructor)}
+}
+
+// Register adds (or replaces) a named constructor.
+func (r *Registry) Register(name string, c Constructor) {
+	r.ctors[name] = c
+}
+
+// ErrUnknownReport is wrapped by New for unregistered names.
+var ErrUnknownReport = errors.New("report: unknown report")
+
+// New constructs the named report. Unknown names error with the list of
+// registered names, so callers (e.g. bsanalyze) can surface what is
+// available.
+func (r *Registry) New(name string, opts Options) (Report, error) {
+	ctor, ok := r.ctors[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (available: %s)", ErrUnknownReport, name, strings.Join(r.Names(), ", "))
+	}
+	return ctor(opts)
+}
+
+// Has reports whether name is registered.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.ctors[name]
+	return ok
+}
+
+// Names lists the registered report names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.ctors))
+	for name := range r.ctors {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Default is the registry holding the built-in reports.
+var Default = NewRegistry()
+
+// New constructs a report from the default registry.
+func New(name string, opts Options) (Report, error) { return Default.New(name, opts) }
+
+// Names lists the default registry's report names.
+func Names() []string { return Default.Names() }
+
+// NamedResult pairs a finalized result with the report name that produced
+// it.
+type NamedResult struct {
+	Name   string
+	Result Result
+}
+
+// Results is a Driver's finalized output, in the order reports were added.
+type Results []NamedResult
+
+// Get returns the named result, or nil if the driver did not run it.
+func (rs Results) Get(name string) Result {
+	for _, nr := range rs {
+		if nr.Name == name {
+			return nr.Result
+		}
+	}
+	return nil
+}
+
+// Driver tees one pass of a unified entry stream through a set of reports.
+// It satisfies ingest.Sink, so it can terminate a streaming pipeline
+// (StreamUnifier over segment stores) or be attached live to running
+// monitors through ingest.Tee / ingest.UnifySink — simulations emit their
+// figures without retaining traces.
+type Driver struct {
+	dedup   bool
+	reports []NamedResult // Result nil until Finalize
+	active  []Report
+}
+
+// NewDriver returns an empty driver. dedup controls whether reports that
+// declare WantsDedup see the deduplicated view; pass false to feed every
+// report the raw trace (bsanalyze -dedup=false).
+func NewDriver(dedup bool) *Driver {
+	return &Driver{dedup: dedup}
+}
+
+// Add attaches one report instance under a display name.
+func (d *Driver) Add(name string, r Report) {
+	d.reports = append(d.reports, NamedResult{Name: name})
+	d.active = append(d.active, r)
+}
+
+// AddByName resolves each name through the default registry and attaches
+// the report. The first unknown name aborts with the registry's
+// available-names error; a name already attached to this driver is
+// rejected (running a report twice doubles its per-entry work for an
+// identical result).
+func (d *Driver) AddByName(names []string, opts Options) error {
+	for _, name := range names {
+		for _, nr := range d.reports {
+			if nr.Name == name {
+				return fmt.Errorf("report: %q listed twice", name)
+			}
+		}
+		r, err := New(name, opts)
+		if err != nil {
+			return err
+		}
+		d.Add(name, r)
+	}
+	return nil
+}
+
+// Write routes one entry to every attached report, honouring each report's
+// dedup requirement.
+func (d *Driver) Write(e trace.Entry) error {
+	dup := d.dedup && e.IsDuplicate()
+	for _, r := range d.active {
+		if dup && r.WantsDedup() {
+			continue
+		}
+		if err := r.Observe(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run streams src to completion through the attached reports: the single
+// pass shared by every report in the set.
+func (d *Driver) Run(src ingest.EntrySource) error {
+	_, err := ingest.Copy(d, src)
+	return err
+}
+
+// Finalize completes every report and returns the results in Add order. A
+// failing report does not discard the others' completed work: its slot is
+// returned with a nil Result and the errors are joined, so callers can
+// surface what succeeded alongside the failure.
+func (d *Driver) Finalize() (Results, error) {
+	var errs []error
+	for i, r := range d.active {
+		res, err := r.Finalize()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("report %s: %w", d.reports[i].Name, err))
+			continue
+		}
+		d.reports[i].Result = res
+	}
+	return d.reports, errors.Join(errs...)
+}
+
+// Values is a ready-made Result for custom reports that only produce named
+// numbers: Render/CSV list the values sorted by name, Metrics returns the
+// map itself. With it, a new metric is a ~20-line Report implementation.
+type Values map[string]float64
+
+// Render lists the values, one per line, sorted by name.
+func (v Values) Render() string {
+	var sb strings.Builder
+	for _, k := range v.sortedKeys() {
+		fmt.Fprintf(&sb, "%s: %g\n", k, v[k])
+	}
+	return sb.String()
+}
+
+// CSV renders name,value lines sorted by name.
+func (v Values) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("metric,value\n")
+	for _, k := range v.sortedKeys() {
+		fmt.Fprintf(&sb, "%s,%g\n", csvEscape(k), v[k])
+	}
+	return sb.String()
+}
+
+// JSON marshals the value map.
+func (v Values) JSON() ([]byte, error) { return marshalJSON(map[string]float64(v)) }
+
+// Metrics returns the map itself.
+func (v Values) Metrics() map[string]float64 { return v }
+
+func (v Values) sortedKeys() []string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,630 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/geoip"
+	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/popularity"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+var t0 = time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+
+// --- fixture ----------------------------------------------------------------
+
+type fixture struct {
+	geo     *geoip.DB
+	traces  [][]trace.Entry // one per monitor, time-ordered, raw
+	unified []trace.Entry   // batch trace.Unify output
+	dedup   []trace.Entry
+
+	gatewayIDs  map[simnet.NodeID]bool
+	megagateIDs map[simnet.NodeID]bool
+}
+
+// newFixture builds a seeded two-monitor trace with every behaviour the
+// reports care about: multiple codecs, resolvable and unresolvable
+// addresses, gateway/megagate/user requesters, CANCELs, rebroadcasts within
+// the 31 s window and inter-monitor duplicates within the 5 s window.
+func newFixture(t *testing.T, seed int64) *fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	f := &fixture{
+		geo:         geoip.New(),
+		gatewayIDs:  make(map[simnet.NodeID]bool),
+		megagateIDs: make(map[simnet.NodeID]bool),
+	}
+
+	const nodes = 40
+	ids := make([]simnet.NodeID, nodes)
+	addrs := make([]string, nodes)
+	regions := f.geo.Countries()
+	for i := range ids {
+		ids[i][0], ids[i][1] = byte(i), 0xfe
+		if i%7 == 0 {
+			addrs[i] = "250.0.0.1:4001" // unallocated prefix: Table II "unknown"
+			continue
+		}
+		addr, err := f.geo.Allocate(regions[i%len(regions)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+		if i%5 == 0 {
+			f.gatewayIDs[ids[i]] = true
+			if i%10 == 0 {
+				f.megagateIDs[ids[i]] = true
+			}
+		}
+	}
+	codecs := []cid.Codec{cid.DagProtobuf, cid.DagProtobuf, cid.DagProtobuf, cid.Raw, cid.DagCBOR}
+	cids := make([]cid.CID, 120)
+	for i := range cids {
+		cids[i] = cid.Sum(codecs[i%len(codecs)], []byte{byte(i), byte(seed)})
+	}
+
+	for _, mon := range []string{"us", "de"} {
+		var tr []trace.Entry
+		at := t0
+		for i := 0; i < 900; i++ {
+			at = at.Add(time.Duration(rng.Intn(4000)) * time.Millisecond)
+			n := rng.Intn(nodes)
+			// Zipf-ish CID choice so fig5 has a popular head.
+			c := cids[int(float64(len(cids))*rng.Float64()*rng.Float64())]
+			typ := wire.WantHave
+			switch rng.Intn(10) {
+			case 0:
+				typ = wire.Cancel
+			case 1, 2, 3:
+				typ = wire.WantBlock
+			}
+			tr = append(tr, trace.Entry{
+				Timestamp: at,
+				Monitor:   mon,
+				NodeID:    ids[n],
+				Addr:      addrs[n],
+				Type:      typ,
+				CID:       c,
+			})
+		}
+		f.traces = append(f.traces, tr)
+	}
+	f.unified = trace.Unify(f.traces...)
+	f.dedup = trace.Deduplicated(f.unified)
+	if len(f.dedup) == len(f.unified) {
+		t.Fatal("fixture produced no duplicates; windows not exercised")
+	}
+	return f
+}
+
+// run streams the fixture's unified trace through one report via a
+// dedup-enabled driver and returns the result.
+func (f *fixture) run(t *testing.T, name string, opts Options) Result {
+	t.Helper()
+	drv := NewDriver(true)
+	if err := drv.AddByName([]string{name}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.Run(ingest.SliceSource(f.unified)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := drv.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results.Get(name)
+}
+
+func (f *fixture) opts() Options {
+	return Options{
+		Bucket:         time.Hour,
+		Slice:          time.Hour,
+		BootstrapIters: 10,
+		Geo:            f.geo,
+		GatewayIDs:     f.gatewayIDs,
+		MegagateIDs:    f.megagateIDs,
+	}
+}
+
+// --- legacy batch references ------------------------------------------------
+
+// The functions below are the pre-redesign slice-based computations
+// (analysis.ComputeTable1/2, ComputeFig4/5/6), kept verbatim as test-only
+// references: each golden test proves the one-pass report is byte-identical
+// to them before trusting the streaming path.
+
+func legacyTable1(entries []trace.Entry) *Table1 {
+	counts := make(map[cid.Codec]int)
+	total := 0
+	for _, e := range entries {
+		if !e.IsRequest() {
+			continue
+		}
+		counts[e.CID.Codec()]++
+		total++
+	}
+	t := &Table1{Total: total}
+	for codec, n := range counts {
+		t.Rows = append(t.Rows, Table1Row{Codec: codec.String(), Count: n, Share: float64(n) / float64(total)})
+	}
+	t.sortRows()
+	return t
+}
+
+func legacyTable2(entries []trace.Entry, db *geoip.DB) *Table2 {
+	counts := make(map[simnet.Region]int)
+	t := &Table2{}
+	for _, e := range entries {
+		if !e.IsRequest() {
+			continue
+		}
+		region, ok := db.Lookup(e.Addr)
+		if !ok {
+			t.Unknown++
+			continue
+		}
+		counts[region]++
+		t.Total++
+	}
+	for region, n := range counts {
+		t.Rows = append(t.Rows, Table2Row{Country: region, Count: n, Share: float64(n) / float64(t.Total)})
+	}
+	t.sortRows()
+	return t
+}
+
+func legacyFig4(entries []trace.Entry, bucket time.Duration) *Fig4 {
+	byBucket := make(map[int64]*Fig4Bucket)
+	for _, e := range entries {
+		if !e.IsRequest() {
+			continue
+		}
+		k := e.Timestamp.UnixNano() / int64(bucket)
+		b, ok := byBucket[k]
+		if !ok {
+			b = &Fig4Bucket{Start: time.Unix(0, k*int64(bucket)).UTC()}
+			byBucket[k] = b
+		}
+		switch e.Type {
+		case wire.WantBlock:
+			b.WantBlock++
+		case wire.WantHave:
+			b.WantHave++
+		}
+	}
+	out := &Fig4{BucketSize: bucket}
+	for _, b := range byBucket {
+		out.Buckets = append(out.Buckets, *b)
+	}
+	out.sortBuckets()
+	return out
+}
+
+func legacyFig5(t *testing.T, entries []trace.Entry, iters int, rng *rand.Rand) *Fig5 {
+	t.Helper()
+	scores := popularity.Compute(entries)
+	rrp := popularity.Values(scores.RRP)
+	urp := popularity.Values(scores.URP)
+	f := &Fig5{
+		CIDs:      len(rrp),
+		RRPECDF:   popularity.ECDF(rrp),
+		URPECDF:   popularity.ECDF(urp),
+		URPShare1: popularity.ShareWithValue(urp, 1),
+	}
+	var err error
+	f.RRPRejected, f.RRPFit, f.RRPPValue, err = popularity.RejectsPowerLaw(rrp, iters, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.URPRejected, f.URPFit, f.URPPValue, err = popularity.RejectsPowerLaw(urp, iters, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func legacyFig6(entries []trace.Entry, gatewayIDs, megagateIDs map[simnet.NodeID]bool, slice time.Duration) *Fig6 {
+	bySlice := make(map[int64]*Fig6Slice)
+	for _, e := range entries {
+		if !e.IsRequest() {
+			continue
+		}
+		k := e.Timestamp.UnixNano() / int64(slice)
+		s, ok := bySlice[k]
+		if !ok {
+			s = &Fig6Slice{Start: time.Unix(0, k*int64(slice)).UTC()}
+			bySlice[k] = s
+		}
+		switch {
+		case megagateIDs[e.NodeID]:
+			s.Megagate++
+			s.AllGateway++
+		case gatewayIDs[e.NodeID]:
+			s.AllGateway++
+		default:
+			s.NonGateway++
+		}
+	}
+	out := &Fig6{SliceSize: slice}
+	secs := slice.Seconds()
+	for _, s := range bySlice {
+		s.AllGateway /= secs
+		s.Megagate /= secs
+		s.NonGateway /= secs
+		out.Slices = append(out.Slices, *s)
+	}
+	out.sortSlices()
+	return out
+}
+
+// --- golden equivalence ------------------------------------------------------
+
+// TestGoldenEquivalence proves each ported streaming report byte-identical
+// to the legacy batch computation on seeded fixtures: same trace in, same
+// rendered bytes out.
+func TestGoldenEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		f := newFixture(t, seed)
+		opts := f.opts()
+
+		// Table I consumes the raw trace (duplicates counted).
+		want := legacyTable1(f.unified).Render()
+		if got := f.run(t, "table1", opts).Render(); got != want {
+			t.Errorf("seed %d: table1 diverges\n--- streaming\n%s--- batch\n%s", seed, got, want)
+		}
+		// Table II, Fig. 4–6 consume the deduplicated view.
+		want = legacyTable2(f.dedup, f.geo).Render()
+		if got := f.run(t, "table2", opts).Render(); got != want {
+			t.Errorf("seed %d: table2 diverges\n--- streaming\n%s--- batch\n%s", seed, got, want)
+		}
+		want = legacyFig4(f.dedup, time.Hour).Render()
+		if got := f.run(t, "fig4", opts).Render(); got != want {
+			t.Errorf("seed %d: fig4 diverges\n--- streaming\n%s--- batch\n%s", seed, got, want)
+		}
+		// Fig. 5's bootstrap is seeded identically on both sides.
+		want = legacyFig5(t, f.dedup, 10, rand.New(rand.NewSource(1))).Render()
+		if got := f.run(t, "fig5", opts).Render(); got != want {
+			t.Errorf("seed %d: fig5 diverges\n--- streaming\n%s--- batch\n%s", seed, got, want)
+		}
+		want = legacyFig6(f.dedup, f.gatewayIDs, f.megagateIDs, time.Hour).Render()
+		if got := f.run(t, "fig6", opts).Render(); got != want {
+			t.Errorf("seed %d: fig6 diverges\n--- streaming\n%s--- batch\n%s", seed, got, want)
+		}
+	}
+}
+
+// TestGoldenEquivalenceAcrossInputForms re-runs the driver with the
+// fixture's monitor streams arriving from flat trace files and from segment
+// stores: the rendered output must match the slice-source pass byte for
+// byte — input form must not leak into results.
+func TestGoldenEquivalenceAcrossInputForms(t *testing.T) {
+	f := newFixture(t, 7)
+	opts := f.opts()
+	names := []string{"table1", "table2", "fig4", "fig5", "popularity"}
+
+	renderAll := func(sources []ingest.EntrySource) map[string]string {
+		drv := NewDriver(true)
+		if err := drv.AddByName(names, opts); err != nil {
+			t.Fatal(err)
+		}
+		if err := drv.Run(ingest.NewStreamUnifier(sources...)); err != nil {
+			t.Fatal(err)
+		}
+		results, err := drv.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string)
+		for _, nr := range results {
+			out[nr.Name] = nr.Result.Render()
+		}
+		return out
+	}
+
+	// Reference pass: in-memory slice sources.
+	var sliceSources []ingest.EntrySource
+	for _, tr := range f.traces {
+		sliceSources = append(sliceSources, ingest.SliceSource(tr))
+	}
+	want := renderAll(sliceSources)
+
+	// Flat binary trace files.
+	dir := t.TempDir()
+	var fileSources []ingest.EntrySource
+	for i, tr := range f.traces {
+		path := filepath.Join(dir, fmt.Sprintf("m%d.trace", i))
+		fh, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := trace.NewWriter(fh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range tr {
+			if err := w.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fh.Close()
+		rf, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rf.Close()
+		r, err := trace.NewReader(rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fileSources = append(fileSources, r)
+	}
+	if got := renderAll(fileSources); !equalRenders(got, want) {
+		t.Errorf("trace-file inputs diverge from slice inputs:\n%s", diffRenders(got, want))
+	}
+
+	// Segment-store directories.
+	var storeSources []ingest.EntrySource
+	for i, tr := range f.traces {
+		store, err := ingest.OpenSegmentStore(filepath.Join(dir, fmt.Sprintf("m%d.segments", i)),
+			ingest.SegmentOptions{Rotation: 10 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range tr {
+			if err := store.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		it, err := store.Query(time.Time{}, time.Time{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		storeSources = append(storeSources, it)
+	}
+	if got := renderAll(storeSources); !equalRenders(got, want) {
+		t.Errorf("segment-dir inputs diverge from slice inputs:\n%s", diffRenders(got, want))
+	}
+}
+
+func equalRenders(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func diffRenders(got, want map[string]string) string {
+	var sb strings.Builder
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got[k] != want[k] {
+			fmt.Fprintf(&sb, "report %s:\n--- got\n%s--- want\n%s", k, got[k], want[k])
+		}
+	}
+	return sb.String()
+}
+
+// --- dedup semantics ---------------------------------------------------------
+
+// TestDedupSemantics pins the per-report dedup declarations: Table I counts
+// duplicate requests (the paper computes it from the raw trace) while
+// Table II and Fig. 4 consume the deduplicated view — the behaviour the old
+// `dedup && report != "table1"` special case encoded, now declared by each
+// report via WantsDedup.
+func TestDedupSemantics(t *testing.T) {
+	f := newFixture(t, 11)
+	opts := f.opts()
+
+	rawRequests := 0
+	dedupRequests := 0
+	for _, e := range f.unified {
+		if !e.IsRequest() {
+			continue
+		}
+		rawRequests++
+		if !e.IsDuplicate() {
+			dedupRequests++
+		}
+	}
+	if rawRequests == dedupRequests {
+		t.Fatal("fixture has no duplicate requests")
+	}
+
+	tab1 := f.run(t, "table1", opts).(*Table1)
+	if tab1.Total != rawRequests {
+		t.Errorf("table1 counted %d requests, want raw %d (duplicates included)", tab1.Total, rawRequests)
+	}
+	tab2 := f.run(t, "table2", opts).(*Table2)
+	if tab2.Total+tab2.Unknown != dedupRequests {
+		t.Errorf("table2 counted %d requests, want dedup %d", tab2.Total+tab2.Unknown, dedupRequests)
+	}
+	fig4 := f.run(t, "fig4", opts).(*Fig4)
+	fig4Total := 0
+	for _, b := range fig4.Buckets {
+		fig4Total += b.WantBlock + b.WantHave
+	}
+	if fig4Total != dedupRequests {
+		t.Errorf("fig4 counted %d requests, want dedup %d", fig4Total, dedupRequests)
+	}
+
+	// With dedup disabled at the driver, every report sees the raw trace.
+	drv := NewDriver(false)
+	if err := drv.AddByName([]string{"table2"}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.Run(ingest.SliceSource(f.unified)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := drv.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2raw := results.Get("table2").(*Table2)
+	if tab2raw.Total+tab2raw.Unknown != rawRequests {
+		t.Errorf("dedup=false table2 counted %d requests, want raw %d", tab2raw.Total+tab2raw.Unknown, rawRequests)
+	}
+}
+
+// --- guards and registry -----------------------------------------------------
+
+func TestTable2NilGeoDB(t *testing.T) {
+	_, err := New("table2", Options{})
+	if !errors.Is(err, ErrNilGeoDB) {
+		t.Fatalf("err = %v, want ErrNilGeoDB", err)
+	}
+	// The driver path surfaces the same typed error instead of panicking
+	// mid-stream.
+	drv := NewDriver(true)
+	if err := drv.AddByName([]string{"table2"}, Options{}); !errors.Is(err, ErrNilGeoDB) {
+		t.Fatalf("driver err = %v, want ErrNilGeoDB", err)
+	}
+}
+
+func TestFig6NoGatewayIDs(t *testing.T) {
+	if _, err := New("fig6", Options{}); !errors.Is(err, ErrNoGatewayIDs) {
+		t.Fatalf("err = %v, want ErrNoGatewayIDs", err)
+	}
+	// An explicitly empty (non-nil) set is a legitimate "no gateways" world.
+	if _, err := New("fig6", Options{GatewayIDs: map[simnet.NodeID]bool{}}); err != nil {
+		t.Fatalf("empty gateway set rejected: %v", err)
+	}
+}
+
+// TestFinalizePartialResults: one failing report must not discard the
+// others' completed results — the error is returned alongside them.
+func TestFinalizePartialResults(t *testing.T) {
+	drv := NewDriver(true)
+	if err := drv.AddByName([]string{"summary", "fig5"}, Options{BootstrapIters: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// One entry: far too small for the fig5 power-law fit.
+	e := trace.Entry{Timestamp: t0, Monitor: "us", Type: wire.WantHave, CID: cid.Sum(cid.Raw, []byte("x"))}
+	if err := drv.Write(e); err != nil {
+		t.Fatal(err)
+	}
+	results, err := drv.Finalize()
+	if err == nil {
+		t.Fatal("fig5 on a one-entry trace should fail")
+	}
+	if !strings.Contains(err.Error(), "fig5") {
+		t.Errorf("error does not name the failing report: %v", err)
+	}
+	sum := results.Get("summary")
+	if sum == nil {
+		t.Fatal("summary result discarded by fig5 failure")
+	}
+	if sum.(*SummaryResult).Summary.Entries != 1 {
+		t.Errorf("summary result corrupted: %+v", sum)
+	}
+	if results.Get("fig5") != nil {
+		t.Error("failed report should have a nil result")
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := New("vibes", Options{})
+	if !errors.Is(err, ErrUnknownReport) {
+		t.Fatalf("err = %v, want ErrUnknownReport", err)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-report error does not list %q: %v", name, err)
+		}
+	}
+	if !Default.Has("table1") || Default.Has("vibes") {
+		t.Error("Has() disagrees with registry contents")
+	}
+}
+
+func TestResultsSurface(t *testing.T) {
+	f := newFixture(t, 13)
+	drv := NewDriver(true)
+	if err := drv.AddByName([]string{"summary", "traffic", "online", "popularity"}, f.opts()); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.Run(ingest.SliceSource(f.unified)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := drv.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results.Get("nope") != nil {
+		t.Error("Get returned a result for an unknown name")
+	}
+	for _, nr := range results {
+		if nr.Result.Render() == "" {
+			t.Errorf("%s: empty render", nr.Name)
+		}
+		if nr.Result.CSV() == "" {
+			t.Errorf("%s: empty CSV", nr.Name)
+		}
+		if _, err := nr.Result.JSON(); err != nil {
+			t.Errorf("%s: JSON: %v", nr.Name, err)
+		}
+		if len(nr.Result.Metrics()) == 0 {
+			t.Errorf("%s: no metrics", nr.Name)
+		}
+	}
+	// The summary over the raw stream must agree with batch Summarize.
+	sum := results.Get("summary").(*SummaryResult).Summary
+	want := trace.Summarize(f.unified)
+	if sum.Entries != want.Entries || sum.Rebroadcasts != want.Rebroadcasts ||
+		sum.UniquePeers != want.UniquePeers || sum.UniqueCIDs != want.UniqueCIDs {
+		t.Errorf("summary diverges from batch: %+v vs %+v", sum, want)
+	}
+	// Traffic counters must agree with the dedup view.
+	traffic := results.Get("traffic").(*Traffic)
+	if traffic.DedupEntries != len(f.dedup) {
+		t.Errorf("traffic dedup entries %d, want %d", traffic.DedupEntries, len(f.dedup))
+	}
+}
+
+// TestPopularityTooSmall: the popularity report degrades to a fit error on
+// tiny traces instead of failing the whole driver pass.
+func TestPopularityTooSmall(t *testing.T) {
+	drv := NewDriver(true)
+	if err := drv.AddByName([]string{"popularity"}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e := trace.Entry{Timestamp: t0, Monitor: "us", Type: wire.WantHave, CID: cid.Sum(cid.Raw, []byte("x"))}
+	if err := drv.Write(e); err != nil {
+		t.Fatal(err)
+	}
+	results, err := drv.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := results.Get("popularity").(*Popularity)
+	if pop.RRPFitted || pop.RRPFitErr == "" {
+		t.Errorf("tiny trace should carry a fit error, got %+v", pop)
+	}
+	if !strings.Contains(pop.Render(), "power-law fit (RRP):") {
+		t.Error("render missing fit line")
+	}
+}

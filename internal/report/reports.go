@@ -1,0 +1,450 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bitswapmon/internal/cid"
+	"bitswapmon/internal/geoip"
+	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/popularity"
+	"bitswapmon/internal/simnet"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+// Options carries every knob a built-in report can need. Reports read only
+// the fields they care about; zero values take the documented defaults, so
+// callers state only what they vary.
+type Options struct {
+	// Bucket is the fig4/online time-bucket width. Default 1h.
+	Bucket time.Duration
+	// Slice is the fig6 time-slice width. Default 1h.
+	Slice time.Duration
+	// TopK is how many popular CIDs the online report lists. Default 10.
+	TopK int
+	// BootstrapIters bounds the CSN bootstrap of fig5/popularity.
+	// Default 50.
+	BootstrapIters int
+	// Rand provides the bootstrap RNG. It is invoked at Finalize time, not
+	// construction time, so engine-derived RNG streams keep their draw
+	// order no matter when the report was attached. Default: a fixed
+	// rand.NewSource(1), for reproducible standalone analyses.
+	Rand func() *rand.Rand
+	// Geo resolves addresses to countries (table2). The table2
+	// constructor fails with ErrNilGeoDB when it is nil.
+	Geo *geoip.DB
+	// GatewayIDs and MegagateIDs classify requesters for fig6 and the
+	// traffic report's gateway share. Nil maps classify everything as
+	// non-gateway.
+	GatewayIDs  map[simnet.NodeID]bool
+	MegagateIDs map[simnet.NodeID]bool
+}
+
+func (o Options) bucket() time.Duration {
+	if o.Bucket <= 0 {
+		return time.Hour
+	}
+	return o.Bucket
+}
+
+func (o Options) slice() time.Duration {
+	if o.Slice <= 0 {
+		return time.Hour
+	}
+	return o.Slice
+}
+
+func (o Options) topK() int {
+	if o.TopK <= 0 {
+		return 10
+	}
+	return o.TopK
+}
+
+func (o Options) bootstrapIters() int {
+	if o.BootstrapIters <= 0 {
+		return 50
+	}
+	return o.BootstrapIters
+}
+
+func (o Options) rand() *rand.Rand {
+	if o.Rand != nil {
+		return o.Rand()
+	}
+	return rand.New(rand.NewSource(1))
+}
+
+func init() {
+	Default.Register("summary", func(Options) (Report, error) {
+		return &summaryReport{z: trace.NewSummarizer()}, nil
+	})
+	Default.Register("traffic", func(o Options) (Report, error) {
+		return &trafficReport{gatewayIDs: o.GatewayIDs}, nil
+	})
+	Default.Register("online", func(o Options) (Report, error) {
+		return &onlineReport{
+			stats: ingest.NewOnlineStats(ingest.StatsOptions{Bucket: o.bucket(), TopK: o.topK()}),
+			topK:  o.topK(),
+		}, nil
+	})
+	Default.Register("table1", func(Options) (Report, error) {
+		return &table1Report{counts: make(map[cid.Codec]int)}, nil
+	})
+	Default.Register("table2", func(o Options) (Report, error) {
+		if o.Geo == nil {
+			return nil, ErrNilGeoDB
+		}
+		return &table2Report{db: o.Geo, counts: make(map[simnet.Region]int)}, nil
+	})
+	Default.Register("fig4", func(o Options) (Report, error) {
+		return &fig4Report{bucket: o.bucket(), byBucket: make(map[int64]*Fig4Bucket)}, nil
+	})
+	Default.Register("fig5", func(o Options) (Report, error) {
+		return &fig5Report{counter: popularity.NewCounter(), iters: o.bootstrapIters(), rng: o.rand}, nil
+	})
+	Default.Register("fig6", func(o Options) (Report, error) {
+		if o.GatewayIDs == nil {
+			return nil, ErrNoGatewayIDs
+		}
+		return &fig6Report{
+			slice:       o.slice(),
+			gatewayIDs:  o.GatewayIDs,
+			megagateIDs: o.MegagateIDs,
+			bySlice:     make(map[int64]*Fig6Slice),
+		}, nil
+	})
+	Default.Register("popularity", func(o Options) (Report, error) {
+		return &popularityReport{counter: popularity.NewCounter(), iters: o.bootstrapIters(), rng: o.rand}, nil
+	})
+}
+
+// --- summary: raw unified-trace summary ------------------------------------
+
+type summaryReport struct{ z *trace.Summarizer }
+
+func (r *summaryReport) WantsDedup() bool            { return false }
+func (r *summaryReport) Observe(e trace.Entry) error { return r.z.Write(e) }
+func (r *summaryReport) Finalize() (Result, error) {
+	return &SummaryResult{Summary: r.z.Summary()}, nil
+}
+
+// --- traffic: dedup shares and gateway origin share ------------------------
+
+// trafficReport observes the raw stream (dedup flags intact) and derives
+// both views at once: raw counts, deduplicated counts, the rebroadcast
+// share and the gateway traffic share — the per-run comparison metrics of
+// sweep summaries.
+type trafficReport struct {
+	gatewayIDs map[simnet.NodeID]bool
+
+	entries, requests           int
+	dedupEntries, dedupRequests int
+	gatewayDedupReqs            int
+}
+
+// HasGatewayIDs on the result distinguishes "no gateway traffic" from "no
+// gateway ground truth": without an ID set (e.g. bsanalyze over a bare
+// trace) a 0% share would be a silently wrong number, so Render and
+// Metrics omit it instead.
+
+func (r *trafficReport) WantsDedup() bool { return false }
+
+func (r *trafficReport) Observe(e trace.Entry) error {
+	r.entries++
+	if e.IsRequest() {
+		r.requests++
+	}
+	if e.IsDuplicate() {
+		return nil
+	}
+	r.dedupEntries++
+	if e.IsRequest() {
+		r.dedupRequests++
+		if r.gatewayIDs[e.NodeID] {
+			r.gatewayDedupReqs++
+		}
+	}
+	return nil
+}
+
+func (r *trafficReport) Finalize() (Result, error) {
+	t := &Traffic{
+		Entries:       r.entries,
+		Requests:      r.requests,
+		DedupEntries:  r.dedupEntries,
+		DedupRequests: r.dedupRequests,
+		HasGatewayIDs: r.gatewayIDs != nil,
+	}
+	if r.entries > 0 {
+		t.RebroadShare = 1 - float64(r.dedupEntries)/float64(r.entries)
+	}
+	if r.dedupRequests > 0 {
+		t.GatewayShare = float64(r.gatewayDedupReqs) / float64(r.dedupRequests)
+	}
+	return t, nil
+}
+
+// --- online: sketched one-pass aggregates ----------------------------------
+
+type onlineReport struct {
+	stats *ingest.OnlineStats
+	topK  int
+}
+
+func (r *onlineReport) WantsDedup() bool            { return true }
+func (r *onlineReport) Observe(e trace.Entry) error { return r.stats.Write(e) }
+func (r *onlineReport) Finalize() (Result, error) {
+	res := &Online{
+		Entries:        r.stats.Entries(),
+		Requests:       r.stats.Requests(),
+		DistinctPeers:  r.stats.DistinctPeers(),
+		DistinctCIDs:   r.stats.DistinctCIDs(),
+		First:          r.stats.First(),
+		Last:           r.stats.Last(),
+		BucketSize:     r.stats.BucketSize(),
+		Buckets:        r.stats.Buckets(),
+		EvictedBuckets: r.stats.EvictedBuckets(),
+		TopK:           r.topK,
+		TopCIDs:        r.stats.TopCIDs(r.topK),
+		PerType:        make(map[string]int64),
+	}
+	for typ, n := range r.stats.TypeCounts() {
+		res.PerType[typ.String()] = n
+	}
+	return res, nil
+}
+
+// --- table1: multicodec shares ---------------------------------------------
+
+type table1Report struct {
+	counts map[cid.Codec]int
+	total  int
+}
+
+func (r *table1Report) WantsDedup() bool { return false }
+
+func (r *table1Report) Observe(e trace.Entry) error {
+	if !e.IsRequest() {
+		return nil
+	}
+	r.counts[e.CID.Codec()]++
+	r.total++
+	return nil
+}
+
+func (r *table1Report) Finalize() (Result, error) {
+	t := &Table1{Total: r.total}
+	for codec, n := range r.counts {
+		t.Rows = append(t.Rows, Table1Row{
+			Codec: codec.String(),
+			Count: n,
+			Share: float64(n) / float64(r.total),
+		})
+	}
+	t.sortRows()
+	return t, nil
+}
+
+// --- table2: country shares ------------------------------------------------
+
+// ErrNilGeoDB is returned by the table2 constructor when no GeoIP database
+// was provided: resolving addresses without one would panic mid-stream.
+var ErrNilGeoDB = errors.New("report: table2 needs a geoip database (Options.Geo is nil)")
+
+type table2Report struct {
+	db      *geoip.DB
+	counts  map[simnet.Region]int
+	total   int
+	unknown int
+}
+
+func (r *table2Report) WantsDedup() bool { return true }
+
+func (r *table2Report) Observe(e trace.Entry) error {
+	if !e.IsRequest() {
+		return nil
+	}
+	region, ok := r.db.Lookup(e.Addr)
+	if !ok {
+		r.unknown++
+		return nil
+	}
+	r.counts[region]++
+	r.total++
+	return nil
+}
+
+func (r *table2Report) Finalize() (Result, error) {
+	t := &Table2{Total: r.total, Unknown: r.unknown}
+	for region, n := range r.counts {
+		t.Rows = append(t.Rows, Table2Row{
+			Country: region,
+			Count:   n,
+			Share:   float64(n) / float64(r.total),
+		})
+	}
+	t.sortRows()
+	return t, nil
+}
+
+// --- fig4: request types over time -----------------------------------------
+
+type fig4Report struct {
+	bucket   time.Duration
+	byBucket map[int64]*Fig4Bucket
+}
+
+func (r *fig4Report) WantsDedup() bool { return true }
+
+func (r *fig4Report) Observe(e trace.Entry) error {
+	if !e.IsRequest() {
+		return nil
+	}
+	k := e.Timestamp.UnixNano() / int64(r.bucket)
+	b, ok := r.byBucket[k]
+	if !ok {
+		b = &Fig4Bucket{Start: time.Unix(0, k*int64(r.bucket)).UTC()}
+		r.byBucket[k] = b
+	}
+	switch e.Type {
+	case wire.WantBlock:
+		b.WantBlock++
+	case wire.WantHave:
+		b.WantHave++
+	}
+	return nil
+}
+
+func (r *fig4Report) Finalize() (Result, error) {
+	f := &Fig4{BucketSize: r.bucket}
+	for _, b := range r.byBucket {
+		f.Buckets = append(f.Buckets, *b)
+	}
+	f.sortBuckets()
+	return f, nil
+}
+
+// --- fig5: content popularity ----------------------------------------------
+
+type fig5Report struct {
+	counter *popularity.Counter
+	iters   int
+	rng     func() *rand.Rand
+}
+
+func (r *fig5Report) WantsDedup() bool            { return true }
+func (r *fig5Report) Observe(e trace.Entry) error { return r.counter.Write(e) }
+
+func (r *fig5Report) Finalize() (Result, error) {
+	scores := r.counter.Scores()
+	rrp := popularity.Values(scores.RRP)
+	urp := popularity.Values(scores.URP)
+	f := &Fig5{
+		CIDs:      len(rrp),
+		RRPECDF:   popularity.ECDF(rrp),
+		URPECDF:   popularity.ECDF(urp),
+		URPShare1: popularity.ShareWithValue(urp, 1),
+	}
+	// One RNG drives both bootstraps, RRP first — the draw order of the
+	// batch pipeline this report replaced, so seeded runs stay
+	// byte-identical.
+	rng := r.rng()
+	var err error
+	f.RRPRejected, f.RRPFit, f.RRPPValue, err = popularity.RejectsPowerLaw(rrp, r.iters, rng)
+	if err != nil {
+		return nil, fmt.Errorf("rrp fit: %w", err)
+	}
+	f.URPRejected, f.URPFit, f.URPPValue, err = popularity.RejectsPowerLaw(urp, r.iters, rng)
+	if err != nil {
+		return nil, fmt.Errorf("urp fit: %w", err)
+	}
+	return f, nil
+}
+
+// --- fig6: request rates by origin group -----------------------------------
+
+// ErrNoGatewayIDs is returned by the fig6 constructor when no gateway ID
+// set was provided: without one every request classifies as non-gateway and
+// the figure renders plausible-looking but meaningless zero gateway rates.
+// Callers with genuinely no gateways pass an empty non-nil map.
+var ErrNoGatewayIDs = errors.New("report: fig6 needs a gateway node ID set, which only simulation and sweep contexts can supply — a recorded trace alone cannot say which requesters were gateways")
+
+type fig6Report struct {
+	slice       time.Duration
+	gatewayIDs  map[simnet.NodeID]bool
+	megagateIDs map[simnet.NodeID]bool
+	bySlice     map[int64]*Fig6Slice
+}
+
+func (r *fig6Report) WantsDedup() bool { return true }
+
+func (r *fig6Report) Observe(e trace.Entry) error {
+	if !e.IsRequest() {
+		return nil
+	}
+	k := e.Timestamp.UnixNano() / int64(r.slice)
+	s, ok := r.bySlice[k]
+	if !ok {
+		s = &Fig6Slice{Start: time.Unix(0, k*int64(r.slice)).UTC()}
+		r.bySlice[k] = s
+	}
+	switch {
+	case r.megagateIDs[e.NodeID]:
+		s.Megagate++
+		s.AllGateway++
+	case r.gatewayIDs[e.NodeID]:
+		s.AllGateway++
+	default:
+		s.NonGateway++
+	}
+	return nil
+}
+
+func (r *fig6Report) Finalize() (Result, error) {
+	f := &Fig6{SliceSize: r.slice}
+	secs := r.slice.Seconds()
+	for _, s := range r.bySlice {
+		s.AllGateway /= secs
+		s.Megagate /= secs
+		s.NonGateway /= secs
+		f.Slices = append(f.Slices, *s)
+	}
+	f.sortSlices()
+	return f, nil
+}
+
+// --- popularity: RRP/URP ECDFs + power-law fit ------------------------------
+
+type popularityReport struct {
+	counter *popularity.Counter
+	iters   int
+	rng     func() *rand.Rand
+}
+
+func (r *popularityReport) WantsDedup() bool            { return true }
+func (r *popularityReport) Observe(e trace.Entry) error { return r.counter.Write(e) }
+
+func (r *popularityReport) Finalize() (Result, error) {
+	scores := r.counter.Scores()
+	rrp := popularity.Values(scores.RRP)
+	urp := popularity.Values(scores.URP)
+	p := &Popularity{
+		CIDs:      r.counter.CIDs(),
+		RRPECDF:   popularity.ECDF(rrp),
+		URPECDF:   popularity.ECDF(urp),
+		URPShare1: popularity.ShareWithValue(urp, 1),
+		Scores:    scores,
+	}
+	rejected, fit, pv, err := popularity.RejectsPowerLaw(rrp, r.iters, r.rng())
+	if err != nil {
+		p.RRPFitErr = err.Error()
+	} else {
+		p.RRPRejected, p.RRPFit, p.RRPPValue = rejected, fit, pv
+		p.RRPFitted = true
+	}
+	return p, nil
+}

@@ -1,0 +1,157 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// v1SummaryJSON is a verbatim PR-4-era (schema version 1) summary.json:
+// typed fields only, no metrics map. It must keep loading through the
+// metrics-by-name surface.
+const v1SummaryJSON = `{
+  "version": 1,
+  "run_id": "nodes=60,mean_session=2h-s42",
+  "seed": 42,
+  "params": [
+    {"key": "nodes", "value": 60},
+    {"key": "mean_session", "value": "2h"}
+  ],
+  "population": 73,
+  "online_avg": 55.5,
+  "entries": 1234,
+  "dedup_entries": 700,
+  "requests": 1100,
+  "dedup_requests": 640,
+  "rebroad_share": 0.43,
+  "unique_peers": 58,
+  "unique_cids": 91,
+  "distinct_peers_est": 57.2,
+  "distinct_cids_est": 90.4,
+  "per_type": {"WANT_HAVE": 900, "CANCEL": 134},
+  "monitor_coverage": {"us": 0.52, "de": 0.47},
+  "peer_overlap": 0.31,
+  "gateway_share": 0.27,
+  "gateway_hit_rate": 0.66,
+  "elapsed_ms": 1200
+}
+`
+
+// TestReadSummaryV1Migration: a version-1 summary loads, and every metric —
+// canonical names and coverage addressing — resolves by name through the
+// new lookup even though the file carries no metrics map.
+func TestReadSummaryV1Migration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "summary.json")
+	if err := os.WriteFile(path, []byte(v1SummaryJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ReadSummary(path)
+	if err != nil {
+		t.Fatalf("v1 summary rejected: %v", err)
+	}
+	want := map[string]float64{
+		"entries":          1234,
+		"dedup_entries":    700,
+		"requests":         1100,
+		"dedup_requests":   640,
+		"rebroad_share":    0.43,
+		"unique_peers":     58,
+		"unique_cids":      91,
+		"peer_overlap":     0.31,
+		"gateway_share":    0.27,
+		"gateway_hit_rate": 0.66,
+		"online_avg":       55.5,
+		"population":       73,
+		"coverage:us":      0.52,
+		"coverage:de":      0.47,
+	}
+	for name, v := range want {
+		got, err := sum.Metric(name)
+		if err != nil {
+			t.Errorf("metric %s: %v", name, err)
+			continue
+		}
+		if got != v {
+			t.Errorf("metric %s = %v, want %v", name, got, v)
+		}
+	}
+	// The normalized map itself must carry every canonical name, so CSV
+	// joins see identical columns for v1 and v2 summaries.
+	for _, name := range KnownMetrics() {
+		if _, ok := sum.Metrics[name]; !ok {
+			t.Errorf("normalize left canonical metric %q out of the map", name)
+		}
+	}
+	if _, err := sum.Metric("coverage:jp"); err == nil {
+		t.Error("unknown monitor accepted")
+	}
+	if _, err := sum.Metric("vibes"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+// TestReadSummaryVersionBounds: future schema versions are rejected, not
+// silently misread.
+func TestReadSummaryVersionBounds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "summary.json")
+	bad := strings.Replace(v1SummaryJSON, `"version": 1`, `"version": 99`, 1)
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSummary(path); err == nil {
+		t.Error("version 99 summary accepted")
+	}
+}
+
+// TestMetricExtras: report-contributed extras resolve by name, surface in
+// MetricNames, and show up in the unknown-metric hint.
+func TestMetricExtras(t *testing.T) {
+	sum := &RunSummary{
+		Version: SummaryVersion,
+		RunID:   "r1",
+		Entries: 10,
+		Metrics: map[string]float64{"fig5:cids": 42},
+	}
+	if v, err := sum.Metric("fig5:cids"); err != nil || v != 42 {
+		t.Errorf("extra metric: v=%v err=%v", v, err)
+	}
+	// Legacy fallback still works alongside extras.
+	if v, err := sum.Metric("entries"); err != nil || v != 10 {
+		t.Errorf("legacy fallback: v=%v err=%v", v, err)
+	}
+	found := false
+	for _, name := range sum.MetricNames() {
+		if name == "fig5:cids" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("MetricNames missing the extra")
+	}
+	if _, err := sum.Metric("vibes"); err == nil || !strings.Contains(err.Error(), "fig5:cids") {
+		t.Errorf("unknown-metric error should hint at extras: %v", err)
+	}
+}
+
+// TestSpecReportsValidation: extra report names on a spec are validated
+// against the registry.
+func TestSpecReportsValidation(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Reports = []string{"fig5"}
+	if err := spec.Validate(); err != nil {
+		t.Errorf("known report rejected: %v", err)
+	}
+	spec.Reports = []string{"nope"}
+	if err := spec.Validate(); err == nil {
+		t.Error("unknown report accepted")
+	}
+	// summary and traffic always run; listing them would double the work
+	// and duplicate metric columns.
+	for _, builtin := range []string{"summary", "traffic"} {
+		spec.Reports = []string{builtin}
+		if err := spec.Validate(); err == nil {
+			t.Errorf("built-in report %q accepted as extra", builtin)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -12,13 +11,15 @@ import (
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/replay"
+	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
-	"bitswapmon/internal/trace"
 	"bitswapmon/internal/workload"
 )
 
-// SummaryVersion versions the per-run summary schema.
-const SummaryVersion = 1
+// SummaryVersion versions the per-run summary schema. Version 2 added the
+// extensible metrics map; version-1 summaries still load (ReadSummary
+// normalizes their typed fields into the map).
+const SummaryVersion = 2
 
 // summaryFile is the per-run summary's filename inside the run directory.
 const summaryFile = "summary.json"
@@ -80,6 +81,13 @@ type RunSummary struct {
 	// trace supports a fit) — compare across amplification factors to check
 	// popularity-shape preservation.
 	FittedAlpha float64 `json:"fitted_alpha,omitempty"`
+
+	// Metrics is the extensible metrics-by-name view: every canonical
+	// metric above plus "<report>:<metric>" entries contributed by the
+	// spec's extra reports. The aggregation layer reads metrics from here
+	// by name; adding a new comparison metric means registering a report,
+	// not growing this struct.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 
 	// ElapsedMS is wall-clock time; it is excluded from aggregate CSVs
 	// because it is not deterministic.
@@ -182,7 +190,7 @@ func ExecuteRun(dir string, run Run) (*RunSummary, error) {
 		return nil, err
 	}
 
-	if err := summarize(sum, w, stores, stats); err != nil {
+	if err := summarize(sum, spec, w, stores, stats); err != nil {
 		return nil, err
 	}
 	for _, v := range onlineSamples {
@@ -245,10 +253,14 @@ func sealMonitorStores(monitors []*monitor.Monitor, stores []*ingest.SegmentStor
 }
 
 // summarizeStores computes the unified-trace metrics with one streaming
-// pass over a run's freshly written stores (bounded memory: the unifier's
-// window plus the summarizer's uniqueness sets) and folds in the capture
-// path's sketched estimates. gatewayIDs may be nil (no gateway share).
-func summarizeStores(sum *RunSummary, stores []*ingest.SegmentStore, stats []*ingest.OnlineStats, gatewayIDs map[simnet.NodeID]bool) error {
+// pass over a run's freshly written stores: a report.Driver tees the
+// StreamUnifier's output through the summary and traffic reports (bounded
+// memory: the unifier's window plus each report's own state), plus any
+// extra reports the spec requests, whose metrics land in the summary's
+// metrics map as "<report>:<metric>". The capture path's sketched estimates
+// are folded in from stats. opts carries the context extra reports may need
+// (gateway IDs, GeoIP, bootstrap budget).
+func summarizeStores(sum *RunSummary, stores []*ingest.SegmentStore, stats []*ingest.OnlineStats, extraReports []string, opts report.Options) error {
 	sources := make([]ingest.EntrySource, len(stores))
 	for i, store := range stores {
 		it, err := store.Query(time.Time{}, time.Time{}, nil)
@@ -258,49 +270,45 @@ func summarizeStores(sum *RunSummary, stores []*ingest.SegmentStore, stats []*in
 		defer it.Close()
 		sources[i] = it
 	}
-	unified := ingest.NewStreamUnifier(sources...)
-	z := trace.NewSummarizer()
-	gatewayDedupReqs := 0
-	for {
-		e, err := unified.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return fmt.Errorf("sweep: summarize run: %w", err)
-		}
-		if err := z.Write(e); err != nil {
-			return err
-		}
-		if e.IsDuplicate() {
-			continue
-		}
-		sum.DedupEntries++
-		if e.IsRequest() {
-			sum.DedupRequests++
-			if gatewayIDs[e.NodeID] {
-				gatewayDedupReqs++
-			}
-		}
+	drv := report.NewDriver(true)
+	if err := drv.AddByName(append([]string{"summary", "traffic"}, extraReports...), opts); err != nil {
+		return fmt.Errorf("sweep: summary reports: %w", err)
 	}
-	s := z.Summary()
+	if err := drv.Run(ingest.NewStreamUnifier(sources...)); err != nil {
+		return fmt.Errorf("sweep: summarize run: %w", err)
+	}
+	results, err := drv.Finalize()
+	if err != nil {
+		return fmt.Errorf("sweep: summarize run: %w", err)
+	}
+
+	s := results.Get("summary").(*report.SummaryResult).Summary
+	traffic := results.Get("traffic").(*report.Traffic)
 	sum.Entries = s.Entries
 	sum.Requests = s.Requests
 	sum.UniquePeers = s.UniquePeers
 	sum.UniqueCIDs = s.UniqueCIDs
-	if s.Entries > 0 {
-		sum.RebroadShare = 1 - float64(sum.DedupEntries)/float64(s.Entries)
-	}
+	sum.DedupEntries = traffic.DedupEntries
+	sum.DedupRequests = traffic.DedupRequests
+	sum.RebroadShare = traffic.RebroadShare
+	sum.GatewayShare = traffic.GatewayShare
 	sum.PerType = make(map[string]int, len(s.PerType))
 	for t, n := range s.PerType {
 		sum.PerType[t.String()] = n
 	}
-	if sum.DedupRequests > 0 {
-		sum.GatewayShare = float64(gatewayDedupReqs) / float64(sum.DedupRequests)
-	}
 	for _, st := range stats {
 		sum.DistinctPeersEst += st.DistinctPeers()
 		sum.DistinctCIDsEst += st.DistinctCIDs()
+	}
+	if len(extraReports) > 0 {
+		if sum.Metrics == nil {
+			sum.Metrics = make(map[string]float64)
+		}
+		for _, name := range extraReports {
+			for k, v := range results.Get(name).Metrics() {
+				sum.Metrics[name+":"+k] = v
+			}
+		}
 	}
 	return nil
 }
@@ -332,8 +340,20 @@ func fillMonitorCoverage(sum *RunSummary, monitors []*monitor.Monitor, populatio
 
 // summarize folds the streaming store metrics together with the synthetic
 // world's ground truth (coverage, overlap, gateway cache performance).
-func summarize(sum *RunSummary, w *workload.World, stores []*ingest.SegmentStore, stats []*ingest.OnlineStats) error {
-	if err := summarizeStores(sum, stores, stats, w.GatewayNodeIDs()); err != nil {
+func summarize(sum *RunSummary, spec ScenarioSpec, w *workload.World, stores []*ingest.SegmentStore, stats []*ingest.OnlineStats) error {
+	mega := make(map[simnet.NodeID]bool)
+	for _, g := range w.Gateways {
+		if g.Operator == "megagate" {
+			mega[g.Node.ID] = true
+		}
+	}
+	opts := report.Options{
+		Geo:            w.Geo,
+		GatewayIDs:     w.GatewayNodeIDs(),
+		MegagateIDs:    mega,
+		BootstrapIters: spec.BootstrapIters,
+	}
+	if err := summarizeStores(sum, stores, stats, spec.Reports, opts); err != nil {
 		return err
 	}
 	fillMonitorCoverage(sum, w.Monitors, w.TotalPopulation())
@@ -359,6 +379,13 @@ func executeReplayRun(dir string, run Run, start time.Time) (*RunSummary, error)
 	rs, err := spec.ReplaySpec(run.Seed)
 	if err != nil {
 		return nil, err
+	}
+	// Replay runs have no GeoIP ground truth or gateway fleets; an extra
+	// report that needs them (table2, fig6) must fail here, before the
+	// simulation burns its compute, not at summary time.
+	replayOpts := report.Options{BootstrapIters: spec.BootstrapIters}
+	if err := report.NewDriver(true).AddByName(spec.Reports, replayOpts); err != nil {
+		return nil, fmt.Errorf("sweep: summary reports for replay run %s: %w", run.ID, err)
 	}
 	if err := os.RemoveAll(dir); err != nil {
 		return nil, fmt.Errorf("sweep: clear run dir: %w", err)
@@ -400,7 +427,7 @@ func executeReplayRun(dir string, run Run, start time.Time) (*RunSummary, error)
 	if sess.Model != nil && sess.Model.PowerLaw != nil {
 		sum.FittedAlpha = sess.Model.PowerLaw.Alpha
 	}
-	if err := summarizeStores(sum, stores, stats, nil); err != nil {
+	if err := summarizeStores(sum, stores, stats, spec.Reports, replayOpts); err != nil {
 		return nil, err
 	}
 	fillMonitorCoverage(sum, monitors, sess.World.PoolSize())
@@ -413,8 +440,10 @@ func executeReplayRun(dir string, run Run, start time.Time) (*RunSummary, error)
 
 // writeSummary persists the summary atomically (temp file + rename), so a
 // summary.json on disk is always complete: the manifest records a run as
-// done only after this succeeds.
+// done only after this succeeds. The metrics map is completed first, so
+// every persisted summary resolves every canonical metric by name.
 func writeSummary(path string, sum *RunSummary) error {
+	sum.normalize()
 	blob, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
 		return fmt.Errorf("sweep: marshal summary: %w", err)
@@ -439,8 +468,12 @@ func ReadSummary(path string) (*RunSummary, error) {
 	if err := json.Unmarshal(data, &sum); err != nil {
 		return nil, fmt.Errorf("sweep: decode summary %s: %w", path, err)
 	}
-	if sum.Version != SummaryVersion {
-		return nil, fmt.Errorf("sweep: summary %s: version %d unsupported (want %d)", path, sum.Version, SummaryVersion)
+	// Version 1 (pre-metrics-map) summaries load through the same
+	// metrics-by-name lookups: normalize derives the map from the typed
+	// fields they carried.
+	if sum.Version < 1 || sum.Version > SummaryVersion {
+		return nil, fmt.Errorf("sweep: summary %s: version %d unsupported (want 1..%d)", path, sum.Version, SummaryVersion)
 	}
+	sum.normalize()
 	return &sum, nil
 }

@@ -16,10 +16,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"bitswapmon/internal/engine"
 	"bitswapmon/internal/replay"
+	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/workload"
 )
@@ -178,6 +180,12 @@ type ScenarioSpec struct {
 	// "synthetic") or trace replay for this run's request workload.
 	WorkloadSource *WorkloadSourceSpec `json:"workload_source,omitempty"`
 
+	// Reports names extra registered reports (internal/report) to run over
+	// the unified trace when the run's summary is computed; each report's
+	// metrics land in the summary's metrics map as "<report>:<metric>" and
+	// become aggregatable by name like any canonical metric.
+	Reports []string `json:"reports,omitempty"`
+
 	// Measurement window.
 	Warmup         Duration `json:"warmup,omitempty"`
 	Window         Duration `json:"window"`
@@ -269,6 +277,22 @@ func (s ScenarioSpec) Validate() error {
 		if _, err := time.Parse(time.RFC3339, s.Start); err != nil {
 			return fmt.Errorf("sweep: bad start time %q: %w", s.Start, err)
 		}
+	}
+	seenReports := make(map[string]bool, len(s.Reports))
+	for _, name := range s.Reports {
+		if !report.Default.Has(name) {
+			return fmt.Errorf("sweep: unknown report %q (available: %s)",
+				name, strings.Join(report.Names(), ", "))
+		}
+		// The run summary always includes these; listing them again would
+		// double the per-entry work and emit duplicate metric columns.
+		if name == "summary" || name == "traffic" {
+			return fmt.Errorf("sweep: report %q is always part of the run summary; list only extras", name)
+		}
+		if seenReports[name] {
+			return fmt.Errorf("sweep: report %q listed twice", name)
+		}
+		seenReports[name] = true
 	}
 	switch s.Engine {
 	case "", "serial", "sharded":

@@ -15,6 +15,7 @@ package bitswapmon_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"bitswapmon/internal/analysis"
 	"bitswapmon/internal/attacks"
 	"bitswapmon/internal/cid"
+	"bitswapmon/internal/cmdutil"
 	"bitswapmon/internal/dht"
 	"bitswapmon/internal/engine"
 	"bitswapmon/internal/estimate"
@@ -45,6 +47,17 @@ var (
 	weekData *experiments.Data
 	weekErr  error
 )
+
+// maybeEnableMetrics turns on every subsystem's obs instrumentation when
+// BSMON_BENCH_METRICS is set, so cmd/bsbench can measure the same benchmark
+// bare and instrumented in separate processes (the enable is process-global
+// and one-way). The hot-path benchmarks call it before constructing their
+// subjects, since telemetry handles resolve at construction.
+func maybeEnableMetrics() {
+	if os.Getenv("BSMON_BENCH_METRICS") != "" {
+		cmdutil.EnableAllMetrics()
+	}
+}
 
 // sharedWeek runs the main measurement scenario once per process.
 func sharedWeek(b *testing.B) *experiments.Data {
@@ -208,6 +221,7 @@ func BenchmarkFig6GatewayRates(b *testing.B) {
 // synthetic entries. The events/sec metric is the throughput of "all
 // figures at once" — the bsanalyze and live-experiment hot path.
 func BenchmarkReportDriver(b *testing.B) {
+	maybeEnableMetrics()
 	const entryCount = 1 << 20
 	geo := geoip.New()
 	addrs := make([]string, 512)
@@ -486,6 +500,7 @@ func BenchmarkIngestSegmentStore(b *testing.B) {
 // re-issued into a replay world. The events/sec metric is the replay
 // subsystem's throughput from disk to monitor-side observation.
 func BenchmarkReplayDrive(b *testing.B) {
+	maybeEnableMetrics()
 	dir := filepath.Join(b.TempDir(), "replay-bench.segments")
 	store, err := ingest.OpenSegmentStore(dir, ingest.SegmentOptions{})
 	if err != nil {
@@ -592,6 +607,7 @@ func (r *ringNode) PeerDisconnected(simnet.NodeID)            {}
 // ns/op is the cost of one delivered message end to end (schedule, heap
 // pop, revalidate, handler, reschedule).
 func BenchmarkSimnetEventLoop(b *testing.B) {
+	maybeEnableMetrics()
 	start := time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
 	net := simnet.New(start, 1, simnet.Fixed(5*time.Millisecond))
 	const n = 128

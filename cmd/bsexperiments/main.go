@@ -8,7 +8,7 @@
 //	              [-engine serial|sharded] [-shards N]
 //	              [-replay INPUTS] [-replay-mode replay|fitted]
 //	              [-amplify N] [-timewarp N]
-//	              [-cpuprofile FILE] [-memprofile FILE]
+//	              [-cpuprofile FILE] [-memprofile FILE] [-metrics-addr ADDR]
 //
 // -replay switches from the synthetic scenarios to trace-driven replay:
 // INPUTS is a comma-separated list of recorded trace sources (segment-store
@@ -30,17 +30,17 @@
 // The serial engine is the deterministic reference (same seed, same bytes);
 // the sharded engine runs the scenario across all cores with conservative
 // lookahead synchronization, for large populations. The profile flags write
-// pprof data for scaling work on either engine.
+// pprof data for scaling work on either engine; -metrics-addr serves live
+// Prometheus metrics and /debug/pprof while a run is in flight.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
+	"bitswapmon/internal/cmdutil"
 	"bitswapmon/internal/experiments"
 	"bitswapmon/internal/sweep"
 )
@@ -69,6 +69,7 @@ func run(args []string) error {
 	timewarp := fs.Float64("timewarp", 0, "replay time compression factor (2 = twice as fast)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090) and enable instrumentation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,16 +101,17 @@ func run(args []string) error {
 		return err
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer pprof.StopCPUProfile()
+	srv, err := cmdutil.ServeMetrics(*metricsAddr)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "bsexperiments: serving metrics on http://%s/metrics\n", srv.Addr())
+		defer srv.Close()
+	}
+	prof, err := cmdutil.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
 	}
 
 	if spec.ReplayMode() {
@@ -118,7 +120,7 @@ func run(args []string) error {
 			return fmt.Errorf("replay: %w", err)
 		}
 		fmt.Println(rep.Render())
-		return writeMemProfile(*memprofile)
+		return prof.Stop()
 	}
 
 	if *only == "" || *only == "week" {
@@ -140,23 +142,7 @@ func run(args []string) error {
 		fmt.Println(rep.Render())
 	}
 
-	return writeMemProfile(*memprofile)
-}
-
-func writeMemProfile(path string) error {
-	if path == "" {
-		return nil
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("memprofile: %w", err)
-	}
-	defer f.Close()
-	runtime.GC()
-	if err := pprof.WriteHeapProfile(f); err != nil {
-		return fmt.Errorf("memprofile: %w", err)
-	}
-	return nil
+	return prof.Stop()
 }
 
 // assembleSpec builds the week scenario spec from -spec or -scale, then

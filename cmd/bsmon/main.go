@@ -7,6 +7,7 @@
 // Usage:
 //
 //	bsmon -out DIR [-nodes N] [-hours H] [-seed N] [-rotate DUR]
+//	      [-metrics-addr ADDR]
 //
 // Output per monitor M:
 //
@@ -24,6 +25,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"bitswapmon/internal/cmdutil"
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
@@ -46,8 +48,17 @@ func run(args []string) error {
 	csv := fs.Bool("csv", true, "also write CSV exports")
 	flat := fs.Bool("flat", true, "also write flat .trace compatibility exports")
 	rotate := fs.Duration("rotate", time.Hour, "segment rotation window (virtual time)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090) and enable instrumentation")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	srv, err := cmdutil.ServeMetrics(*metricsAddr)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "bsmon: serving metrics on http://%s/metrics\n", srv.Addr())
+		defer srv.Close()
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return fmt.Errorf("create output dir: %w", err)

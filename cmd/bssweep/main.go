@@ -5,7 +5,8 @@
 // Usage:
 //
 //	bssweep run -spec sweep.json -root DIR [-workers N] [-dry-run]
-//	bssweep resume -root DIR [-workers N]
+//	            [-metrics-addr ADDR] [-progress] [-cpuprofile FILE] [-memprofile FILE]
+//	bssweep resume -root DIR [-workers N] [same operational flags as run]
 //	bssweep report -root DIR [-metric M -rows PARAM [-cols PARAM]] [-csv FILE]
 //	bssweep params
 //
@@ -22,18 +23,28 @@
 // table such as gateway traffic share vs. population × churn. Report
 // output is deterministic: the same completed sweep produces the same
 // bytes on every invocation.
+//
+// While a sweep executes, -metrics-addr serves live Prometheus metrics and
+// /debug/pprof, and -progress (default on when stderr is a terminal) prints
+// a periodic progress line with an ETA, both fed by the same sweep
+// instrumentation.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"bitswapmon/internal/analysis"
+	"bitswapmon/internal/cmdutil"
+	"bitswapmon/internal/obs"
 	"bitswapmon/internal/report"
 	"bitswapmon/internal/sweep"
 )
@@ -63,12 +74,36 @@ func run(args []string) error {
 	}
 }
 
+// opsFlags is the operational flag set shared by run and resume: the live
+// metrics endpoint, the progress line, and the profile pair.
+type opsFlags struct {
+	metricsAddr string
+	progress    bool
+	cpuprofile  string
+	memprofile  string
+}
+
+func addOpsFlags(fs *flag.FlagSet) *opsFlags {
+	o := &opsFlags{}
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090) and enable instrumentation")
+	fs.BoolVar(&o.progress, "progress", stderrIsTTY(), "print a periodic progress line to stderr")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file on exit")
+	return o
+}
+
+func stderrIsTTY() bool {
+	st, err := os.Stderr.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("bssweep run", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "sweep spec file (JSON)")
 	root := fs.String("root", "", "sweep root directory (created if absent)")
 	workers := fs.Int("workers", 4, "concurrent runs")
 	dryRun := fs.Bool("dry-run", false, "list the expanded runs and exit")
+	ops := addOpsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,13 +128,14 @@ func cmdRun(args []string) error {
 	if *root == "" {
 		return fmt.Errorf("run needs -root")
 	}
-	return orchestrate(*root, sw, *workers)
+	return orchestrate(*root, sw, *workers, ops)
 }
 
 func cmdResume(args []string) error {
 	fs := flag.NewFlagSet("bssweep resume", flag.ContinueOnError)
 	root := fs.String("root", "", "sweep root directory holding a pinned sweep.json")
 	workers := fs.Int("workers", 4, "concurrent runs")
+	ops := addOpsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,25 +146,113 @@ func cmdResume(args []string) error {
 	if err != nil {
 		return err
 	}
-	return orchestrate(*root, sw, *workers)
+	return orchestrate(*root, sw, *workers, ops)
 }
 
-func orchestrate(root string, sw sweep.SweepSpec, workers int) error {
+// metricsServed is a test seam: the e2e test overrides it to learn the
+// ephemeral address -metrics-addr=:0 bound.
+var metricsServed = func(addr string) {}
+
+func orchestrate(root string, sw sweep.SweepSpec, workers int, ops *opsFlags) error {
+	srv, err := cmdutil.ServeMetrics(ops.metricsAddr)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "bssweep: serving metrics on http://%s/metrics\n", srv.Addr())
+		metricsServed(srv.Addr())
+		defer srv.Close()
+	}
+	prof, err := cmdutil.StartProfiles(ops.cpuprofile, ops.memprofile)
+	if err != nil {
+		return err
+	}
+	if ops.progress {
+		// The progress line reads the sweep counters back from the obs
+		// registry, so instrumentation must be on even without an endpoint.
+		sweep.EnableMetrics(nil)
+	}
+
 	// Ctrl-C cancels cleanly: in-flight runs finish and are recorded, so
 	// the next invocation resumes instead of redoing them.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var stopProgress func()
+	if ops.progress {
+		stopProgress = startProgress(os.Stderr, 2*time.Second)
+	}
 	res, err := sweep.RunSweep(ctx, root, sw, sweep.Options{
 		Workers: workers,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "bssweep: "+format+"\n", args...)
 		},
 	})
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if res != nil {
 		fmt.Printf("sweep %q: %d runs total, %d executed, %d resumed (skipped), %d failed\n",
 			sw.Name, res.Total, res.Executed, res.Skipped, res.Failed)
 	}
+	if perr := prof.Stop(); err == nil {
+		err = perr
+	}
 	return err
+}
+
+// startProgress prints a progress line to w every interval, driven by the
+// sweep metrics (runs done/total, failures, elapsed, ETA). The returned stop
+// function prints one final line and is idempotent.
+func startProgress(w io.Writer, every time.Duration) func() {
+	start := time.Now()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				printProgress(w, start)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			printProgress(w, start)
+		})
+	}
+}
+
+func printProgress(w io.Writer, start time.Time) {
+	snap := obs.Default.Snapshot()
+	total := snap["sweep_runs_total"]
+	if total <= 0 {
+		return
+	}
+	completed := snap["sweep_runs_completed_total"]
+	failed := snap["sweep_runs_failed_total"]
+	skipped := snap["sweep_runs_skipped_total"]
+	doneRuns := completed + failed + skipped
+	elapsed := time.Since(start)
+	line := fmt.Sprintf("bssweep: %.0f/%.0f runs done (%.0f failed, %.0f resumed), elapsed %s",
+		doneRuns, total, failed, skipped, elapsed.Round(time.Second))
+	// ETA from this process's executed-run rate; resumed runs cost nothing,
+	// so they are excluded from the rate.
+	if executed := completed + failed; executed > 0 {
+		if remaining := total - doneRuns; remaining > 0 {
+			eta := time.Duration(float64(elapsed) / executed * remaining)
+			line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+		}
+	}
+	fmt.Fprintln(w, line)
 }
 
 func cmdReport(args []string) error {

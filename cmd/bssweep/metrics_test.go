@@ -1,0 +1,163 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// metricsSweepJSON drives four single-worker sharded-engine runs: enough
+// wall time after the first run completes for the scraper to observe every
+// subsystem's metrics while the sweep is still executing. The sharded
+// engine matters — the serial reference engine is not obs-instrumented.
+const metricsSweepJSON = `{
+  "version": 1,
+  "name": "metrics-e2e",
+  "base": {
+    "version": 1,
+    "nodes": 18,
+    "bootstrap_servers": 5,
+    "catalog_items": 60,
+    "active_frac": 0.9,
+    "mean_requests_per_hour": 60,
+    "monitors": [
+      {"name": "us", "region": "US"},
+      {"name": "de", "region": "DE"}
+    ],
+    "joint": {"both": 0.8, "only_a": 0.1, "only_b": 0.1},
+    "gateways": [],
+    "warmup": "5m",
+    "window": "6h",
+    "sample_every": "30m",
+    "engine": "sharded",
+    "shards": 2
+  },
+  "axes": [{"param": "nodes", "values": [14, 16, 18, 20]}],
+  "seeds": {"base": 42, "replicates": 1}
+}
+`
+
+// requiredSamples is one live sample per instrumented subsystem, the
+// acceptance bar for the /metrics endpoint: a scrape during a sweep shows
+// the engine, ingest pipeline, orchestrator, and report driver all working.
+var requiredSamples = []string{
+	`engine_shard_events_total{shard="0"}`,
+	"ingest_entries_total",
+	"sweep_runs_completed_total",
+	`report_entries_observed_total{report="summary"}`,
+}
+
+var promSampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$`)
+
+// validPrometheusText checks every non-comment line parses as a sample.
+func validPrometheusText(t *testing.T, body string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promSampleRe.MatchString(line) {
+			t.Errorf("unparseable exposition line: %q", line)
+		}
+	}
+}
+
+// TestBssweepMetricsEndpoint is the end-to-end acceptance test: bssweep run
+// with -metrics-addr serves valid Prometheus text during the live sweep,
+// including at least one metric from each of engine, ingest, sweep, and
+// report.
+func TestBssweepMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(specPath, []byte(metricsSweepJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join(dir, "root")
+
+	addrCh := make(chan string, 1)
+	oldServed := metricsServed
+	metricsServed = func(addr string) { addrCh <- addr }
+	defer func() { metricsServed = oldServed }()
+
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{"run", "-spec", specPath, "-root", root,
+			"-workers", "1", "-metrics-addr", "127.0.0.1:0", "-progress=false"})
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-runErr:
+		t.Fatalf("run finished before serving metrics: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("metrics endpoint never came up")
+	}
+
+	scrape := func() (string, error) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			return "", fmt.Errorf("content-type %q", ct)
+		}
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+
+	hasAll := func(body string) bool {
+		for _, s := range requiredSamples {
+			if !strings.Contains(body, s) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Poll the live endpoint until one scrape carries samples from all four
+	// subsystems (everything is live once the first of the four runs has
+	// been summarized), then validate that scrape's exposition format.
+	var live string
+	deadline := time.After(3 * time.Minute)
+polling:
+	for {
+		if body, err := scrape(); err == nil && hasAll(body) {
+			live = body
+			break
+		}
+		select {
+		case err := <-runErr:
+			// The sweep finished before a complete scrape: the endpoint is
+			// already closed, so the run was simply too fast — fail with
+			// what the last state would have been.
+			if err != nil {
+				t.Fatalf("sweep failed: %v", err)
+			}
+			t.Fatal("sweep finished before a scrape saw all four subsystems")
+		case <-deadline:
+			break polling
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if live == "" {
+		t.Fatal("no scrape carried samples from all four subsystems")
+	}
+	validPrometheusText(t, live)
+	for _, s := range requiredSamples {
+		if !strings.Contains(live, s) {
+			t.Errorf("live scrape missing %s", s)
+		}
+	}
+
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

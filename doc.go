@@ -17,6 +17,12 @@
 // registering a report; bsanalyze, sweep summaries and the experiment
 // drivers pick it up by name.
 //
+// Runtime telemetry lives in internal/obs: a dependency-free metrics layer
+// (counters, gauges, histograms, labeled families) with Prometheus text
+// exposition. The engine, ingest, sweep and report hot paths are
+// instrumented behind nil-safe handles, and the long-running commands serve
+// /metrics plus /debug/pprof via -metrics-addr.
+//
 // See README.md for the layout, commands and package map. The root package
 // only hosts the benchmark harness (bench_test.go), which regenerates every
 // table and figure of the paper.

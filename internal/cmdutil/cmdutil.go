@@ -1,0 +1,96 @@
+// Package cmdutil holds the operational plumbing shared by the long-running
+// commands (bsmon, bssweep, bsexperiments): the -metrics-addr endpoint that
+// turns on every subsystem's instrumentation and serves /metrics plus
+// /debug/pprof, and the -cpuprofile/-memprofile pair for offline profiling.
+package cmdutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"bitswapmon/internal/engine"
+	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/obs"
+	"bitswapmon/internal/report"
+	"bitswapmon/internal/sweep"
+)
+
+// EnableAllMetrics turns on instrumentation in every subsystem, registering
+// into obs.Default. Call it before constructing engines, stores, drivers or
+// orchestrators — each resolves its telemetry handle at construction.
+func EnableAllMetrics() {
+	engine.EnableMetrics(nil)
+	ingest.EnableMetrics(nil)
+	sweep.EnableMetrics(nil)
+	report.EnableMetrics(nil)
+}
+
+// ServeMetrics enables all subsystem metrics and starts the HTTP endpoint on
+// addr (/metrics in Prometheus text format, /debug/pprof for live profiles).
+// An empty addr is a no-op returning nil — callers can defer-close the
+// result unconditionally.
+func ServeMetrics(addr string) (*obs.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	EnableAllMetrics()
+	srv, err := obs.Serve(addr, nil)
+	if err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// Profiles is the running state of the -cpuprofile/-memprofile flag pair.
+type Profiles struct {
+	cpu     *os.File
+	memPath string
+}
+
+// StartProfiles begins a CPU profile into cpuPath (when non-empty) and
+// remembers memPath for a heap profile at Stop. Either path may be empty.
+func StartProfiles(cpuPath, memPath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, if either was
+// requested. Safe to call on a nil receiver and idempotent for the CPU side.
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpu = nil
+	}
+	if p.memPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.memPath)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"bitswapmon/internal/obs"
+)
+
+// engineMetrics is the sharded engine's telemetry surface: shard-level
+// visibility into the lockstep hot path (per-shard event rates, barrier
+// waits, timer-queue depth, cross-shard traffic) — the numbers that tell an
+// operator whether the next 10× needs wider lookahead windows, better shard
+// partitioning, or just more shards.
+type engineMetrics struct {
+	events  *obs.CounterVec   // engine_shard_events_total{shard}
+	barrier *obs.HistogramVec // engine_shard_barrier_wait_seconds{shard}
+	depth   *obs.GaugeVec     // engine_shard_timer_queue_depth{shard}
+	cross   *obs.Counter      // engine_cross_shard_sends_total
+	sends   *obs.Counter      // engine_sends_total
+	windows *obs.Counter      // engine_windows_total
+}
+
+var engMetrics atomic.Pointer[engineMetrics]
+
+// EnableMetrics registers the engine's metrics in r (obs.Default when nil)
+// and turns instrumentation on for engines created afterwards. When it has
+// never been called, every hot path pays only a nil check on a pointer
+// resolved at engine construction.
+func EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		r = obs.Default
+	}
+	engMetrics.Store(&engineMetrics{
+		events: r.CounterVec("engine_shard_events_total",
+			"Events processed per worker shard.", "shard"),
+		barrier: r.HistogramVec("engine_shard_barrier_wait_seconds",
+			"Per-window time a shard spent idle at the lockstep barrier waiting for the slowest shard.",
+			obs.ExponentialBuckets(1e-6, 10, 8), "shard"),
+		depth: r.GaugeVec("engine_shard_timer_queue_depth",
+			"Pending events in a shard's timer queue, sampled at window boundaries.", "shard"),
+		cross: r.Counter("engine_cross_shard_sends_total",
+			"Messages whose sender and receiver live on different shards."),
+		sends: r.Counter("engine_sends_total",
+			"Messages scheduled for delivery."),
+		windows: r.Counter("engine_windows_total",
+			"Conservative lookahead windows processed."),
+	})
+}
+
+// shardMetrics is the per-shard slice of engineMetrics, resolved once at
+// NewSharded so the event loop touches no label maps.
+type shardMetrics struct {
+	events  *obs.Counter
+	barrier *obs.Histogram
+	depth   *obs.Gauge
+}
+
+func newShardMetrics(m *engineMetrics, shard int) shardMetrics {
+	if m == nil {
+		return shardMetrics{}
+	}
+	s := strconv.Itoa(shard)
+	return shardMetrics{
+		events:  m.events.With(s),
+		barrier: m.barrier.With(s),
+		depth:   m.depth.With(s),
+	}
+}

@@ -70,6 +70,10 @@ type Sharded struct {
 
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+
+	// m is the telemetry handle resolved at construction; nil (metrics
+	// never enabled) keeps every hot path at a single branch.
+	m *engineMetrics
 }
 
 type shardedNode struct {
@@ -112,6 +116,9 @@ type shard struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	met    shardMetrics
+	procNs atomic.Int64 // this window's processing time (instrumented runs)
 }
 
 // NewSharded creates a sharded engine starting at the given virtual time
@@ -140,8 +147,12 @@ func NewSharded(start time.Time, seed int64, cfg ShardedConfig) *Sharded {
 		nodes:     make(map[NodeID]*shardedNode),
 		shards:    make([]*shard, cfg.Shards),
 	}
+	s.m = engMetrics.Load()
 	for i := range s.shards {
-		s.shards[i] = &shard{rng: rand.New(rand.NewSource(seed ^ int64(0x9e3779b97f4a7c15*uint64(i+1))))}
+		s.shards[i] = &shard{
+			rng: rand.New(rand.NewSource(seed ^ int64(0x9e3779b97f4a7c15*uint64(i+1)))),
+			met: newShardMetrics(s.m, i),
+		}
 	}
 	return s
 }
@@ -480,6 +491,12 @@ func (s *Sharded) Send(from, to NodeID, msg any) error {
 	if delay < s.lookahead {
 		delay = s.lookahead
 	}
+	if s.m != nil {
+		s.m.sends.Inc()
+		if fromShard != toShard {
+			s.m.cross.Inc()
+		}
+	}
 	s.schedule(toShard, s.Now().Add(delay), func() {
 		// Revalidate at delivery time: connection and liveness may have
 		// changed while the message was in flight.
@@ -517,6 +534,7 @@ func (s *Sharded) RunUntil(deadline time.Time) {
 	nsh := len(s.shards)
 	goChs := make([]chan win, nsh)
 	arrive := make(chan struct{}, nsh)
+	instrumented := s.m != nil
 	var wg sync.WaitGroup
 	for i := 0; i < nsh; i++ {
 		goChs[i] = make(chan win)
@@ -524,7 +542,13 @@ func (s *Sharded) RunUntil(deadline time.Time) {
 		go func(sh *shard, ch chan win) {
 			defer wg.Done()
 			for c := range ch {
-				sh.processUntil(c.end, c.inclusive)
+				if instrumented {
+					t0 := time.Now()
+					sh.processUntil(c.end, c.inclusive)
+					sh.procNs.Store(time.Since(t0).Nanoseconds())
+				} else {
+					sh.processUntil(c.end, c.inclusive)
+				}
 				arrive <- struct{}{}
 			}
 		}(s.shards[i], goChs[i])
@@ -547,11 +571,26 @@ func (s *Sharded) RunUntil(deadline time.Time) {
 			wEnd = deadline
 			inclusive = true
 		}
+		var windowStart time.Time
+		if instrumented {
+			windowStart = time.Now()
+		}
 		for i := 0; i < nsh; i++ {
 			goChs[i] <- win{end: wEnd, inclusive: inclusive}
 		}
 		for i := 0; i < nsh; i++ {
 			<-arrive
+		}
+		if instrumented {
+			// Barrier wait per shard: how long it sat idle after finishing
+			// its own window while the slowest shard caught up.
+			wall := time.Since(windowStart).Nanoseconds()
+			for _, sh := range s.shards {
+				if wait := wall - sh.procNs.Load(); wait > 0 {
+					sh.met.barrier.Observe(float64(wait) / 1e9)
+				}
+			}
+			s.m.windows.Inc()
 		}
 	}
 	if s.Now().Before(deadline) {
@@ -568,8 +607,12 @@ func (s *Sharded) RunUntil(deadline time.Time) {
 func (s *Sharded) earliest() (time.Time, bool) {
 	var m time.Time
 	found := false
+	instrumented := s.m != nil
 	for _, sh := range s.shards {
 		sh.mu.Lock()
+		if instrumented {
+			sh.met.depth.Set(float64(len(sh.q)))
+		}
 		if len(sh.q) > 0 && (!found || sh.q[0].at.Before(m)) {
 			m = sh.q[0].at
 			found = true
@@ -582,6 +625,14 @@ func (s *Sharded) earliest() (time.Time, bool) {
 // processUntil runs this shard's events with at < end (at <= end when
 // inclusive) in (time, seq) order.
 func (sh *shard) processUntil(end time.Time, inclusive bool) {
+	// Events are counted locally and flushed once per window, so the
+	// instrumented event loop pays one atomic add per window, not per event.
+	n := uint64(0)
+	defer func() {
+		if n > 0 {
+			sh.met.events.Add(n)
+		}
+	}()
 	for {
 		sh.mu.Lock()
 		if len(sh.q) == 0 {
@@ -601,6 +652,7 @@ func (sh *shard) processUntil(end time.Time, inclusive bool) {
 		}
 		sh.mu.Unlock()
 		fn()
+		n++
 	}
 }
 

@@ -309,6 +309,10 @@ func weekDriver(w *workload.World, bootstrapIters int) (*report.Driver, error) {
 		MegagateIDs:    megagateIDs(w),
 	}
 	d := report.NewDriver(true)
+	// Publish in-flight report numbers as live gauges (no-op unless the
+	// process enabled metrics), so a /metrics scrape mid-run shows the
+	// traffic figures converging.
+	d.PublishLive(5 * time.Second)
 	if err := d.AddByName(weekReports, opts); err != nil {
 		return nil, err
 	}
@@ -490,6 +494,7 @@ func RunUpgrade(nodes int, weeks int, seed int64, newEngine func(start time.Time
 	}
 	// Fig. 4 buckets the raw request series (no dedup filter).
 	drv := report.NewDriver(false)
+	drv.PublishLive(5 * time.Second)
 	if err := drv.AddByName([]string{"fig4"}, report.Options{Bucket: 24 * time.Hour}); err != nil {
 		return nil, err
 	}

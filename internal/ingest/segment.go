@@ -139,6 +139,10 @@ type SegmentStore struct {
 	w          *trace.Writer
 	active     *Footer
 	activePath string
+
+	// m is the telemetry handle resolved at open; nil (metrics never
+	// enabled) keeps the write path at a single branch.
+	m *ingestMetrics
 }
 
 // OpenSegmentStore opens (creating if necessary) a segment store rooted at
@@ -147,7 +151,7 @@ func OpenSegmentStore(dir string, opts SegmentOptions) (*SegmentStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ingest: create store dir: %w", err)
 	}
-	s := &SegmentStore{dir: dir, opts: opts.withDefaults()}
+	s := &SegmentStore{dir: dir, opts: opts.withDefaults(), m: ingMetrics.Load()}
 	names, err := filepath.Glob(filepath.Join(dir, "*"+segmentSuffix))
 	if err != nil {
 		return nil, err
@@ -204,6 +208,9 @@ func (s *SegmentStore) Write(e trace.Entry) error {
 		return fmt.Errorf("ingest: write segment record: %w", err)
 	}
 	s.active.observe(e)
+	if s.m != nil {
+		s.m.entries.Inc()
+	}
 	return nil
 }
 
@@ -239,6 +246,10 @@ func (s *SegmentStore) seal() error {
 	if s.w == nil {
 		return nil
 	}
+	var sealStart time.Time
+	if s.m != nil {
+		sealStart = time.Now()
+	}
 	f, w, active, path := s.f, s.w, s.active, s.activePath
 	s.f, s.w, s.active, s.activePath = nil, nil, nil, ""
 	if err := w.Close(); err != nil {
@@ -251,9 +262,20 @@ func (s *SegmentStore) seal() error {
 		s.skipped = append(s.skipped, path)
 		return err
 	}
+	var segBytes int64
+	if s.m != nil {
+		if st, err := f.Stat(); err == nil {
+			segBytes = st.Size()
+		}
+	}
 	if err := f.Close(); err != nil {
 		s.skipped = append(s.skipped, path)
 		return fmt.Errorf("ingest: close segment: %w", err)
+	}
+	if s.m != nil {
+		s.m.sealed.Inc()
+		s.m.bytes.Add(uint64(segBytes))
+		s.m.flushLatency.ObserveDuration(time.Since(sealStart))
 	}
 	info := SegmentInfo{Path: path, Seq: s.seq - 1, Footer: *active}
 	if info.Footer.Entries == 0 {

@@ -64,9 +64,11 @@ func (m *windowMap) put(k dupKey, at time.Time, monitor string) {
 	m.q = append(m.q, keyAt{key: k, at: at})
 }
 
-// expire drops entries strictly older than watermark-window. Flag checks
-// use <= window comparisons, so nothing inside the window is ever evicted.
-func (m *windowMap) expire(watermark time.Time) {
+// expire drops entries strictly older than watermark-window, returning the
+// number of map entries evicted. Flag checks use <= window comparisons, so
+// nothing inside the window is ever evicted.
+func (m *windowMap) expire(watermark time.Time) int {
+	evicted := 0
 	for m.qh < len(m.q) && watermark.Sub(m.q[m.qh].at) > m.window {
 		ka := m.q[m.qh]
 		m.qh++
@@ -74,12 +76,14 @@ func (m *windowMap) expire(watermark time.Time) {
 		// fresher one has its own queue slot.
 		if s, ok := m.last[ka.key]; ok && s.at.Equal(ka.at) {
 			delete(m.last, ka.key)
+			evicted++
 		}
 	}
 	if m.qh > 0 && m.qh*2 >= len(m.q) {
 		m.q = append(m.q[:0], m.q[m.qh:]...)
 		m.qh = 0
 	}
+	return evicted
 }
 
 func (m *windowMap) size() int { return len(m.last) }
@@ -90,20 +94,28 @@ func (m *windowMap) size() int { return len(m.last) }
 type unifyState struct {
 	perMonitor map[string]*windowMap
 	any        *windowMap
+
+	// m is the telemetry handle resolved at construction; nil (metrics
+	// never enabled) keeps flagging at a single branch.
+	m *ingestMetrics
 }
 
 func newUnifyState() *unifyState {
 	return &unifyState{
 		perMonitor: make(map[string]*windowMap),
 		any:        newWindowMap(trace.InterMonitorWindow),
+		m:          ingMetrics.Load(),
 	}
 }
 
 // expire advances the watermark: nothing older than it can arrive anymore.
 func (s *unifyState) expire(watermark time.Time) {
-	s.any.expire(watermark)
+	n := s.any.expire(watermark)
 	for _, pm := range s.perMonitor {
-		pm.expire(watermark)
+		n += pm.expire(watermark)
+	}
+	if s.m != nil && n > 0 {
+		s.m.evictions.Add(uint64(n))
 	}
 }
 
@@ -118,12 +130,18 @@ func (s *unifyState) flag(e *trace.Entry) {
 	}
 	if prev, seen := pm.get(key); seen && e.Timestamp.Sub(prev.at) <= trace.RebroadcastWindow {
 		e.Flags |= trace.FlagRebroadcast
+		if s.m != nil {
+			s.m.rebroadcast.Inc()
+		}
 	}
 	pm.put(key, e.Timestamp, "")
 
 	if prev, seen := s.any.get(key); seen && prev.monitor != e.Monitor &&
 		e.Timestamp.Sub(prev.at) <= trace.InterMonitorWindow {
 		e.Flags |= trace.FlagInterMonitorDup
+		if s.m != nil {
+			s.m.interMonitor.Inc()
+		}
 	}
 	s.any.put(key, e.Timestamp, e.Monitor)
 }

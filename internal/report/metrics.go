@@ -1,0 +1,142 @@
+package report
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bitswapmon/internal/obs"
+)
+
+// reportMetrics is the streaming-analysis telemetry surface: per-report
+// entry throughput, sampled Observe latency, Finalize duration, and the
+// live-gauge bridge that publishes in-flight report numbers during a
+// simulation so a scrape mid-run shows the figures forming.
+type reportMetrics struct {
+	entries  *obs.CounterVec   // report_entries_observed_total{report}
+	observe  *obs.HistogramVec // report_observe_seconds{report}
+	finalize *obs.HistogramVec // report_finalize_seconds{report}
+	live     *obs.GaugeVec     // report_live_metric{report,metric}
+}
+
+var repMetrics atomic.Pointer[reportMetrics]
+
+// EnableMetrics registers the report metrics in r (obs.Default when nil) and
+// turns instrumentation on for drivers created afterwards. When never
+// called, Driver.Write pays only a nil check on a pointer resolved at
+// NewDriver.
+func EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		r = obs.Default
+	}
+	repMetrics.Store(&reportMetrics{
+		entries: r.CounterVec("report_entries_observed_total",
+			"Entries folded into each attached report.", "report"),
+		observe: r.HistogramVec("report_observe_seconds",
+			"Per-entry Observe latency, sampled every 1024th driver write.",
+			obs.ExponentialBuckets(1e-8, 10, 7), "report"),
+		finalize: r.HistogramVec("report_finalize_seconds",
+			"Time each report took to finalize its result.",
+			obs.ExponentialBuckets(1e-6, 10, 8), "report"),
+		live: r.GaugeVec("report_live_metric",
+			"Report metrics published while a live run is still in flight (final values at Finalize).",
+			"report", "metric"),
+	})
+}
+
+// LiveReporter is implemented by reports able to expose headline numbers
+// mid-stream, before Finalize. A Driver with PublishLive enabled publishes
+// these as report_live_metric gauges on a rolling interval, so an operator
+// scraping /metrics during a week-long simulation watches the traffic
+// figures converge instead of waiting for the end.
+type LiveReporter interface {
+	// LiveMetrics returns the report's current headline numbers. It is
+	// called from the Driver's Write path (never concurrently with
+	// Observe), so implementations can read their accumulation state
+	// directly.
+	LiveMetrics() map[string]float64
+}
+
+// reportHandles is one report's slice of reportMetrics, resolved at Add so
+// the write path touches no label maps.
+type reportHandles struct {
+	entries  *obs.Counter
+	observe  *obs.Histogram
+	finalize *obs.Histogram
+}
+
+const (
+	// counterFlushStride bounds the staleness of report_entries_observed:
+	// per-report counts accumulate in a plain slice and flush to the atomic
+	// counters every this many driver writes (and at Finalize), so the
+	// instrumented hot path stays within the <=5% overhead budget.
+	counterFlushStride = 4096
+	// observeSampleStride picks which writes get per-report Observe timing;
+	// 1-in-1024 keeps two time.Now calls per report off the common path
+	// while still populating the latency histogram quickly at realistic
+	// event rates.
+	observeSampleStride = 1024
+)
+
+// PublishLive enables the live-gauge bridge: while the driver streams, each
+// attached report implementing LiveReporter has its numbers published as
+// report_live_metric{report,metric} gauges at most once per interval
+// (default 5s when interval <= 0), checked every counterFlushStride writes.
+// At Finalize every report's final Metrics() map is published, so the gauges
+// end on the true values. No-op when metrics were not enabled at NewDriver.
+func (d *Driver) PublishLive(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	d.liveEvery = interval
+}
+
+// flushCounts drains the batched per-report entry counts into the atomic
+// counters.
+func (d *Driver) flushCounts() {
+	for i, n := range d.pend {
+		if n > 0 {
+			d.met[i].entries.Add(n)
+			d.pend[i] = 0
+		}
+	}
+}
+
+// maybePublishLive publishes LiveReporter gauges when the rolling interval
+// has elapsed. Called from the Write path on the flush stride, so the clock
+// is read at most once per counterFlushStride entries.
+func (d *Driver) maybePublishLive() {
+	if d.liveEvery <= 0 {
+		return
+	}
+	now := time.Now()
+	if now.Sub(d.lastPublish) < d.liveEvery {
+		return
+	}
+	d.lastPublish = now
+	for i, r := range d.active {
+		lr, ok := r.(LiveReporter)
+		if !ok {
+			continue
+		}
+		for k, v := range lr.LiveMetrics() {
+			d.m.live.With(d.reports[i].Name, k).Set(v)
+		}
+	}
+}
+
+// publishFinal sets the live gauges to each finalized report's Metrics()
+// map — the resting values a scrape after the run observes.
+func (d *Driver) publishFinal() {
+	if d.liveEvery <= 0 {
+		return
+	}
+	for i := range d.active {
+		res := d.reports[i].Result
+		if res == nil {
+			continue
+		}
+		for k, v := range res.Metrics() {
+			d.m.live.With(d.reports[i].Name, k).Set(v)
+		}
+	}
+}

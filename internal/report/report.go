@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/trace"
@@ -140,19 +141,38 @@ type Driver struct {
 	dedup   bool
 	reports []NamedResult // Result nil until Finalize
 	active  []Report
+
+	// m is the telemetry handle resolved at NewDriver; nil (metrics never
+	// enabled) keeps Write at a single branch. pend batches per-report
+	// entry counts between flushes; written counts driver writes for the
+	// flush/sample strides.
+	m           *reportMetrics
+	met         []reportHandles
+	pend        []uint64
+	written     uint64
+	liveEvery   time.Duration
+	lastPublish time.Time
 }
 
 // NewDriver returns an empty driver. dedup controls whether reports that
 // declare WantsDedup see the deduplicated view; pass false to feed every
 // report the raw trace (bsanalyze -dedup=false).
 func NewDriver(dedup bool) *Driver {
-	return &Driver{dedup: dedup}
+	return &Driver{dedup: dedup, m: repMetrics.Load()}
 }
 
 // Add attaches one report instance under a display name.
 func (d *Driver) Add(name string, r Report) {
 	d.reports = append(d.reports, NamedResult{Name: name})
 	d.active = append(d.active, r)
+	if d.m != nil {
+		d.met = append(d.met, reportHandles{
+			entries:  d.m.entries.With(name),
+			observe:  d.m.observe.With(name),
+			finalize: d.m.finalize.With(name),
+		})
+		d.pend = append(d.pend, 0)
+	}
 }
 
 // AddByName resolves each name through the default registry and attaches
@@ -179,6 +199,9 @@ func (d *Driver) AddByName(names []string, opts Options) error {
 // Write routes one entry to every attached report, honouring each report's
 // dedup requirement.
 func (d *Driver) Write(e trace.Entry) error {
+	if d.m != nil {
+		return d.writeInstrumented(e)
+	}
 	dup := d.dedup && e.IsDuplicate()
 	for _, r := range d.active {
 		if dup && r.WantsDedup() {
@@ -187,6 +210,37 @@ func (d *Driver) Write(e trace.Entry) error {
 		if err := r.Observe(e); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// writeInstrumented is Write with telemetry: per-report entry counts batch
+// in pend and flush every counterFlushStride writes, Observe latency is
+// timed on a 1-in-observeSampleStride sample, and the live-gauge bridge is
+// given a chance to publish on the flush stride.
+func (d *Driver) writeInstrumented(e trace.Entry) error {
+	dup := d.dedup && e.IsDuplicate()
+	d.written++
+	sample := d.written%observeSampleStride == 0
+	for i, r := range d.active {
+		if dup && r.WantsDedup() {
+			continue
+		}
+		if sample {
+			t0 := time.Now()
+			err := r.Observe(e)
+			d.met[i].observe.ObserveDuration(time.Since(t0))
+			if err != nil {
+				return err
+			}
+		} else if err := r.Observe(e); err != nil {
+			return err
+		}
+		d.pend[i]++
+	}
+	if d.written%counterFlushStride == 0 {
+		d.flushCounts()
+		d.maybePublishLive()
 	}
 	return nil
 }
@@ -203,14 +257,27 @@ func (d *Driver) Run(src ingest.EntrySource) error {
 // returned with a nil Result and the errors are joined, so callers can
 // surface what succeeded alongside the failure.
 func (d *Driver) Finalize() (Results, error) {
+	if d.m != nil {
+		d.flushCounts()
+	}
 	var errs []error
 	for i, r := range d.active {
+		var t0 time.Time
+		if d.m != nil {
+			t0 = time.Now()
+		}
 		res, err := r.Finalize()
+		if d.m != nil {
+			d.met[i].finalize.ObserveDuration(time.Since(t0))
+		}
 		if err != nil {
 			errs = append(errs, fmt.Errorf("report %s: %w", d.reports[i].Name, err))
 			continue
 		}
 		d.reports[i].Result = res
+	}
+	if d.m != nil {
+		d.publishFinal()
 	}
 	return d.reports, errors.Join(errs...)
 }

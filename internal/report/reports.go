@@ -171,6 +171,21 @@ func (r *trafficReport) Observe(e trace.Entry) error {
 	return nil
 }
 
+// LiveMetrics exposes the traffic counters mid-stream for the Driver's
+// live-gauge bridge: the shares a scrape watches converge during a run.
+func (r *trafficReport) LiveMetrics() map[string]float64 {
+	m := map[string]float64{
+		"entries":        float64(r.entries),
+		"requests":       float64(r.requests),
+		"dedup_entries":  float64(r.dedupEntries),
+		"dedup_requests": float64(r.dedupRequests),
+	}
+	if r.entries > 0 {
+		m["rebroad_share"] = 1 - float64(r.dedupEntries)/float64(r.entries)
+	}
+	return m
+}
+
 func (r *trafficReport) Finalize() (Result, error) {
 	t := &Traffic{
 		Entries:       r.entries,

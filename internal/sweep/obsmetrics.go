@@ -1,0 +1,49 @@
+package sweep
+
+import (
+	"sync/atomic"
+
+	"bitswapmon/internal/obs"
+)
+
+// sweepObsMetrics is the orchestrator's live telemetry surface (distinct
+// from the RunSummary metrics-by-name map in metrics.go, which addresses
+// persisted results): campaign progress — runs completed, failed, skipped,
+// in flight, total — plus per-run wall time and manifest durability. The
+// bssweep progress line reads these back through an obs snapshot.
+type sweepObsMetrics struct {
+	completed *obs.Counter   // sweep_runs_completed_total
+	failed    *obs.Counter   // sweep_runs_failed_total
+	skipped   *obs.Counter   // sweep_runs_skipped_total
+	inflight  *obs.Gauge     // sweep_runs_in_flight
+	total     *obs.Gauge     // sweep_runs_total
+	wall      *obs.Histogram // sweep_run_wall_seconds
+	manifest  *obs.Counter   // sweep_manifest_appends_total
+}
+
+var swMetrics atomic.Pointer[sweepObsMetrics]
+
+// EnableMetrics registers the sweep metrics in r (obs.Default when nil) and
+// turns instrumentation on for orchestrator invocations started afterwards.
+func EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		r = obs.Default
+	}
+	swMetrics.Store(&sweepObsMetrics{
+		completed: r.Counter("sweep_runs_completed_total",
+			"Sweep runs executed to completion by this process."),
+		failed: r.Counter("sweep_runs_failed_total",
+			"Sweep runs that errored (recorded in the manifest for retry)."),
+		skipped: r.Counter("sweep_runs_skipped_total",
+			"Sweep runs skipped because an earlier invocation completed them."),
+		inflight: r.Gauge("sweep_runs_in_flight",
+			"Sweep runs currently executing in the worker pool."),
+		total: r.Gauge("sweep_runs_total",
+			"Expanded run count of the sweep currently orchestrated."),
+		wall: r.Histogram("sweep_run_wall_seconds",
+			"Wall-clock time per executed sweep run.",
+			obs.ExponentialBuckets(0.01, 10, 6)),
+		manifest: r.Counter("sweep_manifest_appends_total",
+			"Entries appended (and fsynced) to the sweep manifest."),
+	})
+}

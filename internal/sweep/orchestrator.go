@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // sweepFile is the persisted sweep spec inside a sweep root; resume reads
@@ -89,6 +90,11 @@ func RunSweep(ctx context.Context, root string, sw SweepSpec, opts Options) (*Re
 	}
 	defer man.close()
 
+	m := swMetrics.Load()
+	if m != nil {
+		m.total.Set(float64(len(runs)))
+	}
+
 	res := &Result{Total: len(runs)}
 	var (
 		mu       sync.Mutex
@@ -101,7 +107,21 @@ func RunSweep(ctx context.Context, root string, sw SweepSpec, opts Options) (*Re
 		go func() {
 			defer wg.Done()
 			for run := range jobs {
+				var runStart time.Time
+				if m != nil {
+					m.inflight.Inc()
+					runStart = time.Now()
+				}
 				sum, err := ExecuteRun(RunDir(root, run.ID), run)
+				if m != nil {
+					m.inflight.Dec()
+					m.wall.ObserveDuration(time.Since(runStart))
+					if err != nil {
+						m.failed.Inc()
+					} else {
+						m.completed.Inc()
+					}
+				}
 				entry := ManifestEntry{RunID: run.ID}
 				if err != nil {
 					entry.Status = StatusFailed
@@ -113,6 +133,9 @@ func RunSweep(ctx context.Context, root string, sw SweepSpec, opts Options) (*Re
 					opts.Log("run %s done (%d entries, %dms)", run.ID, sum.Entries, sum.ElapsedMS)
 				}
 				recErr := man.record(entry)
+				if m != nil && recErr == nil {
+					m.manifest.Inc()
+				}
 				mu.Lock()
 				if err != nil {
 					res.Failed++
@@ -150,6 +173,9 @@ dispatch:
 			} else {
 				res.Skipped++
 				res.Summaries = append(res.Summaries, sum)
+				if m != nil {
+					m.skipped.Inc()
+				}
 			}
 			mu.Unlock()
 			opts.Log("run %s already done, skipping", run.ID)

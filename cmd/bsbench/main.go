@@ -23,15 +23,18 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
 
-// benchFiles maps each output file to the benchmarks it records.
+// benchFiles maps each output file to the benchmarks it records. A name
+// also matches its sub-benchmarks (Name/sub), so BenchmarkEngineScaling
+// records the whole serial/sharded scaling trajectory.
 var benchFiles = map[string][]string{
 	"BENCH_report.json": {"BenchmarkReportDriver"},
-	"BENCH_engine.json": {"BenchmarkReplayDrive", "BenchmarkSimnetEventLoop"},
+	"BENCH_engine.json": {"BenchmarkReplayDrive", "BenchmarkSimnetEventLoop", "BenchmarkEngineScaling"},
 }
 
 // Measurement is one parsed benchmark line.
@@ -112,22 +115,28 @@ func run(args []string) error {
 			Benchtime: *benchtime,
 		}
 		for _, name := range ns {
-			b, ok := bare[name]
-			if !ok {
+			// A configured name stands for itself plus any sub-benchmarks
+			// (Name/sub). Sub-benchmarks skipped in this environment (e.g.
+			// population sizes gated on CPU count) simply produce no line.
+			matched := matchedNames(bare, name)
+			if len(matched) == 0 {
 				return fmt.Errorf("benchmark %s missing from bare run", name)
 			}
-			m, ok := instrumented[name]
-			if !ok {
-				return fmt.Errorf("benchmark %s missing from instrumented run", name)
+			for _, mn := range matched {
+				b := bare[mn]
+				m, ok := instrumented[mn]
+				if !ok {
+					return fmt.Errorf("benchmark %s missing from instrumented run", mn)
+				}
+				e := Entry{Name: mn, Bare: b, Metrics: m}
+				if b.NsPerOp > 0 {
+					e.OverheadPct = (m.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+				}
+				if e.OverheadPct > worst {
+					worst, worstName = e.OverheadPct, mn
+				}
+				doc.Benchmarks = append(doc.Benchmarks, e)
 			}
-			e := Entry{Name: name, Bare: b, Metrics: m}
-			if b.NsPerOp > 0 {
-				e.OverheadPct = (m.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
-			}
-			if e.OverheadPct > worst {
-				worst, worstName = e.OverheadPct, name
-			}
-			doc.Benchmarks = append(doc.Benchmarks, e)
 		}
 		blob, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -143,6 +152,19 @@ func run(args []string) error {
 		return fmt.Errorf("%s instrumentation overhead %.1f%% exceeds budget %.1f%%", worstName, worst, *maxOverhead)
 	}
 	return nil
+}
+
+// matchedNames returns the measured names covered by a configured benchmark
+// name — the name itself and any "name/sub" sub-benchmarks — in sorted order.
+func matchedNames(results map[string]*Measurement, name string) []string {
+	var out []string
+	for mn := range results {
+		if mn == name || strings.HasPrefix(mn, name+"/") {
+			out = append(out, mn)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // mergeFastest folds one round's measurements into acc, keeping the lowest
@@ -176,6 +198,24 @@ func runBenchmarks(dir, pattern, benchtime string, round, rounds int, metrics bo
 	return parseBenchOutput(string(out))
 }
 
+// stripProcSuffix removes the -GOMAXPROCS suffix go test appends to result
+// lines. Only the exact effective GOMAXPROCS value is stripped: with
+// GOMAXPROCS=1 no suffix is printed at all, and a blind trailing "-N" strip
+// would eat the shard count from sub-benchmark names like "sharded-8".
+func stripProcSuffix(name string) string {
+	procs := runtime.GOMAXPROCS(0)
+	if v := os.Getenv("GOMAXPROCS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			procs = n
+		}
+	}
+	if procs == 1 {
+		return name
+	}
+	suffix := "-" + strconv.Itoa(procs)
+	return strings.TrimSuffix(name, suffix)
+}
+
 // parseBenchOutput extracts benchmark result lines of the form
 //
 //	BenchmarkName-8  12  91972690 ns/op  217456 events/sec  37188956 B/op  422104 allocs/op
@@ -189,10 +229,7 @@ func parseBenchOutput(out string) (map[string]*Measurement, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			name = name[:i]
-		}
+		name := stripProcSuffix(fields[0])
 		n, err := strconv.Atoi(fields[1])
 		if err != nil {
 			continue

@@ -289,11 +289,15 @@ func (e *Engine) newSession(root cid.CID) *Session {
 }
 
 // broadcastWantHave sends WANT_HAVE c to every currently connected peer.
+// PeersEach iterates the engine's sorted peer set in place, so the hottest
+// bitswap loop (every session start and every 30 s rebroadcast of every
+// unresolved want) does not copy the connection table.
 func (e *Engine) broadcastWantHave(w *wantState) {
 	e.stats.BroadcastsSent++
-	for _, p := range e.net.Peers(e.self) {
+	e.net.PeersEach(e.self, func(p simnet.NodeID) bool {
 		e.sendWantHave(w, p)
-	}
+		return true
+	})
 }
 
 func (e *Engine) sendWantHave(w *wantState, p simnet.NodeID) {
@@ -473,25 +477,31 @@ func (e *Engine) HandleMessage(from simnet.NodeID, msg any) bool {
 	if !ok {
 		return false
 	}
-	var reply wire.Message
+	// The reply is allocated lazily: most inbound traffic needs no response
+	// (monitors never hold blocks), and an unconditional stack reply would
+	// escape to the heap through the network interface on every message.
+	var reply *wire.Message
 	for _, entry := range m.Wantlist {
 		switch entry.Type {
 		case wire.WantHave:
 			e.rememberWant(from, entry)
 			if e.store.Has(entry.CID) {
-				reply.Presences = append(reply.Presences, wire.Presence{Type: wire.Have, CID: entry.CID})
+				reply = addPresence(reply, wire.Have, entry.CID)
 				e.stats.HavesServed++
 			} else if entry.SendDontHave {
-				reply.Presences = append(reply.Presences, wire.Presence{Type: wire.DontHave, CID: entry.CID})
+				reply = addPresence(reply, wire.DontHave, entry.CID)
 				e.stats.DontHavesServed++
 			}
 		case wire.WantBlock:
 			e.rememberWant(from, entry)
 			if data, ok := e.store.Get(entry.CID); ok {
+				if reply == nil {
+					reply = &wire.Message{}
+				}
 				reply.Blocks = append(reply.Blocks, wire.Block{CID: entry.CID, Data: data})
 				e.stats.BlocksServed++
 			} else if entry.SendDontHave {
-				reply.Presences = append(reply.Presences, wire.Presence{Type: wire.DontHave, CID: entry.CID})
+				reply = addPresence(reply, wire.DontHave, entry.CID)
 				e.stats.DontHavesServed++
 			}
 		case wire.Cancel:
@@ -516,10 +526,20 @@ func (e *Engine) HandleMessage(from simnet.NodeID, msg any) bool {
 	for _, b := range m.Blocks {
 		e.receiveBlock(from, b)
 	}
-	if !reply.Empty() {
-		_ = e.net.Send(e.self, from, &reply)
+	if reply != nil {
+		_ = e.net.Send(e.self, from, reply)
 	}
 	return true
+}
+
+// addPresence appends a HAVE/DONT_HAVE response, allocating the reply on
+// first use.
+func addPresence(m *wire.Message, t wire.PresenceType, c cid.CID) *wire.Message {
+	if m == nil {
+		m = &wire.Message{}
+	}
+	m.Presences = append(m.Presences, wire.Presence{Type: t, CID: c})
+	return m
 }
 
 func countTrue(m map[simnet.NodeID]bool) int {

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"slices"
 	"time"
 
 	"bitswapmon/internal/engine"
@@ -271,8 +272,9 @@ type lookup struct {
 	providers bool // query providers instead of find-node
 	wantProvs int
 
-	seen     map[simnet.NodeID]PeerInfo
-	queried  map[simnet.NodeID]bool
+	seen     map[simnet.NodeID]bool
+	cand     []lookupCand // every seen peer; sorted by distance when sorted is set
+	sorted   bool
 	inflight int
 
 	foundProvs map[simnet.NodeID]PeerInfo
@@ -280,24 +282,38 @@ type lookup struct {
 	onDone     func(closest []PeerInfo, providers []PeerInfo)
 }
 
+// lookupCand is one candidate with its queried mark inline. The mark used to
+// live in a map keyed by the 32-byte NodeID, which made every step() scan pay
+// a hash per candidate; as a struct field it travels with the entry through
+// re-sorts for free.
+type lookupCand struct {
+	PeerInfo
+	queried bool
+}
+
 func (l *lookup) addCandidates(peers []PeerInfo) {
 	for _, p := range peers {
-		if p.ID == l.d.self.ID {
+		if p.ID == l.d.self.ID || l.seen[p.ID] {
 			continue
 		}
-		if _, ok := l.seen[p.ID]; !ok {
-			l.seen[p.ID] = p
-		}
+		l.seen[p.ID] = true
+		l.cand = append(l.cand, lookupCand{PeerInfo: p})
+		l.sorted = false
 	}
 }
 
-func (l *lookup) candidates() []PeerInfo {
-	out := make([]PeerInfo, 0, len(l.seen))
-	for _, p := range l.seen {
-		out = append(out, p)
+// candidates returns every seen peer ordered by distance to the target. The
+// slice is owned by the lookup and re-sorted only after new candidates
+// arrive; step() runs after every RPC response, and re-sorting a mostly
+// sorted slice is much cheaper than the former copy-the-map-and-sort.
+func (l *lookup) candidates() []lookupCand {
+	if !l.sorted {
+		slices.SortFunc(l.cand, func(a, b lookupCand) int {
+			return simnet.DistanceCompare(l.target, a.ID, b.ID)
+		})
+		l.sorted = true
 	}
-	SortByDistance(out, l.target)
-	return out
+	return l.cand
 }
 
 func (l *lookup) step() {
@@ -316,8 +332,8 @@ func (l *lookup) step() {
 		kClosest = kClosest[:l.d.cfg.K]
 	}
 	allQueried := true
-	for _, p := range kClosest {
-		if p.Server && !l.queried[p.ID] {
+	for i := range kClosest {
+		if kClosest[i].Server && !kClosest[i].queried {
 			allQueried = false
 			break
 		}
@@ -326,17 +342,21 @@ func (l *lookup) step() {
 		l.finish()
 		return
 	}
-	for _, p := range cands {
+	for i := range cands {
 		if l.inflight >= l.d.cfg.Alpha {
 			break
 		}
-		if !p.Server || l.queried[p.ID] {
+		c := &cands[i]
+		if !c.Server || c.queried {
 			continue
 		}
-		l.queried[p.ID] = true
+		// Mark before sending: failed sends re-enter step() synchronously,
+		// and synchronous re-entry never appends or re-sorts cand, so the
+		// write through c stays visible to the recursive scan.
+		c.queried = true
 		l.inflight++
+		peer := c.PeerInfo
 		if l.providers {
-			peer := p
 			l.d.sendGetProviders(peer, l.key, func(resp getProvidersResp, ok bool) {
 				l.inflight--
 				if ok {
@@ -349,7 +369,6 @@ func (l *lookup) step() {
 				l.step()
 			})
 		} else {
-			peer := p
 			l.d.sendFindNode(peer, l.target, func(resp findNodeResp, ok bool) {
 				l.inflight--
 				if ok {
@@ -371,9 +390,13 @@ func (l *lookup) finish() {
 		return
 	}
 	l.finished = true
-	closest := l.candidates()
-	if len(closest) > l.d.cfg.K {
-		closest = closest[:l.d.cfg.K]
+	cands := l.candidates()
+	if len(cands) > l.d.cfg.K {
+		cands = cands[:l.d.cfg.K]
+	}
+	closest := make([]PeerInfo, len(cands))
+	for i := range cands {
+		closest[i] = cands[i].PeerInfo
 	}
 	provs := make([]PeerInfo, 0, len(l.foundProvs))
 	for _, p := range l.foundProvs {
@@ -389,11 +412,10 @@ func (l *lookup) finish() {
 func (d *DHT) FindClosest(target simnet.NodeID, done func([]PeerInfo)) {
 	d.lookupsStarted++
 	l := &lookup{
-		d:       d,
-		target:  target,
-		seen:    make(map[simnet.NodeID]PeerInfo),
-		queried: make(map[simnet.NodeID]bool),
-		onDone:  func(closest, _ []PeerInfo) { done(closest) },
+		d:      d,
+		target: target,
+		seen:   make(map[simnet.NodeID]bool),
+		onDone: func(closest, _ []PeerInfo) { done(closest) },
 	}
 	l.addCandidates(d.rt.Closest(target, d.cfg.K))
 	l.step()
@@ -412,8 +434,7 @@ func (d *DHT) FindProviders(key Key, want int, done func([]PeerInfo)) {
 		key:        key,
 		providers:  true,
 		wantProvs:  want,
-		seen:       make(map[simnet.NodeID]PeerInfo),
-		queried:    make(map[simnet.NodeID]bool),
+		seen:       make(map[simnet.NodeID]bool),
 		foundProvs: make(map[simnet.NodeID]PeerInfo),
 		onDone:     func(_, provs []PeerInfo) { done(provs) },
 	}

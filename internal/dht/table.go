@@ -8,7 +8,8 @@
 package dht
 
 import (
-	"sort"
+	"encoding/binary"
+	"slices"
 
 	"bitswapmon/internal/simnet"
 )
@@ -32,6 +33,11 @@ type RoutingTable struct {
 	k       int
 	buckets [257][]PeerInfo // index = LeadingZeros of XOR distance
 	size    int
+
+	// dscratch holds Closest's per-candidate distance prefixes between
+	// calls, so the hot FIND_NODE path does not allocate it each time. A
+	// table is only ever used from its node's handler (one goroutine).
+	dscratch []uint64
 }
 
 // NewRoutingTable creates a routing table for self with bucket size k
@@ -44,7 +50,7 @@ func NewRoutingTable(self simnet.NodeID, k int) *RoutingTable {
 }
 
 func (rt *RoutingTable) bucketIndex(id simnet.NodeID) int {
-	return rt.self.XOR(id).LeadingZeros()
+	return rt.self.CommonPrefixLen(id)
 }
 
 // Add inserts a peer. Client peers and self are ignored; full buckets keep
@@ -95,14 +101,50 @@ func (rt *RoutingTable) Contains(id simnet.NodeID) bool {
 // Size returns the number of stored peers.
 func (rt *RoutingTable) Size() int { return rt.size }
 
-// Closest returns up to n peers closest to target in XOR distance.
+// Closest returns up to n peers closest to target in XOR distance. It keeps
+// a bounded top-n set by sorted insertion rather than copying and sorting the
+// whole table: Closest runs on every FIND_NODE / GET_PROVIDERS a server
+// answers, and n (the bucket size, 20) is far smaller than the table.
 func (rt *RoutingTable) Closest(target simnet.NodeID, n int) []PeerInfo {
-	all := rt.All()
-	SortByDistance(all, target)
-	if len(all) > n {
-		all = all[:n]
+	if n <= 0 {
+		return nil
 	}
-	return all
+	// Candidates are ranked by the first 8 distance bytes as one uint64;
+	// the full 32-byte comparison runs only when two prefixes collide
+	// (distinct IDs always differ somewhere, so ties stay deterministic).
+	t8 := binary.BigEndian.Uint64(target[0:8])
+	out := make([]PeerInfo, 0, min(n, rt.size))
+	if cap(rt.dscratch) < n {
+		rt.dscratch = make([]uint64, 0, n)
+	}
+	d := rt.dscratch[:0]
+	for i := range rt.buckets {
+		bucket := rt.buckets[i]
+		for j := range bucket {
+			p := &bucket[j]
+			pd := t8 ^ binary.BigEndian.Uint64(p.ID[0:8])
+			if len(out) == n {
+				if w := d[n-1]; pd > w ||
+					(pd == w && simnet.DistanceCompare(target, out[n-1].ID, p.ID) <= 0) {
+					continue
+				}
+				out = out[:n-1]
+				d = d[:n-1]
+			}
+			pos := len(out)
+			for pos > 0 {
+				q := pos - 1
+				if d[q] < pd || (d[q] == pd && simnet.DistanceCompare(target, out[q].ID, p.ID) < 0) {
+					break
+				}
+				pos = q
+			}
+			out = slices.Insert(out, pos, *p)
+			d = slices.Insert(d, pos, pd)
+		}
+	}
+	rt.dscratch = d[:0]
+	return out
 }
 
 // All returns every stored peer, ordered by bucket then insertion.
@@ -123,15 +165,14 @@ func (rt *RoutingTable) Bucket(cpl int) []PeerInfo {
 	return append([]PeerInfo(nil), rt.buckets[cpl]...)
 }
 
-// SortByDistance sorts peers in place by XOR distance to target, tie-breaking
-// on ID for determinism.
+// SortByDistance sorts peers in place by XOR distance to target. The order
+// is deterministic without an explicit tie-break: equal XOR distance to a
+// fixed target implies equal IDs. The comparator compares distances byte by
+// byte without materializing them, and slices.SortFunc avoids the reflection
+// swap path of sort.Slice — together the dominant costs of the previous
+// implementation on the lookup hot path.
 func SortByDistance(peers []PeerInfo, target simnet.NodeID) {
-	sort.Slice(peers, func(i, j int) bool {
-		di := peers[i].ID.XOR(target)
-		dj := peers[j].ID.XOR(target)
-		if di != dj {
-			return di.Less(dj)
-		}
-		return peers[i].ID.Less(peers[j].ID)
+	slices.SortFunc(peers, func(a, b PeerInfo) int {
+		return simnet.DistanceCompare(target, a.ID, b.ID)
 	})
 }

@@ -93,6 +93,12 @@ type ConnTable interface {
 	Connected(a, b NodeID) bool
 	// Peers returns a snapshot of a node's connected peers, sorted by ID.
 	Peers(id NodeID) []NodeID
+	// PeersEach calls fn for each connected peer of id in ascending NodeID
+	// order, stopping early when fn returns false. Unlike Peers it does not
+	// copy: implementations iterate an immutable or cached sorted set, so
+	// broadcast loops run allocation-free. fn must not mutate the
+	// connection table.
+	PeersEach(id NodeID, fn func(NodeID) bool)
 	// PeerCount returns the size of a node's connection table.
 	PeerCount(id NodeID) int
 }

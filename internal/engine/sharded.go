@@ -1,10 +1,10 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -22,103 +22,143 @@ type ShardedConfig struct {
 	// Latency is the delay model; nil selects simnet.DefaultLatencyModel.
 	Latency *simnet.LatencyModel
 	// Lookahead overrides the conservative synchronization window. It must
-	// not exceed the minimum latency the model can produce, or cross-shard
-	// messages could be delivered into a window a shard has already
-	// processed. 0 derives it from the model (the safe default).
+	// not exceed the minimum latency of any cross-shard region pair, or
+	// cross-shard messages could be delivered into a window a shard has
+	// already processed. 0 derives it from the model and the partition (the
+	// safe default).
 	Lookahead time.Duration
+	// Partition selects node placement; see PartitionMode.
+	Partition PartitionMode
 }
 
 // Sharded is a multi-core discrete-event engine. It partitions the node
-// population across worker shards (hash of the node ID) and advances them in
-// lockstep over conservative lookahead windows:
+// population across worker shards and advances them in lockstep over
+// conservative lookahead windows:
 //
-//	window = [W, W+L), L = min latency of the delay model
+//	window = [W, W+L), L = minimum latency between nodes on distinct shards
 //
-// Because every message takes at least L of virtual time, no event executed
-// inside the current window can require delivery inside it on another shard
-// — shards can process their own windows in parallel without coordination,
-// synchronizing only at window boundaries. The window start doubles as the
-// engine-wide virtual clock, so Now() is quantized to L (≈ milliseconds)
-// while the serial reference is exact; all protocol timers are seconds or
-// more, which keeps the two engines statistically equivalent.
+// Because every cross-shard message takes at least L of virtual time (the
+// engine floors cross-shard delays at L), no event executed inside the
+// current window can require delivery inside it on another shard — shards
+// process their windows in parallel and synchronize only at window
+// boundaries. With PartitionAuto, nodes are placed so that low-latency
+// region pairs share a shard, which widens L from the model's global minimum
+// to its minimum cross-group latency (12ms -> 90ms with the default model).
 //
-// Within a window each shard runs its events single-threaded in (time, seq)
-// order, so per-node protocol state needs no locking as long as all events
-// touching a node run on its owner shard — that is what Timers.AfterOn/Post
-// affinity is for. Shared engine state (connection table, node registry) is
-// guarded here; handler callbacks crossing shard boundaries (PeerConnected
-// and friends) are marshalled onto the owner shard as events.
+// # Hot-path machinery
+//
+//   - Each shard owns a hierarchical timing wheel (see wheel.go) whose
+//     finest tier is one lookahead quantum: O(1) schedule and expire, with
+//     (time, seq) order restored per slot at drain time. The wheel is
+//     single-writer — only its owner worker (during a window) or the
+//     coordinator (between windows) touches it — so scheduling takes no lock.
+//   - The node registry is a dense table: NodeID -> int32 index assigned at
+//     AddNode, then flat parallel slices for shard, region, handler and
+//     address. Connection state (peer set, online flag) lives in one cell
+//     per node read lock-free: the peer set is an immutable sorted []int32
+//     swapped atomically on Connect/Disconnect (copy-on-write), the online
+//     flag an atomic.Bool.
+//   - Cross-shard sends append to a per-(src,dst) outbox cell and are merged
+//     into destination wheels by the coordinator once per window barrier —
+//     one lock acquisition per pair per window instead of one per message.
+//     The merge happens strictly after the barrier, and merged deliveries
+//     carry at >= W+L, so they always land in a window no shard has started:
+//     the batched-delivery invariant.
+//   - Latency sampling uses a per-shard splitmix64 generator (single-writer
+//     by the same ownership rule as the wheel), eliminating the old rngMu.
+//
+// Timers scheduled from event code (After/AfterOn/Post while the engine is
+// running) are marshalled through a small per-shard locked inbox and merged
+// at the next barrier — they run no earlier than the next window, which for
+// cross-shard posts matches the old engine's race window and for protocol
+// timers (seconds) is far below resolution.
 //
 // The sharded engine is statistically — not bitwise — equivalent to the
-// serial reference: latency draws come from per-shard RNG streams and
-// cross-shard tie-breaking depends on scheduling, so per-seed determinism is
-// only guaranteed by the serial engine.
+// serial reference: latency draws come from per-shard RNG streams, Now() is
+// quantized to the window start, and cross-shard tie-breaking depends on
+// scheduling. Per-seed determinism is only guaranteed by the serial engine.
 type Sharded struct {
 	start     time.Time
 	nowNs     atomic.Int64 // virtual now, nanoseconds since start
 	lm        *simnet.LatencyModel
 	lookahead time.Duration
+	qNs       int64
+	part      *regionPartition // nil: hash placement
 
 	rootMu  sync.Mutex
 	rootRNG *rand.Rand
 
-	mu          sync.RWMutex // guards nodes, per-node peer/online state
-	nodes       map[NodeID]*shardedNode
+	// Dense node table. The idx map and the flat slices are written only
+	// while the engine is idle (AddNode/Pin contract) and read freely during
+	// runs; per-node connection state lives in conn and is safe any time.
+	idx      map[NodeID]int32
+	ids      []NodeID
+	addrs    []string
+	regions  []Region
+	latIdx   []int32 // region index into latBase
+	shardOf  []int32
+	maxConns []int32
+	handlers []Handler
+	conn     []*connCell
+
+	// latBase is the base-latency matrix indexed by dense region indices,
+	// grown at AddNode; latRegion interns regions.
+	latRegion map[Region]int32
+	latBase   [][]int64
+
+	nodesMu     sync.RWMutex
 	nodesSorted []NodeID
 
-	shards []*shard
+	connMu sync.Mutex // serializes Connect/Disconnect/SetOnline writers
 
-	delivered atomic.Uint64
-	dropped   atomic.Uint64
+	shards  []*shard
+	running bool // set around RunUntil; routes event-time timers via inboxes
 
 	// m is the telemetry handle resolved at construction; nil (metrics
 	// never enabled) keeps every hot path at a single branch.
 	m *engineMetrics
 }
 
-type shardedNode struct {
-	id       NodeID
-	addr     string
-	region   Region
-	handler  Handler
-	maxConns int
-	peers    map[NodeID]bool
-	sorted   []NodeID // kept sorted eagerly; mutated under Sharded.mu
-	online   bool
-	shard    int
+// connCell is one node's lock-free connection state.
+type connCell struct {
+	// peers points to an immutable []int32 of peer indices sorted by peer
+	// NodeID, swapped wholesale under connMu (copy-on-write).
+	peers  atomic.Pointer[[]int32]
+	online atomic.Bool
 }
 
-// sev is one scheduled event on a shard.
-type sev struct {
-	at  time.Time
-	seq uint64
-	fn  func()
+// outCell buffers one (src,dst) shard pair's in-window sends.
+type outCell struct {
+	mu  sync.Mutex
+	evs []sev
 }
-
-type sevQueue []*sev
-
-func (q sevQueue) Len() int { return len(q) }
-func (q sevQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
-	}
-	return q[i].seq < q[j].seq
-}
-func (q sevQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *sevQueue) Push(x any)   { *q = append(*q, x.(*sev)) }
-func (q *sevQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
 
 type shard struct {
-	mu   sync.Mutex
-	q    sevQueue
-	seq  uint64
-	pool []*sev
+	w   wheel
+	eng *Sharded
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// inbox receives timer marshals from event code on any shard; merged
+	// into the wheel by the coordinator at window boundaries.
+	inMu  sync.Mutex
+	inbox []sev
+
+	// out[d] buffers sends from this shard to shard d within one window.
+	out []outCell
+
+	rng uint64 // splitmix64 state for latency sampling
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
 
 	met    shardMetrics
 	procNs atomic.Int64 // this window's processing time (instrumented runs)
+
+	nextU  int64 // scratch: this shard's next slot (or bound), set by earliest()
+	exactU bool  // scratch: nextU is an exact slot, not a coarse bound
+	hasU   bool
+
+	// drain is the reusable slot-drain heap; see processWindow.
+	drain []sev
 }
 
 // NewSharded creates a sharded engine starting at the given virtual time
@@ -132,9 +172,17 @@ func NewSharded(start time.Time, seed int64, cfg ShardedConfig) *Sharded {
 	if cfg.Latency == nil {
 		cfg.Latency = simnet.DefaultLatencyModel()
 	}
+	var part *regionPartition
+	if cfg.Partition == PartitionAuto {
+		part = planPartition(cfg.Latency, cfg.Shards)
+	}
 	la := cfg.Lookahead
 	if la <= 0 {
-		la = cfg.Latency.Min()
+		if part != nil {
+			la = part.lookahead
+		} else {
+			la = cfg.Latency.Min()
+		}
 	}
 	if la <= 0 {
 		la = time.Millisecond
@@ -143,16 +191,23 @@ func NewSharded(start time.Time, seed int64, cfg ShardedConfig) *Sharded {
 		start:     start,
 		lm:        cfg.Latency,
 		lookahead: la,
+		qNs:       int64(la),
+		part:      part,
 		rootRNG:   rand.New(rand.NewSource(seed)),
-		nodes:     make(map[NodeID]*shardedNode),
+		idx:       make(map[NodeID]int32),
+		latRegion: make(map[Region]int32),
 		shards:    make([]*shard, cfg.Shards),
 	}
 	s.m = engMetrics.Load()
 	for i := range s.shards {
-		s.shards[i] = &shard{
-			rng: rand.New(rand.NewSource(seed ^ int64(0x9e3779b97f4a7c15*uint64(i+1)))),
+		sh := &shard{
+			eng: s,
+			rng: uint64(seed) ^ 0x9e3779b97f4a7c15*uint64(i+1),
+			out: make([]outCell, cfg.Shards),
 			met: newShardMetrics(s.m, i),
 		}
+		sh.w.init(s.qNs)
+		s.shards[i] = sh
 	}
 	return s
 }
@@ -174,8 +229,6 @@ func (s *Sharded) Lookahead() time.Duration { return s.lookahead }
 // engine is running).
 func (s *Sharded) Now() time.Time { return s.start.Add(time.Duration(s.nowNs.Load())) }
 
-func (s *Sharded) setNow(t time.Time) { s.nowNs.Store(int64(t.Sub(s.start))) }
-
 // NewRand derives an independent deterministic RNG labelled by name, with
 // the same derivation as the serial engine. Call at build time or between
 // Run calls only.
@@ -190,89 +243,125 @@ func (s *Sharded) NewRand(name string) *rand.Rand {
 // ownerShard returns the shard responsible for a node's events; unknown
 // nodes map to the control shard.
 func (s *Sharded) ownerShard(id NodeID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.ownerShardLocked(id)
-}
-
-func (s *Sharded) ownerShardLocked(id NodeID) int {
-	if st, ok := s.nodes[id]; ok {
-		return st.shard
+	if i, ok := s.idx[id]; ok {
+		return int(s.shardOf[i])
 	}
 	return 0
 }
 
-func (s *Sharded) schedule(shardIdx int, at time.Time, fn func()) {
+// schedTimer routes a timer event: straight into the target wheel while the
+// engine is idle (only the driver goroutine is live), via the target's
+// locked inbox from event code — the coordinator merges inboxes at the next
+// barrier, so the function runs no earlier than the next window.
+func (s *Sharded) schedTimer(shardIdx int, atNs int64, fn func()) {
 	sh := s.shards[shardIdx]
-	sh.mu.Lock()
-	sh.seq++
-	var e *sev
-	if k := len(sh.pool); k > 0 {
-		e = sh.pool[k-1]
-		sh.pool = sh.pool[:k-1]
-		e.at, e.seq, e.fn = at, sh.seq, fn
-	} else {
-		e = &sev{at: at, seq: sh.seq, fn: fn}
+	if !s.running {
+		sh.w.schedule(sev{atNs: atNs, fn: fn})
+		return
 	}
-	heap.Push(&sh.q, e)
-	sh.mu.Unlock()
+	sh.inMu.Lock()
+	sh.inbox = append(sh.inbox, sev{atNs: atNs, fn: fn})
+	sh.inMu.Unlock()
 }
 
 // After schedules fn after d of virtual time on the control shard.
 func (s *Sharded) After(d time.Duration, fn func()) {
-	s.schedule(0, s.Now().Add(d), fn)
+	s.schedTimer(0, s.nowNs.Load()+int64(d), fn)
 }
 
 // At schedules fn at an absolute virtual time (clamped to now) on the
 // control shard.
 func (s *Sharded) At(t time.Time, fn func()) {
-	if now := s.Now(); t.Before(now) {
-		t = now
+	at := int64(t.Sub(s.start))
+	if now := s.nowNs.Load(); at < now {
+		at = now
 	}
-	s.schedule(0, t, fn)
+	s.schedTimer(0, at, fn)
 }
 
 // AfterOn schedules fn after d of virtual time on the shard owning id.
 func (s *Sharded) AfterOn(id NodeID, d time.Duration, fn func()) {
-	s.schedule(s.ownerShard(id), s.Now().Add(d), fn)
+	s.schedTimer(s.ownerShard(id), s.nowNs.Load()+int64(d), fn)
 }
 
 // Post schedules fn as soon as possible on the shard owning id.
 func (s *Sharded) Post(id NodeID, fn func()) {
-	s.schedule(s.ownerShard(id), s.Now(), fn)
+	s.schedTimer(s.ownerShard(id), s.nowNs.Load(), fn)
 }
 
-// AddNode registers a node, assigning it to a shard by ID hash. Call at
-// build time or between Run calls.
+// latIndex interns a region into the base-latency matrix (idle-time only).
+func (s *Sharded) latIndex(r Region) int32 {
+	if i, ok := s.latRegion[r]; ok {
+		return i
+	}
+	i := int32(len(s.latBase))
+	s.latRegion[r] = i
+	for j := range s.latBase {
+		other := s.regionAt(int32(j))
+		s.latBase[j] = append(s.latBase[j], s.baseLatNs(other, r))
+	}
+	row := make([]int64, i+1)
+	for j := int32(0); j <= i; j++ {
+		row[j] = s.baseLatNs(r, s.regionAt(j))
+	}
+	s.latBase = append(s.latBase, row)
+	return i
+}
+
+func (s *Sharded) regionAt(i int32) Region {
+	for r, j := range s.latRegion {
+		if j == i {
+			return r
+		}
+	}
+	return ""
+}
+
+func (s *Sharded) baseLatNs(a, b Region) int64 {
+	if d, ok := s.lm.Base[[2]Region{a, b}]; ok {
+		return int64(d)
+	}
+	return int64(s.lm.Default)
+}
+
+// AddNode registers a node: latency-aware region placement under
+// PartitionAuto, ID-hash placement otherwise. Call at build time or between
+// Run calls, never from event code.
 func (s *Sharded) AddNode(id NodeID, addr string, region Region, maxConns int, h Handler) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.nodes[id]; ok {
+	if _, ok := s.idx[id]; ok {
 		return fmt.Errorf("engine: node %s already registered", id)
 	}
-	h64 := fnv.New64a()
-	h64.Write(id[:])
-	s.nodes[id] = &shardedNode{
-		id:       id,
-		addr:     addr,
-		region:   region,
-		handler:  h,
-		maxConns: maxConns,
-		peers:    make(map[NodeID]bool),
-		online:   true,
-		shard:    int(h64.Sum64() % uint64(len(s.shards))),
+	var shard int32
+	if s.part != nil {
+		shard = s.part.shardFor(region, len(s.shards))
+	} else {
+		shard = hashShard(id, len(s.shards))
 	}
+	i := int32(len(s.ids))
+	s.idx[id] = i
+	s.ids = append(s.ids, id)
+	s.addrs = append(s.addrs, addr)
+	s.regions = append(s.regions, region)
+	s.latIdx = append(s.latIdx, s.latIndex(region))
+	s.shardOf = append(s.shardOf, shard)
+	s.maxConns = append(s.maxConns, int32(maxConns))
+	s.handlers = append(s.handlers, h)
+	cell := &connCell{}
+	cell.online.Store(true)
+	empty := []int32{}
+	cell.peers.Store(&empty)
+	s.conn = append(s.conn, cell)
+	s.nodesMu.Lock()
 	s.nodesSorted = nil
+	s.nodesMu.Unlock()
 	return nil
 }
 
 // Pin moves a node to the control shard. Pin right after AddNode, before
 // any event for the node is scheduled.
 func (s *Sharded) Pin(id NodeID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if st, ok := s.nodes[id]; ok {
-		st.shard = 0
+	if i, ok := s.idx[id]; ok {
+		s.shardOf[i] = 0
 	}
 }
 
@@ -280,27 +369,26 @@ func (s *Sharded) Pin(id NodeID) {
 // all of its connections; peer notifications are marshalled to the affected
 // nodes' shards.
 func (s *Sharded) SetOnline(id NodeID, online bool) error {
-	s.mu.Lock()
-	st, ok := s.nodes[id]
+	i, ok := s.idx[id]
 	if !ok {
-		s.mu.Unlock()
 		return simnet.ErrUnknownNode
 	}
-	if st.online == online {
-		s.mu.Unlock()
+	s.connMu.Lock()
+	cell := s.conn[i]
+	if cell.online.Load() == online {
+		s.connMu.Unlock()
 		return nil
 	}
-	st.online = online
+	cell.online.Store(online)
 	var notify []func()
 	if !online {
-		peers := append([]NodeID(nil), st.sorted...)
+		peers := *cell.peers.Load()
 		for _, p := range peers {
-			sp := s.nodes[p]
-			s.teardownLocked(st, sp)
-			notify = append(notify, s.notifyDisconnectLocked(st, sp)...)
+			s.teardownLocked(i, p)
+			notify = append(notify, s.notifyDisconnectLocked(i, p)...)
 		}
 	}
-	s.mu.Unlock()
+	s.connMu.Unlock()
 	for _, fn := range notify {
 		fn()
 	}
@@ -309,44 +397,74 @@ func (s *Sharded) SetOnline(id NodeID, online bool) error {
 
 // notifyDisconnectLocked prepares the (deferred) PeerDisconnected posts for
 // both sides of a torn-down connection.
-func (s *Sharded) notifyDisconnectLocked(sa, sb *shardedNode) []func() {
-	aShard, bShard := sa.shard, sb.shard
-	ha, hb := sa.handler, sb.handler
-	aid, bid := sa.id, sb.id
+func (s *Sharded) notifyDisconnectLocked(a, b int32) []func() {
+	aShard, bShard := int(s.shardOf[a]), int(s.shardOf[b])
+	ha, hb := s.handlers[a], s.handlers[b]
+	aid, bid := s.ids[a], s.ids[b]
 	return []func(){
-		func() { s.schedule(aShard, s.Now(), func() { ha.PeerDisconnected(bid) }) },
-		func() { s.schedule(bShard, s.Now(), func() { hb.PeerDisconnected(aid) }) },
+		func() { s.schedTimer(aShard, s.nowNs.Load(), func() { ha.PeerDisconnected(bid) }) },
+		func() { s.schedTimer(bShard, s.nowNs.Load(), func() { hb.PeerDisconnected(aid) }) },
 	}
 }
 
 // IsOnline reports a node's availability.
 func (s *Sharded) IsOnline(id NodeID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.nodes[id]
-	return ok && st.online
+	i, ok := s.idx[id]
+	return ok && s.conn[i].online.Load()
 }
 
 // Addr returns a node's network address.
 func (s *Sharded) Addr(id NodeID) (string, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.nodes[id]
+	i, ok := s.idx[id]
 	if !ok {
 		return "", false
 	}
-	return st.addr, true
+	return s.addrs[i], true
 }
 
 // NodeRegion returns a node's region.
 func (s *Sharded) NodeRegion(id NodeID) (Region, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.nodes[id]
+	i, ok := s.idx[id]
 	if !ok {
 		return "", false
 	}
-	return st.region, true
+	return s.regions[i], true
+}
+
+// hasPeer reports whether a's immutable peer set contains b. Peer sets are
+// sorted by peer NodeID.
+func (s *Sharded) hasPeer(set []int32, b int32) bool {
+	id := s.ids[b]
+	_, ok := slices.BinarySearchFunc(set, b, func(p, _ int32) int {
+		return s.ids[p].Compare(id)
+	})
+	return ok
+}
+
+// insertPeer returns a copy of set with b added (sorted by peer NodeID).
+func (s *Sharded) insertPeer(set []int32, b int32) []int32 {
+	id := s.ids[b]
+	pos, _ := slices.BinarySearchFunc(set, b, func(p, _ int32) int {
+		return s.ids[p].Compare(id)
+	})
+	out := make([]int32, 0, len(set)+1)
+	out = append(out, set[:pos]...)
+	out = append(out, b)
+	return append(out, set[pos:]...)
+}
+
+// removePeer returns a copy of set with b removed.
+func (s *Sharded) removePeer(set []int32, b int32) []int32 {
+	id := s.ids[b]
+	pos, ok := slices.BinarySearchFunc(set, b, func(p, _ int32) int {
+		return s.ids[p].Compare(id)
+	})
+	if !ok {
+		return set
+	}
+	out := make([]int32, 0, len(set)-1)
+	out = append(out, set[:pos]...)
+	return append(out, set[pos+1:]...)
 }
 
 // Connect establishes a bidirectional connection with the same validation
@@ -356,179 +474,316 @@ func (s *Sharded) Connect(a, b NodeID) error {
 	if a == b {
 		return simnet.ErrSelfDial
 	}
-	s.mu.Lock()
-	sa, ok := s.nodes[a]
+	ia, ok := s.idx[a]
 	if !ok {
-		s.mu.Unlock()
 		return fmt.Errorf("%w: %s", simnet.ErrUnknownNode, a)
 	}
-	sb, ok := s.nodes[b]
+	ib, ok := s.idx[b]
 	if !ok {
-		s.mu.Unlock()
 		return fmt.Errorf("%w: %s", simnet.ErrUnknownNode, b)
 	}
-	if !sa.online || !sb.online {
-		s.mu.Unlock()
+	s.connMu.Lock()
+	ca, cb := s.conn[ia], s.conn[ib]
+	if !ca.online.Load() || !cb.online.Load() {
+		s.connMu.Unlock()
 		return simnet.ErrOffline
 	}
-	if sa.peers[b] {
-		s.mu.Unlock()
+	pa, pb := *ca.peers.Load(), *cb.peers.Load()
+	if s.hasPeer(pa, ib) {
+		s.connMu.Unlock()
 		return nil
 	}
-	if sb.maxConns > 0 && len(sb.peers) >= sb.maxConns {
-		s.mu.Unlock()
+	if s.maxConns[ib] > 0 && int32(len(pb)) >= s.maxConns[ib] {
+		s.connMu.Unlock()
 		return simnet.ErrAtCapacity
 	}
-	if sa.maxConns > 0 && len(sa.peers) >= sa.maxConns {
-		s.mu.Unlock()
+	if s.maxConns[ia] > 0 && int32(len(pa)) >= s.maxConns[ia] {
+		s.connMu.Unlock()
 		return simnet.ErrAtCapacity
 	}
-	sa.peers[b] = true
-	sb.peers[a] = true
-	sa.sorted = insertSorted(sa.sorted, b)
-	sb.sorted = insertSorted(sb.sorted, a)
-	aShard, bShard := sa.shard, sb.shard
-	ha, hb := sa.handler, sb.handler
-	s.mu.Unlock()
-	s.schedule(aShard, s.Now(), func() { ha.PeerConnected(b) })
-	s.schedule(bShard, s.Now(), func() { hb.PeerConnected(a) })
+	na, nb := s.insertPeer(pa, ib), s.insertPeer(pb, ia)
+	ca.peers.Store(&na)
+	cb.peers.Store(&nb)
+	aShard, bShard := int(s.shardOf[ia]), int(s.shardOf[ib])
+	ha, hb := s.handlers[ia], s.handlers[ib]
+	s.connMu.Unlock()
+	now := s.nowNs.Load()
+	s.schedTimer(aShard, now, func() { ha.PeerConnected(b) })
+	s.schedTimer(bShard, now, func() { hb.PeerConnected(a) })
 	return nil
 }
 
 // Disconnect tears down the connection between a and b, if any.
 func (s *Sharded) Disconnect(a, b NodeID) {
-	s.mu.Lock()
-	sa, oka := s.nodes[a]
-	sb, okb := s.nodes[b]
-	if !oka || !okb || !sa.peers[b] {
-		s.mu.Unlock()
+	ia, oka := s.idx[a]
+	ib, okb := s.idx[b]
+	if !oka || !okb {
 		return
 	}
-	s.teardownLocked(sa, sb)
-	notify := s.notifyDisconnectLocked(sa, sb)
-	s.mu.Unlock()
+	s.connMu.Lock()
+	if !s.hasPeer(*s.conn[ia].peers.Load(), ib) {
+		s.connMu.Unlock()
+		return
+	}
+	s.teardownLocked(ia, ib)
+	notify := s.notifyDisconnectLocked(ia, ib)
+	s.connMu.Unlock()
 	for _, fn := range notify {
 		fn()
 	}
 }
 
-func (s *Sharded) teardownLocked(sa, sb *shardedNode) {
-	delete(sa.peers, sb.id)
-	delete(sb.peers, sa.id)
-	sa.sorted = removeSorted(sa.sorted, sb.id)
-	sb.sorted = removeSorted(sb.sorted, sa.id)
+func (s *Sharded) teardownLocked(a, b int32) {
+	na := s.removePeer(*s.conn[a].peers.Load(), b)
+	nb := s.removePeer(*s.conn[b].peers.Load(), a)
+	s.conn[a].peers.Store(&na)
+	s.conn[b].peers.Store(&nb)
 }
 
 // Connected reports whether a and b share a connection.
 func (s *Sharded) Connected(a, b NodeID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sa, ok := s.nodes[a]
-	return ok && sa.peers[b]
+	ia, oka := s.idx[a]
+	ib, okb := s.idx[b]
+	return oka && okb && s.hasPeer(*s.conn[ia].peers.Load(), ib)
 }
 
 // Peers returns a snapshot of a node's connected peers, sorted by ID.
 func (s *Sharded) Peers(id NodeID) []NodeID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.nodes[id]
+	i, ok := s.idx[id]
 	if !ok {
 		return nil
 	}
-	return append([]NodeID(nil), st.sorted...)
+	set := *s.conn[i].peers.Load()
+	out := make([]NodeID, len(set))
+	for k, p := range set {
+		out[k] = s.ids[p]
+	}
+	return out
+}
+
+// PeersEach calls fn for each connected peer of id in ascending NodeID
+// order, stopping early when fn returns false. It reads the immutable peer
+// set without copying — the zero-allocation path for broadcast loops.
+func (s *Sharded) PeersEach(id NodeID, fn func(NodeID) bool) {
+	i, ok := s.idx[id]
+	if !ok {
+		return
+	}
+	for _, p := range *s.conn[i].peers.Load() {
+		if !fn(s.ids[p]) {
+			return
+		}
+	}
 }
 
 // PeerCount returns the size of a node's connection table.
 func (s *Sharded) PeerCount(id NodeID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.nodes[id]
+	i, ok := s.idx[id]
 	if !ok {
 		return 0
 	}
-	return len(st.peers)
+	return len(*s.conn[i].peers.Load())
 }
 
-// Nodes returns the IDs of all registered nodes, sorted by ID.
+// Nodes returns the IDs of all registered nodes, sorted by ID. A cached
+// sorted slice is served under a read lock; the write lock is taken only to
+// rebuild the cache after AddNode invalidated it.
 func (s *Sharded) Nodes() []NodeID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.nodesSorted == nil {
-		s.nodesSorted = make([]NodeID, 0, len(s.nodes))
-		for id := range s.nodes {
-			s.nodesSorted = append(s.nodesSorted, id)
+	s.nodesMu.RLock()
+	cached := s.nodesSorted
+	s.nodesMu.RUnlock()
+	if cached == nil {
+		s.nodesMu.Lock()
+		if s.nodesSorted == nil {
+			sorted := append([]NodeID(nil), s.ids...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+			s.nodesSorted = sorted
 		}
-		sort.Slice(s.nodesSorted, func(i, j int) bool { return s.nodesSorted[i].Less(s.nodesSorted[j]) })
+		cached = s.nodesSorted
+		s.nodesMu.Unlock()
 	}
-	return append([]NodeID(nil), s.nodesSorted...)
+	return append([]NodeID(nil), cached...)
 }
 
-// Send schedules delivery of msg after the modelled latency, on the shard
-// owning the destination. Delays are floored at the lookahead so delivery
-// always lands in a later window than the send — the conservative-sync
-// invariant.
+// u01 draws the next uniform [0,1) latency jitter from the shard's
+// splitmix64 stream. Single-writer: the shard's own worker during a run,
+// the driver goroutine while idle.
+func (sh *shard) u01() float64 {
+	sh.rng += 0x9e3779b97f4a7c15
+	z := sh.rng
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Send schedules delivery of msg after the modelled latency. Same-shard
+// deliveries go straight into the shard's wheel with the exact sampled
+// delay; cross-shard deliveries are floored at the lookahead and buffered
+// in the (src,dst) outbox cell, which the coordinator merges into the
+// destination wheel at the window barrier — so they always land in a window
+// the destination has not started.
 func (s *Sharded) Send(from, to NodeID, msg any) error {
-	s.mu.RLock()
-	sf, ok := s.nodes[from]
+	fi, ok := s.idx[from]
 	if !ok {
-		s.mu.RUnlock()
 		return fmt.Errorf("%w: %s", simnet.ErrUnknownNode, from)
 	}
-	if !sf.peers[to] {
-		s.mu.RUnlock()
+	ti, ok := s.idx[to]
+	if !ok || !s.hasPeer(*s.conn[fi].peers.Load(), ti) {
 		return fmt.Errorf("%w: %s -> %s", simnet.ErrNotConnected, from, to)
 	}
-	st := s.nodes[to]
-	fromShard, toShard := sf.shard, st.shard
-	fromRegion, toRegion := sf.region, st.region
-	handler := st.handler
-	s.mu.RUnlock()
-
+	fromShard, toShard := s.shardOf[fi], s.shardOf[ti]
 	sh := s.shards[fromShard]
-	sh.rngMu.Lock()
-	delay := s.lm.Sample(fromRegion, toRegion, sh.rng)
-	sh.rngMu.Unlock()
-	if delay < s.lookahead {
-		delay = s.lookahead
-	}
+	base := s.latBase[s.latIdx[fi]][s.latIdx[ti]]
+	delay := int64(float64(base) * (1 + sh.u01()*s.lm.JitterFrac))
 	if s.m != nil {
 		s.m.sends.Inc()
 		if fromShard != toShard {
 			s.m.cross.Inc()
 		}
 	}
-	s.schedule(toShard, s.Now().Add(delay), func() {
-		// Revalidate at delivery time: connection and liveness may have
-		// changed while the message was in flight.
-		s.mu.RLock()
-		sf2, ok1 := s.nodes[from]
-		st2, ok2 := s.nodes[to]
-		alive := ok1 && ok2 && sf2.peers[to] && st2.online
-		s.mu.RUnlock()
-		if !alive {
-			s.dropped.Add(1)
-			return
-		}
-		s.delivered.Add(1)
-		handler.HandleMessage(from, msg)
-	})
+	e := sev{atNs: s.nowNs.Load() + delay, msg: msg, from: fi, to: ti}
+	if fromShard == toShard {
+		// Affinity rule: event-time sends execute on from's owner shard, so
+		// this is the single-writer wheel of the running goroutine (or any
+		// wheel, while idle).
+		s.shards[toShard].w.schedule(e)
+		return nil
+	}
+	if delay < s.qNs {
+		e.atNs = s.nowNs.Load() + s.qNs
+	}
+	if !s.running {
+		s.shards[toShard].w.schedule(e)
+		return nil
+	}
+	cell := &sh.out[toShard]
+	cell.mu.Lock()
+	cell.evs = append(cell.evs, e)
+	cell.mu.Unlock()
 	return nil
+}
+
+// exec runs one drained event on its owner shard's goroutine.
+func (sh *shard) exec(e *sev) {
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	s := sh.eng
+	// Revalidate at delivery time: connection and liveness may have changed
+	// while the message was in flight.
+	if !s.conn[e.to].online.Load() || !s.hasPeer(*s.conn[e.from].peers.Load(), e.to) {
+		sh.dropped.Add(1)
+		return
+	}
+	sh.delivered.Add(1)
+	s.handlers[e.to].HandleMessage(s.ids[e.from], e.msg)
 }
 
 // Stats reports delivery counters.
 func (s *Sharded) Stats() (delivered, dropped uint64) {
-	return s.delivered.Load(), s.dropped.Load()
+	for _, sh := range s.shards {
+		delivered += sh.delivered.Load()
+		dropped += sh.dropped.Load()
+	}
+	return delivered, dropped
 }
 
 // Run processes events for d of virtual time.
 func (s *Sharded) Run(d time.Duration) { s.RunUntil(s.Now().Add(d)) }
 
-// RunUntil processes events until every shard's queue is drained past
+// mergeMailboxes drains every inbox and outbox cell into the destination
+// wheels. Runs on the coordinator between windows, when all workers are at
+// the barrier.
+func (s *Sharded) mergeMailboxes() {
+	for _, sh := range s.shards {
+		sh.inMu.Lock()
+		in := sh.inbox
+		sh.inbox = in[:0]
+		sh.inMu.Unlock()
+		for _, e := range in {
+			sh.w.schedule(e)
+		}
+		for di := range sh.out {
+			cell := &sh.out[di]
+			cell.mu.Lock()
+			evs := cell.evs
+			cell.evs = evs[:0]
+			cell.mu.Unlock()
+			dw := &s.shards[di].w
+			for _, e := range evs {
+				dw.schedule(e)
+			}
+		}
+	}
+}
+
+// earliest finds the global minimum pending slot and the exact earliest
+// event time within it, marking which shards have work in that slot. Runs
+// between windows, when all workers are idle.
+//
+// Shards report their next slot via peekSlot, which never moves the wheel
+// base; a shard whose earliest event lies beyond its current page reports a
+// coarse lower bound instead. Bounds at the global minimum are resolved by
+// jump() — safe precisely because the bound IS the global minimum, so no
+// base ever advances past a slot another shard (or a pending cross-shard
+// merge) still needs. Letting each shard advance eagerly to its own next
+// slot would clamp later merges into an idle shard's far future.
+func (s *Sharded) earliest() (slot int64, minAt int64, any bool) {
+	instrumented := s.m != nil
+	for _, sh := range s.shards {
+		u, exact, ok := sh.w.peekSlot()
+		sh.hasU, sh.nextU, sh.exactU = ok, u, exact
+		if instrumented {
+			sh.met.depth.Set(float64(sh.w.pending))
+		}
+	}
+	for {
+		any = false
+		for _, sh := range s.shards {
+			if sh.hasU && (!any || sh.nextU < slot) {
+				slot, any = sh.nextU, true
+			}
+		}
+		if !any {
+			return 0, 0, false
+		}
+		resolved := true
+		for _, sh := range s.shards {
+			if sh.hasU && !sh.exactU && sh.nextU == slot {
+				sh.w.jump()
+				u, exact, ok := sh.w.peekSlot()
+				sh.hasU, sh.nextU, sh.exactU = ok, u, exact
+				resolved = false
+			}
+		}
+		if resolved {
+			break
+		}
+	}
+	first := true
+	for _, sh := range s.shards {
+		if !sh.hasU || sh.nextU != slot {
+			continue
+		}
+		if at := sh.w.minIn(slot); first || at < minAt {
+			minAt = at
+			first = false
+		}
+	}
+	return slot, minAt, true
+}
+
+// RunUntil processes events until every shard's wheel is drained past
 // deadline. The clock is left at deadline. Only one RunUntil may be active
 // at a time, and it must not be called from event code.
 func (s *Sharded) RunUntil(deadline time.Time) {
+	deadNs := int64(deadline.Sub(s.start))
 	type win struct {
-		end       time.Time
+		u, end    int64
 		inclusive bool
 	}
 	nsh := len(s.shards)
@@ -544,41 +799,49 @@ func (s *Sharded) RunUntil(deadline time.Time) {
 			for c := range ch {
 				if instrumented {
 					t0 := time.Now()
-					sh.processUntil(c.end, c.inclusive)
+					sh.processWindow(c.u, c.end, c.inclusive)
 					sh.procNs.Store(time.Since(t0).Nanoseconds())
 				} else {
-					sh.processUntil(c.end, c.inclusive)
+					sh.processWindow(c.u, c.end, c.inclusive)
 				}
 				arrive <- struct{}{}
 			}
 		}(s.shards[i], goChs[i])
 	}
+	s.running = true
 	for {
-		m, ok := s.earliest()
-		if !ok || m.After(deadline) {
+		s.mergeMailboxes()
+		u, m, ok := s.earliest()
+		if !ok || m > deadNs {
 			break
 		}
 		W := m
-		if now := s.Now(); W.Before(now) {
+		if now := s.nowNs.Load(); W < now {
 			W = now
 		}
-		s.setNow(W)
-		wEnd := W.Add(s.lookahead)
+		s.nowNs.Store(W)
+		end := (u + 1) * s.qNs
 		inclusive := false
-		if !wEnd.Before(deadline) {
+		if end > deadNs {
 			// Final window: include events scheduled exactly at the
 			// deadline, matching the serial engine's RunUntil semantics.
-			wEnd = deadline
+			end = deadNs
 			inclusive = true
 		}
 		var windowStart time.Time
 		if instrumented {
 			windowStart = time.Now()
 		}
-		for i := 0; i < nsh; i++ {
-			goChs[i] <- win{end: wEnd, inclusive: inclusive}
+		// Only shards with work in this slot are signalled; idle shards
+		// stay parked at the barrier.
+		busy := 0
+		for i, sh := range s.shards {
+			if sh.hasU && sh.nextU == u {
+				goChs[i] <- win{u: u, end: end, inclusive: inclusive}
+				busy++
+			}
 		}
-		for i := 0; i < nsh; i++ {
+		for i := 0; i < busy; i++ {
 			<-arrive
 		}
 		if instrumented {
@@ -586,6 +849,9 @@ func (s *Sharded) RunUntil(deadline time.Time) {
 			// its own window while the slowest shard caught up.
 			wall := time.Since(windowStart).Nanoseconds()
 			for _, sh := range s.shards {
+				if !sh.hasU || sh.nextU != u {
+					continue
+				}
 				if wait := wall - sh.procNs.Load(); wait > 0 {
 					sh.met.barrier.Observe(float64(wait) / 1e9)
 				}
@@ -593,83 +859,63 @@ func (s *Sharded) RunUntil(deadline time.Time) {
 			s.m.windows.Inc()
 		}
 	}
-	if s.Now().Before(deadline) {
-		s.setNow(deadline)
+	if s.nowNs.Load() < deadNs {
+		s.nowNs.Store(deadNs)
 	}
 	for i := 0; i < nsh; i++ {
 		close(goChs[i])
 	}
 	wg.Wait()
+	s.running = false
 }
 
-// earliest returns the earliest pending event time across shards. It runs
-// between windows, when all workers are idle, so heap peeks are exact.
-func (s *Sharded) earliest() (time.Time, bool) {
-	var m time.Time
-	found := false
-	instrumented := s.m != nil
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		if instrumented {
-			sh.met.depth.Set(float64(len(sh.q)))
-		}
-		if len(sh.q) > 0 && (!found || sh.q[0].at.Before(m)) {
-			m = sh.q[0].at
-			found = true
-		}
-		sh.mu.Unlock()
+// processWindow drains this shard's slot u, running events with at < end
+// (at <= end when inclusive) in (time, seq) order. The slot is drained
+// through a local binary heap rather than a one-shot sort: same-slot inserts
+// made by the events themselves (short same-shard sends, same-time chains)
+// are pushed in at O(log k) each, instead of re-sorting the remainder per
+// insert — which degraded to quadratic memmove traffic on slots where most
+// events schedule a sub-quantum follow-up. Heap pop order is the same
+// (time, seq) total order the serial engine's heap provides, so the drain
+// semantics are unchanged.
+func (sh *shard) processWindow(u, end int64, inclusive bool) {
+	n := uint64(0)
+	w := &sh.w
+	h := sh.drain[:0]
+	if batch := w.takeSlot(u); len(batch) != 0 {
+		h = append(h, batch...)
+		w.recycle(batch)
+		heapifySev(h)
 	}
-	return m, found
-}
-
-// processUntil runs this shard's events with at < end (at <= end when
-// inclusive) in (time, seq) order.
-func (sh *shard) processUntil(end time.Time, inclusive bool) {
+	for len(h) > 0 {
+		e := h[0]
+		if e.atNs > end || (!inclusive && e.atNs == end) {
+			// The heap minimum is past the deadline, so everything still
+			// queued is too. Leave it for the next RunUntil; order within
+			// the slot backing does not matter, the next drain re-heapifies.
+			w.putBack(u, h)
+			h = h[:0]
+			break
+		}
+		h = popSev(h)
+		sh.exec(&e)
+		n++
+		if w.slotOccupied(u) {
+			// Events inserted into the slot being drained: fold them into
+			// the heap so they run in (time, seq) position.
+			fresh := w.takeSlot(u)
+			for _, fe := range fresh {
+				h = pushSev(h, fe)
+			}
+			w.recycle(fresh)
+		}
+	}
+	sh.drain = h[:0]
 	// Events are counted locally and flushed once per window, so the
 	// instrumented event loop pays one atomic add per window, not per event.
-	n := uint64(0)
-	defer func() {
-		if n > 0 {
-			sh.met.events.Add(n)
-		}
-	}()
-	for {
-		sh.mu.Lock()
-		if len(sh.q) == 0 {
-			sh.mu.Unlock()
-			return
-		}
-		at := sh.q[0].at
-		if at.After(end) || (!inclusive && at.Equal(end)) {
-			sh.mu.Unlock()
-			return
-		}
-		e := heap.Pop(&sh.q).(*sev)
-		fn := e.fn
-		e.fn = nil
-		if len(sh.pool) < 1024 {
-			sh.pool = append(sh.pool, e)
-		}
-		sh.mu.Unlock()
-		fn()
-		n++
+	if n > 0 {
+		sh.met.events.Add(n)
 	}
-}
-
-func insertSorted(ids []NodeID, id NodeID) []NodeID {
-	i := sort.Search(len(ids), func(i int) bool { return !ids[i].Less(id) })
-	ids = append(ids, NodeID{})
-	copy(ids[i+1:], ids[i:])
-	ids[i] = id
-	return ids
-}
-
-func removeSorted(ids []NodeID, id NodeID) []NodeID {
-	i := sort.Search(len(ids), func(i int) bool { return !ids[i].Less(id) })
-	if i < len(ids) && ids[i] == id {
-		return append(ids[:i], ids[i+1:]...)
-	}
-	return ids
 }
 
 var _ Engine = (*Sharded)(nil)

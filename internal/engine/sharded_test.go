@@ -41,8 +41,8 @@ func addNodes(t *testing.T, s *Sharded, n int) ([]NodeID, []*recHandler) {
 	return ids, hs
 }
 
-func TestShardedSpreadsNodes(t *testing.T) {
-	s := NewSharded(t0, 1, ShardedConfig{Shards: 4})
+func TestShardedHashPartitionSpreadsNodes(t *testing.T) {
+	s := NewSharded(t0, 1, ShardedConfig{Shards: 4, Partition: PartitionHash})
 	ids, _ := addNodes(t, s, 256)
 	counts := make(map[int]int)
 	for _, id := range ids {
@@ -55,6 +55,38 @@ func TestShardedSpreadsNodes(t *testing.T) {
 		if c < 16 {
 			t.Errorf("shard %d underpopulated: %d nodes", sh, c)
 		}
+	}
+}
+
+// TestShardedLatencyPartition checks the latency-aware default placement:
+// with the default model, regions whose mutual base latency is below the
+// chosen cross-group minimum share a shard (EU and NA merge), RegionOther
+// stays apart, and the lookahead widens to the minimum cross-group latency.
+func TestShardedLatencyPartition(t *testing.T) {
+	s := NewSharded(t0, 1, ShardedConfig{Shards: 4})
+	regions := []simnet.Region{
+		simnet.RegionUS, simnet.RegionCA, simnet.RegionNL,
+		simnet.RegionDE, simnet.RegionFR, simnet.RegionOther,
+	}
+	shardOf := make(map[simnet.Region]int)
+	for i, r := range regions {
+		id := simnet.DeriveNodeID([]byte{byte(i), 0xcd})
+		if err := s.AddNode(id, "a", r, 0, &recHandler{}); err != nil {
+			t.Fatal(err)
+		}
+		shardOf[r] = s.ownerShard(id)
+	}
+	main := shardOf[simnet.RegionUS]
+	for _, r := range regions[:5] {
+		if shardOf[r] != main {
+			t.Errorf("region %s on shard %d, want %d (EU/NA group)", r, shardOf[r], main)
+		}
+	}
+	if shardOf[simnet.RegionOther] == main {
+		t.Error("RegionOther should not share the EU/NA shard")
+	}
+	if got := s.Lookahead(); got != 90*time.Millisecond {
+		t.Errorf("lookahead %v, want 90ms (min cross-group base latency)", got)
 	}
 }
 
@@ -203,12 +235,53 @@ func TestShardedNewRandMatchesSerial(t *testing.T) {
 }
 
 func TestShardedLookaheadFromModel(t *testing.T) {
+	// PartitionAuto groups low-latency regions, so the lookahead is the
+	// minimum CROSS-GROUP base latency, not the model's global minimum.
 	s := NewSharded(t0, 1, ShardedConfig{Shards: 2})
-	if s.Lookahead() != 12*time.Millisecond {
-		t.Fatalf("lookahead %v, want 12ms (default model min)", s.Lookahead())
+	if s.Lookahead() != 90*time.Millisecond {
+		t.Fatalf("lookahead %v, want 90ms (default model cross-group min)", s.Lookahead())
+	}
+	// Hash placement mixes all regions on every shard: the lookahead must
+	// fall back to the global minimum.
+	sh := NewSharded(t0, 1, ShardedConfig{Shards: 2, Partition: PartitionHash})
+	if sh.Lookahead() != 12*time.Millisecond {
+		t.Fatalf("hash-partition lookahead %v, want 12ms (default model min)", sh.Lookahead())
 	}
 	s2 := NewSharded(t0, 1, ShardedConfig{Shards: 2, Latency: simnet.Fixed(0)})
 	if s2.Lookahead() <= 0 {
 		t.Fatal("lookahead must be positive even for zero-delay models")
 	}
+}
+
+func TestShardedPeersEach(t *testing.T) {
+	s := NewSharded(t0, 5, ShardedConfig{Shards: 4})
+	ids, _ := addNodes(t, s, 20)
+	for i := 1; i < len(ids); i++ {
+		if err := s.Connect(ids[0], ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []NodeID
+	s.PeersEach(ids[0], func(p NodeID) bool {
+		seen = append(seen, p)
+		return true
+	})
+	want := s.Peers(ids[0])
+	if len(seen) != len(want) {
+		t.Fatalf("PeersEach visited %d peers, Peers returned %d", len(seen), len(want))
+	}
+	for i := range seen {
+		if seen[i] != want[i] {
+			t.Fatalf("PeersEach order diverges from Peers at %d", i)
+		}
+	}
+	n := 0
+	s.PeersEach(ids[0], func(NodeID) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d peers, want 5", n)
+	}
+	s.PeersEach(simnet.DeriveNodeID([]byte("unknown")), func(NodeID) bool {
+		t.Fatal("callback for unknown node")
+		return false
+	})
 }

@@ -47,21 +47,44 @@ type EntrySource interface {
 // MemorySink accumulates entries in memory, preserving the seed behaviour
 // where a monitor holds its whole trace in RAM. Use it for short scenarios
 // and tests; use a SegmentStore when trace volume matters.
+//
+// Storage is chunked: a flat slice regrows geometrically, and past the
+// runtime's large-size threshold each growth step reallocates, zeroes and
+// copies the entire accumulated trace — for a multi-megabyte trace that
+// regrowth dominated the event loop's allocation profile. Fixed-size chunks
+// bound every append to one small block allocation.
 type MemorySink struct {
-	entries []trace.Entry
+	chunks [][]trace.Entry
+	n      int
 }
+
+// memChunk is the full chunk capacity. Early chunks double up from a small
+// start so tiny test sinks stay cheap.
+const memChunk = 4096
 
 // NewMemorySink returns an empty in-memory sink.
 func NewMemorySink() *MemorySink { return &MemorySink{} }
 
 // Write appends the entry.
 func (s *MemorySink) Write(e trace.Entry) error {
-	s.entries = append(s.entries, e)
+	k := len(s.chunks) - 1
+	if k < 0 || len(s.chunks[k]) == cap(s.chunks[k]) {
+		c := 64
+		if k >= 0 {
+			if c = cap(s.chunks[k]) * 2; c > memChunk {
+				c = memChunk
+			}
+		}
+		s.chunks = append(s.chunks, make([]trace.Entry, 0, c))
+		k++
+	}
+	s.chunks[k] = append(s.chunks[k], e)
+	s.n++
 	return nil
 }
 
 // Len returns the number of entries accumulated so far.
-func (s *MemorySink) Len() int { return len(s.entries) }
+func (s *MemorySink) Len() int { return s.n }
 
 // Snapshot returns a copy of the accumulated entries. The copy is owned by
 // the caller: mutating or appending to it cannot corrupt the sink.
@@ -73,20 +96,27 @@ func (s *MemorySink) Since(n int) []trace.Entry {
 	if n < 0 {
 		n = 0
 	}
-	if n >= len(s.entries) {
+	if n >= s.n {
 		return nil
 	}
-	out := make([]trace.Entry, len(s.entries)-n)
-	copy(out, s.entries[n:])
+	out := make([]trace.Entry, 0, s.n-n)
+	for _, c := range s.chunks {
+		if n >= len(c) {
+			n -= len(c)
+			continue
+		}
+		out = append(out, c[n:]...)
+		n = 0
+	}
 	return out
 }
 
 // Reset discards the accumulated entries and returns them to the caller
 // (which takes ownership).
 func (s *MemorySink) Reset() []trace.Entry {
-	old := s.entries
-	s.entries = nil
-	return old
+	out := s.Since(0)
+	s.chunks, s.n = nil, 0
+	return out
 }
 
 // tee fans writes out to several sinks.

@@ -4,7 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"bitswapmon/internal/cid"
@@ -157,15 +158,17 @@ func (s *unifyState) size() int {
 // sortBatch orders one timestamp's entries by trace.Sort's tie-breaks
 // (stable, so source/arrival order breaks exact ties).
 func sortBatch(batch []trace.Entry) {
-	sort.SliceStable(batch, func(i, j int) bool {
-		a, b := batch[i], batch[j]
+	slices.SortStableFunc(batch, func(a, b trace.Entry) int {
 		if a.Monitor != b.Monitor {
-			return a.Monitor < b.Monitor
+			return strings.Compare(a.Monitor, b.Monitor)
 		}
 		if a.NodeID != b.NodeID {
-			return a.NodeID.Less(b.NodeID)
+			if a.NodeID.Less(b.NodeID) {
+				return -1
+			}
+			return 1
 		}
-		return a.CID.Key() < b.CID.Key()
+		return strings.Compare(a.CID.Key(), b.CID.Key())
 	})
 }
 
@@ -184,15 +187,17 @@ func sortBatch(batch []trace.Entry) {
 // StreamUnifier satisfies EntrySource, so unified output can be copied
 // straight into a Sink or another pipeline stage.
 type StreamUnifier struct {
-	srcs   []EntrySource
-	heads  []*trace.Entry
-	lastTS []time.Time
-	done   []bool
+	srcs    []EntrySource
+	heads   []trace.Entry // by value: one lookahead slot per source, no per-entry alloc
+	hasHead []bool
+	lastTS  []time.Time
+	done    []bool
 
 	batch    []trace.Entry
 	batchPos int
 
-	state *unifyState
+	state     *unifyState
+	mergeOnly bool
 
 	err error
 }
@@ -202,12 +207,25 @@ type StreamUnifier struct {
 // earlier sources win — matching the argument order of trace.Unify.
 func NewStreamUnifier(sources ...EntrySource) *StreamUnifier {
 	return &StreamUnifier{
-		srcs:   sources,
-		heads:  make([]*trace.Entry, len(sources)),
-		lastTS: make([]time.Time, len(sources)),
-		done:   make([]bool, len(sources)),
-		state:  newUnifyState(),
+		srcs:    sources,
+		heads:   make([]trace.Entry, len(sources)),
+		hasHead: make([]bool, len(sources)),
+		lastTS:  make([]time.Time, len(sources)),
+		done:    make([]bool, len(sources)),
+		state:   newUnifyState(),
 	}
+}
+
+// MergeOnly disables Sec. IV-B flagging: output carries each entry's stored
+// flags untouched and no sliding-window state is kept or advanced. With
+// multiple sources the merge order is identical to the flagging mode; a
+// single source passes through in its own (recorded) order, skipping the
+// lookahead batching entirely. Use it for consumers that re-issue every
+// entry regardless of flags (direct replay), where computing
+// rebroadcast/duplicate classifications is pure overhead.
+func (u *StreamUnifier) MergeOnly() *StreamUnifier {
+	u.mergeOnly = true
+	return u
 }
 
 // Read returns the next unified entry, or io.EOF when all sources are
@@ -215,6 +233,23 @@ func NewStreamUnifier(sources ...EntrySource) *StreamUnifier {
 func (u *StreamUnifier) Read() (trace.Entry, error) {
 	if u.err != nil {
 		return trace.Entry{}, u.err
+	}
+	// A single merge-only source needs no lookahead or batching: its own
+	// order is the output order, so entries pass straight through (keeping
+	// the monotonicity check).
+	if u.mergeOnly && len(u.srcs) == 1 {
+		e, err := u.srcs[0].Read()
+		if err != nil {
+			u.err = err
+			return trace.Entry{}, err
+		}
+		if e.Timestamp.Before(u.lastTS[0]) {
+			u.err = fmt.Errorf("%w: source 0: %s after %s",
+				ErrUnsortedSource, e.Timestamp.Format(time.RFC3339Nano), u.lastTS[0].Format(time.RFC3339Nano))
+			return trace.Entry{}, u.err
+		}
+		u.lastTS[0] = e.Timestamp
+		return e, nil
 	}
 	for u.batchPos >= len(u.batch) {
 		if err := u.refill(); err != nil {
@@ -229,7 +264,7 @@ func (u *StreamUnifier) Read() (trace.Entry, error) {
 
 // ensureHead pulls the next entry from source i into the lookahead slot.
 func (u *StreamUnifier) ensureHead(i int) error {
-	if u.done[i] || u.heads[i] != nil {
+	if u.done[i] || u.hasHead[i] {
 		return nil
 	}
 	e, err := u.srcs[i].Read()
@@ -245,7 +280,8 @@ func (u *StreamUnifier) ensureHead(i int) error {
 			ErrUnsortedSource, i, e.Timestamp.Format(time.RFC3339Nano), u.lastTS[i].Format(time.RFC3339Nano))
 	}
 	u.lastTS[i] = e.Timestamp
-	u.heads[i] = &e
+	u.heads[i] = e
+	u.hasHead[i] = true
 	return nil
 }
 
@@ -263,7 +299,7 @@ func (u *StreamUnifier) refill() error {
 	var minTS time.Time
 	found := false
 	for i := range u.srcs {
-		if u.heads[i] != nil && (!found || u.heads[i].Timestamp.Before(minTS)) {
+		if u.hasHead[i] && (!found || u.heads[i].Timestamp.Before(minTS)) {
 			minTS = u.heads[i].Timestamp
 			found = true
 		}
@@ -276,9 +312,9 @@ func (u *StreamUnifier) refill() error {
 	// FIFO order within a source (the concatenation order trace.Unify's
 	// stable sort starts from).
 	for i := range u.srcs {
-		for u.heads[i] != nil && u.heads[i].Timestamp.Equal(minTS) {
-			u.batch = append(u.batch, *u.heads[i])
-			u.heads[i] = nil
+		for u.hasHead[i] && u.heads[i].Timestamp.Equal(minTS) {
+			u.batch = append(u.batch, u.heads[i])
+			u.hasHead[i] = false
 			if err := u.ensureHead(i); err != nil {
 				return err
 			}
@@ -287,6 +323,10 @@ func (u *StreamUnifier) refill() error {
 
 	// trace.Sort's tie-breaks within one timestamp.
 	sortBatch(u.batch)
+
+	if u.mergeOnly {
+		return nil
+	}
 
 	// Advance the watermark before flagging: nothing older than minTS can
 	// arrive anymore, so state outside the windows relative to minTS is

@@ -121,8 +121,10 @@ func (m *Monitor) tapMessage(from simnet.NodeID, msg any) {
 	}
 	addr, _ := m.net.Addr(from)
 	now := m.net.Now()
-	for _, entry := range bm.Wantlist {
+	if !m.active[from] {
 		m.active[from] = true
+	}
+	for _, entry := range bm.Wantlist {
 		e := trace.Entry{
 			Timestamp: now,
 			Monitor:   m.Name,

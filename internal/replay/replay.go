@@ -30,6 +30,7 @@ import (
 	"io"
 	"time"
 
+	"bitswapmon/internal/cid"
 	"bitswapmon/internal/engine"
 	"bitswapmon/internal/geoip"
 	"bitswapmon/internal/ingest"
@@ -240,6 +241,9 @@ const graceFor = 5 * time.Second
 // It must be called from the driver goroutine (not from event code), and a
 // World should be driven once.
 func (w *World) Drive(src EventSource) (*DriveStats, error) {
+	if sn, ok := w.Net.(*simnet.Network); ok {
+		return w.drivePump(sn, src)
+	}
 	warp := w.cfg.TimeWarp
 	base := w.Net.Now()
 	stats := &DriveStats{}
@@ -273,6 +277,109 @@ func (w *World) Drive(src EventSource) (*DriveStats, error) {
 	w.Net.Run(graceFor)
 	stats.Requesters = len(w.assign)
 	stats.VirtualDuration = w.Net.Now().Sub(base)
+	return stats, nil
+}
+
+// msgBuf packs a want message and its single-entry want list into one
+// allocation. The engine holds the message until its latency elapses, and
+// handlers read it synchronously at delivery without retaining it, so a
+// buffer becomes reusable once the virtual clock passes readyAt — its send
+// time plus the latency model's maximum delay. The pump recycles buffers on
+// that bound, making sends allocation-free at steady state.
+type msgBuf struct {
+	m       wire.Message
+	e       [1]wire.Entry
+	readyAt time.Time
+}
+
+// drivePump is the serial-engine fast path of Drive: instead of wrapping
+// every event in an AfterOn timer closure (a heap insert into a queue that
+// grows to a whole horizon of pending timers, plus three allocations per
+// event), it advances the engine to each event's warped time with RunUntil
+// and issues the sends inline. The serial engine's RunUntil is exact and
+// cheap, the event heap only ever holds in-flight deliveries, and resident
+// memory is one event, not one horizon. Send times are identical to the
+// timer path, so the monitor-side trace is equivalent entry-for-entry.
+func (w *World) drivePump(sn *simnet.Network, src EventSource) (*DriveStats, error) {
+	warp := w.cfg.TimeWarp
+	base := sn.Now()
+	stats := &DriveStats{}
+	var lastName string
+	var lastTarget simnet.NodeRef
+	// Pool-node senders resolve to refs once; per-event sends then skip the
+	// node-table lookups inside the network.
+	refs := make([]simnet.NodeRef, len(w.nodes))
+	for i, nid := range w.nodes {
+		refs[i], _ = sn.Ref(nid)
+	}
+	// Sent-buffer FIFO: send times are nondecreasing and the delay bound is
+	// constant, so the head always holds the earliest readyAt.
+	maxDelay := sn.Latency().Max()
+	var bufs []*msgBuf
+	head := 0
+	send := func(from, to simnet.NodeRef, t wire.EntryType, c cid.CID) {
+		now := sn.Now()
+		var buf *msgBuf
+		if head < len(bufs) && !bufs[head].readyAt.After(now) {
+			buf = bufs[head]
+			bufs[head] = nil
+			head++
+			if head == len(bufs) {
+				bufs, head = bufs[:0], 0
+			} else if head >= 256 && head*2 >= len(bufs) {
+				n := copy(bufs, bufs[head:])
+				bufs, head = bufs[:n], 0
+			}
+		} else {
+			buf = &msgBuf{}
+		}
+		buf.e[0] = wire.Entry{Type: t, CID: c}
+		buf.m.Wantlist = buf.e[:]
+		buf.readyAt = now.Add(maxDelay)
+		_ = sn.SendRef(from, to, &buf.m)
+		bufs = append(bufs, buf)
+		stats.Sends++
+	}
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats, fmt.Errorf("replay: read event: %w", err)
+		}
+		at := base.Add(time.Duration(float64(ev.Offset) / warp))
+		if at.After(sn.Now()) {
+			sn.RunUntil(at)
+		}
+		idx := w.nodeFor(ev.Requester)
+		stats.Events++
+		if ev.Monitor != "" {
+			if ev.Monitor != lastName {
+				m, ok := w.byName[ev.Monitor]
+				if !ok {
+					return stats, fmt.Errorf("replay: event references unknown monitor %q (world has %d monitors; use DiscoverMonitors)", ev.Monitor, len(w.byName))
+				}
+				ref, ok := sn.Ref(m.ID())
+				if !ok {
+					return stats, fmt.Errorf("replay: monitor %q not registered in network", ev.Monitor)
+				}
+				lastName, lastTarget = ev.Monitor, ref
+			}
+			send(refs[idx], lastTarget, ev.Type, ev.CID)
+		} else {
+			for _, target := range w.monSets[idx] {
+				ref, ok := sn.Ref(target)
+				if !ok {
+					continue
+				}
+				send(refs[idx], ref, ev.Type, ev.CID)
+			}
+		}
+	}
+	sn.Run(graceFor)
+	stats.Requesters = len(w.assign)
+	stats.VirtualDuration = sn.Now().Sub(base)
 	return stats, nil
 }
 

@@ -93,9 +93,12 @@ func Prepare(spec Spec) (*Session, error) {
 			cleanup()
 			return nil, err
 		}
+		// Direct replay re-issues every entry regardless of flags, so the
+		// unifier runs in merge-only mode: same order, no sliding-window
+		// classification state.
 		return &Session{
 			World:   w,
-			src:     NewDirectSource(ingest.NewStreamUnifier(sources...)),
+			src:     NewDirectSource(ingest.NewStreamUnifier(sources...).MergeOnly()),
 			cleanup: cleanup,
 		}, nil
 	case ModeFitted:

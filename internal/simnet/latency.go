@@ -54,14 +54,18 @@ func DefaultLatencyModel() *LatencyModel {
 	}
 }
 
+// BaseFor returns the base (jitter-free) delay from region a to region b.
+func (m *LatencyModel) BaseFor(a, b Region) time.Duration {
+	if base, ok := m.Base[[2]Region{a, b}]; ok {
+		return base
+	}
+	return m.Default
+}
+
 // Sample draws a one-way delay for a message from region a to region b.
 func (m *LatencyModel) Sample(a, b Region, rng *rand.Rand) time.Duration {
-	base, ok := m.Base[[2]Region{a, b}]
-	if !ok {
-		base = m.Default
-	}
 	jitter := 1 + rng.Float64()*m.JitterFrac
-	return time.Duration(float64(base) * jitter)
+	return time.Duration(float64(m.BaseFor(a, b)) * jitter)
 }
 
 // Min returns the smallest delay the model can produce (jitter only adds
@@ -75,6 +79,22 @@ func (m *LatencyModel) Min() time.Duration {
 		}
 	}
 	return min
+}
+
+// Max returns the largest delay the model can produce. Direct replay uses
+// it to bound message lifetime: a message is guaranteed delivered (or
+// dropped) once the virtual clock passes its send time plus Max.
+func (m *LatencyModel) Max() time.Duration {
+	max := m.Default
+	for _, d := range m.Base {
+		if d > max {
+			max = d
+		}
+	}
+	if m.JitterFrac > 0 {
+		max = time.Duration(float64(max) * (1 + m.JitterFrac))
+	}
+	return max
 }
 
 // Fixed returns a model with a constant delay, useful in tests.

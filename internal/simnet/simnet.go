@@ -10,7 +10,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -60,28 +59,85 @@ type nodeState struct {
 	// call dominated the event-loop profile.
 	sorted []NodeID
 	online bool
+	// epoch counts peer-table mutations. A delivery whose sender epoch is
+	// unchanged since send time knows the connection it validated then still
+	// exists, skipping the peer-map lookup on the (overwhelmingly common)
+	// stable-topology path.
+	epoch uint64
 }
 
-// event is one scheduled action.
+// event is one scheduled action: a callback when fn != nil, otherwise an
+// in-flight message delivery carried inline. Deliveries dominate the event
+// loop, so carrying their payload in the event instead of a closure saves
+// one allocation per send and the node-table lookups at delivery time.
 type event struct {
-	at  time.Time
-	seq uint64
-	fn  func()
+	at time.Time
+	// atNs is at.UnixNano(), precomputed so heap comparisons are integer
+	// compares instead of time.Time wall/monotonic unpacking.
+	atNs int64
+	seq  uint64
+	fn   func()
+	// Delivery payload (fn == nil): msg travels from sf to st. sfEpoch is
+	// the sender's peer-table epoch at send time.
+	msg     any
+	from    NodeID
+	sf, st  *nodeState
+	sfEpoch uint64
 }
 
+// eventQueue is a binary min-heap ordered by (at, seq). The (at, seq) pair
+// is a total order — seq is unique — so the pop sequence is independent of
+// heap shape and any correct heap implementation is behaviourally
+// equivalent. The sift loops are inlined (rather than container/heap) to
+// avoid interface dispatch on the hottest path in the simulator.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
+func (q eventQueue) less(i, j int) bool {
+	if q[i].atNs != q[j].atNs {
+		return q[i].atNs < q[j].atNs
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
-func (q eventQueue) Peek() *event  { return q[0] }
+
+func (q eventQueue) Peek() *event { return q[0] }
+
+func (n *Network) qPush(e *event) {
+	q := append(n.queue, e)
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	n.queue = q
+}
+
+func (n *Network) qPop() *event {
+	q := n.queue
+	e := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nil
+	q = q[:last]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= len(q) {
+			break
+		}
+		if r := c + 1; r < len(q) && q.less(r, c) {
+			c = r
+		}
+		if !q.less(c, i) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	n.queue = q
+	return e
+}
 
 // Errors returned by network operations.
 var (
@@ -106,6 +162,12 @@ type Network struct {
 	// pool recycles event structs between schedule and Step.
 	pool []*event
 
+	// Last latency-model base lookup, keyed by region pair. Consecutive
+	// sends repeat pairs constantly; a string compare beats the map hash.
+	llA, llB  Region
+	llBase    time.Duration
+	llBaseSet bool
+
 	// counters
 	delivered uint64
 	dropped   uint64
@@ -127,6 +189,9 @@ func New(start time.Time, seed int64, lm *LatencyModel) *Network {
 
 // Now returns the current virtual time.
 func (n *Network) Now() time.Time { return n.now }
+
+// Latency returns the network's latency model.
+func (n *Network) Latency() *LatencyModel { return n.latency }
 
 // NewRand derives an independent deterministic RNG labelled by name.
 func (n *Network) NewRand(name string) *rand.Rand {
@@ -236,6 +301,8 @@ func (n *Network) Connect(a, b NodeID) error {
 	sa.peers[b] = true
 	sb.peers[a] = true
 	sa.sorted, sb.sorted = nil, nil
+	sa.epoch++
+	sb.epoch++
 	sa.handler.PeerConnected(b)
 	sb.handler.PeerConnected(a)
 	return nil
@@ -255,6 +322,8 @@ func (n *Network) teardown(sa, sb *nodeState) {
 	delete(sa.peers, sb.id)
 	delete(sb.peers, sa.id)
 	sa.sorted, sb.sorted = nil, nil
+	sa.epoch++
+	sb.epoch++
 	sa.handler.PeerDisconnected(sb.id)
 	sb.handler.PeerDisconnected(sa.id)
 }
@@ -284,6 +353,29 @@ func (n *Network) Peers(id NodeID) []NodeID {
 	return append([]NodeID(nil), st.sorted...)
 }
 
+// PeersEach calls fn for each connected peer of id in ascending NodeID
+// order, stopping early when fn returns false. It iterates the cached
+// sorted peer set without copying it — the allocation-free variant of Peers
+// for broadcast loops. fn must not mutate the connection table.
+func (n *Network) PeersEach(id NodeID, fn func(NodeID) bool) {
+	st, ok := n.nodes[id]
+	if !ok {
+		return
+	}
+	if st.sorted == nil {
+		st.sorted = make([]NodeID, 0, len(st.peers))
+		for p := range st.peers {
+			st.sorted = append(st.sorted, p)
+		}
+		sortNodeIDs(st.sorted)
+	}
+	for _, p := range st.sorted {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
 func sortNodeIDs(ids []NodeID) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 }
@@ -309,20 +401,43 @@ func (n *Network) Send(from, to NodeID, msg any) error {
 		return fmt.Errorf("%w: %s -> %s", ErrNotConnected, from, to)
 	}
 	st := n.nodes[to]
-	delay := n.latency.Sample(sf.region, st.region, n.rootRNG)
-	n.schedule(n.now.Add(delay), func() {
-		// Revalidate at delivery time: connection and liveness may have
-		// changed while the message was in flight.
-		sf2, ok1 := n.nodes[from]
-		st2, ok2 := n.nodes[to]
-		if !ok1 || !ok2 || !sf2.peers[to] || !st2.online {
-			n.dropped++
-			return
-		}
-		n.delivered++
-		st2.handler.HandleMessage(from, msg)
-	})
+	n.sendTo(sf, st, from, msg)
 	return nil
+}
+
+// NodeRef is an opaque handle to a registered node. Nodes are never removed
+// from a network, so a ref stays valid for the network's lifetime; hot send
+// loops resolve their endpoints once and skip the per-call table lookups.
+type NodeRef struct{ st *nodeState }
+
+// Ref resolves a node ID to a reusable handle.
+func (n *Network) Ref(id NodeID) (NodeRef, bool) {
+	st, ok := n.nodes[id]
+	return NodeRef{st: st}, ok
+}
+
+// SendRef is Send with pre-resolved endpoints. Semantics (connectivity
+// check, latency sampling, delivery-time revalidation) are identical.
+func (n *Network) SendRef(from, to NodeRef, msg any) error {
+	sf, st := from.st, to.st
+	if !sf.peers[st.id] {
+		return fmt.Errorf("%w: %s -> %s", ErrNotConnected, sf.id, st.id)
+	}
+	n.sendTo(sf, st, sf.id, msg)
+	return nil
+}
+
+func (n *Network) sendTo(sf, st *nodeState, from NodeID, msg any) {
+	if !n.llBaseSet || sf.region != n.llA || st.region != n.llB {
+		n.llA, n.llB = sf.region, st.region
+		n.llBase = n.latency.BaseFor(sf.region, st.region)
+		n.llBaseSet = true
+	}
+	jitter := 1 + n.rootRNG.Float64()*n.latency.JitterFrac
+	delay := time.Duration(float64(n.llBase) * jitter)
+	e := n.newEvent(n.now.Add(delay), nil)
+	e.msg, e.from, e.sf, e.st, e.sfEpoch = msg, from, sf, st, sf.epoch
+	n.qPush(e)
 }
 
 // After schedules fn to run after d of virtual time.
@@ -350,17 +465,21 @@ func (n *Network) At(t time.Time, fn func()) {
 	n.schedule(t, fn)
 }
 
-func (n *Network) schedule(at time.Time, fn func()) {
+func (n *Network) newEvent(at time.Time, fn func()) *event {
 	n.seq++
 	var e *event
 	if k := len(n.pool); k > 0 {
 		e = n.pool[k-1]
 		n.pool = n.pool[:k-1]
-		e.at, e.seq, e.fn = at, n.seq, fn
+		e.at, e.atNs, e.seq, e.fn = at, at.UnixNano(), n.seq, fn
 	} else {
-		e = &event{at: at, seq: n.seq, fn: fn}
+		e = &event{at: at, atNs: at.UnixNano(), seq: n.seq, fn: fn}
 	}
-	heap.Push(&n.queue, e)
+	return e
+}
+
+func (n *Network) schedule(at time.Time, fn func()) {
+	n.qPush(n.newEvent(at, fn))
 }
 
 // Step runs the next event, returning false when the queue is empty.
@@ -368,9 +487,34 @@ func (n *Network) Step() bool {
 	if len(n.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&n.queue).(*event)
+	e := n.qPop()
 	if e.at.After(n.now) {
 		n.now = e.at
+	}
+	if e.fn == nil {
+		// Inline message delivery. Nodes are never removed from the table,
+		// so the cached states remain valid; connection and liveness still
+		// need revalidation — both may have changed while the message was
+		// in flight. An unchanged sender epoch proves the connection
+		// validated at send time still exists, so only liveness needs a
+		// (field-read) check.
+		sf, st, from, msg := e.sf, e.st, e.from, e.msg
+		sfEpoch := e.sfEpoch
+		e.msg, e.sf, e.st = nil, nil, nil
+		if len(n.pool) < 1024 {
+			n.pool = append(n.pool, e)
+		}
+		if sf.epoch != sfEpoch && !sf.peers[st.id] {
+			n.dropped++
+			return true
+		}
+		if !st.online {
+			n.dropped++
+			return true
+		}
+		n.delivered++
+		st.handler.HandleMessage(from, msg)
+		return true
 	}
 	fn := e.fn
 	e.fn = nil
@@ -384,9 +528,9 @@ func (n *Network) Step() bool {
 // RunUntil processes events until the queue empties or virtual time would
 // pass deadline. The clock is left at deadline if it was reached.
 func (n *Network) RunUntil(deadline time.Time) {
+	dl := deadline.UnixNano()
 	for len(n.queue) > 0 {
-		next := n.queue.Peek()
-		if next.at.After(deadline) {
+		if n.queue.Peek().atNs > dl {
 			break
 		}
 		n.Step()

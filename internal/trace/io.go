@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"encoding/binary"
 	"encoding/csv"
@@ -77,12 +78,35 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
-// Reader reads a binary trace file.
+// Reader reads a binary trace file. Strings and CIDs repeat heavily in
+// monitoring traces (a handful of monitor names and addresses, a catalog of
+// popular CIDs), so the reader interns them: repeated values share one
+// backing allocation instead of allocating per record. The intern tables are
+// bounded; on overflow they reset, costing only re-allocation of values seen
+// again.
 type Reader struct {
-	gz   *gzip.Reader
-	br   *bufio.Reader
-	last int64
+	gz      *gzip.Reader
+	br      *bufio.Reader
+	last    int64
+	scratch []byte
+	strs    map[string]string
+	cids    map[string]cid.CID
+	// Per-field last-value caches: consecutive records usually repeat the
+	// same monitor name and often the same address, and a byte compare is
+	// cheaper than the intern map's hash-and-probe.
+	monC, addrC strCache
 }
+
+// strCache remembers one decoded string and its raw bytes.
+type strCache struct {
+	raw []byte
+	s   string
+}
+
+// internLimit bounds each intern table. 64k distinct values covers every
+// realistic monitor/address population and a large working set of hot CIDs
+// while keeping worst-case resident memory small against adversarial traces.
+const internLimit = 1 << 16
 
 // ErrBadTrace is returned for malformed trace files.
 var ErrBadTrace = errors.New("trace: malformed trace file")
@@ -105,7 +129,12 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(magic) != string(fileMagic) {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
 	}
-	return &Reader{gz: gz, br: br}, nil
+	return &Reader{
+		gz:   gz,
+		br:   br,
+		strs: make(map[string]string),
+		cids: make(map[string]cid.CID),
+	}, nil
 }
 
 // Read returns the next entry, or io.EOF at end of stream.
@@ -120,48 +149,115 @@ func (r *Reader) Read() (Entry, error) {
 	}
 	r.last += delta
 	e.Timestamp = time.Unix(0, r.last).UTC()
-	if e.Monitor, err = readString(r.br); err != nil {
+	if e.Monitor, err = r.readString(&r.monC); err != nil {
 		return e, err
 	}
-	if _, err := io.ReadFull(r.br, e.NodeID[:]); err != nil {
+	nid, err := r.readFixed(len(e.NodeID))
+	if err != nil {
 		return e, fmt.Errorf("%w: node id: %v", ErrBadTrace, err)
 	}
-	if e.Addr, err = readString(r.br); err != nil {
+	copy(e.NodeID[:], nid)
+	if e.Addr, err = r.readString(&r.addrC); err != nil {
 		return e, err
 	}
-	var tb [2]byte
-	if _, err := io.ReadFull(r.br, tb[:]); err != nil {
+	tb, err := r.readFixed(2)
+	if err != nil {
 		return e, fmt.Errorf("%w: type/flags: %v", ErrBadTrace, err)
 	}
 	e.Type = wire.EntryType(tb[0])
 	e.Flags = Flag(tb[1])
-	rawCID, err := readString(r.br)
+	raw, err := r.readBytes()
 	if err != nil {
 		return e, err
 	}
-	e.CID, err = cid.Decode([]byte(rawCID))
-	if err != nil {
-		return e, fmt.Errorf("%w: cid: %v", ErrBadTrace, err)
+	c, ok := r.cids[string(raw)] // keyed lookup: no allocation on the hit path
+	if !ok {
+		if c, err = cid.Decode(raw); err != nil {
+			return e, fmt.Errorf("%w: cid: %v", ErrBadTrace, err)
+		}
+		if len(r.cids) >= internLimit {
+			clear(r.cids)
+		}
+		r.cids[c.Key()] = c
 	}
+	e.CID = c
 	return e, nil
 }
 
 // Close closes the gzip reader.
 func (r *Reader) Close() error { return r.gz.Close() }
 
-func readString(br *bufio.Reader) (string, error) {
-	n, err := binary.ReadUvarint(br)
+// readFull fills buf from the stream, looping over the concrete
+// bufio.Reader. Buffers handed to it still escape (bufio forwards large
+// reads to the underlying io.Reader interface), so fixed-size entry fields
+// go through readFixed and the heap-resident scratch instead of being
+// decoded into directly.
+func (r *Reader) readFull(buf []byte) error {
+	for len(buf) > 0 {
+		n, err := r.br.Read(buf)
+		if n == 0 {
+			if err == nil {
+				err = io.ErrNoProgress
+			}
+			return err
+		}
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// readFixed reads exactly n bytes into the reader's scratch buffer, which
+// the next read reuses.
+func (r *Reader) readFixed(n int) ([]byte, error) {
+	if cap(r.scratch) < n {
+		r.scratch = make([]byte, n)
+	}
+	buf := r.scratch[:n]
+	if err := r.readFull(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readBytes reads one length-prefixed string into the reader's scratch
+// buffer, which the next read reuses.
+func (r *Reader) readBytes() ([]byte, error) {
+	n, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return "", fmt.Errorf("%w: string length: %v", ErrBadTrace, err)
+		return nil, fmt.Errorf("%w: string length: %v", ErrBadTrace, err)
 	}
 	if n > 1<<16 {
-		return "", fmt.Errorf("%w: string too long", ErrBadTrace)
+		return nil, fmt.Errorf("%w: string too long", ErrBadTrace)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return "", fmt.Errorf("%w: string body: %v", ErrBadTrace, err)
+	if uint64(cap(r.scratch)) < n {
+		r.scratch = make([]byte, n)
 	}
-	return string(buf), nil
+	buf := r.scratch[:n]
+	if err := r.readFull(buf); err != nil {
+		return nil, fmt.Errorf("%w: string body: %v", ErrBadTrace, err)
+	}
+	return buf, nil
+}
+
+func (r *Reader) readString(c *strCache) (string, error) {
+	buf, err := r.readBytes()
+	if err != nil {
+		return "", err
+	}
+	if len(buf) > 0 && bytes.Equal(buf, c.raw) {
+		return c.s, nil
+	}
+	s, ok := r.strs[string(buf)]
+	if !ok {
+		s = string(buf)
+		if len(r.strs) >= internLimit {
+			clear(r.strs)
+		}
+		r.strs[s] = s
+	}
+	c.raw = append(c.raw[:0], buf...)
+	c.s = s
+	return s, nil
 }
 
 // ReadAll drains a reader into memory.

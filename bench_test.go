@@ -34,6 +34,7 @@ import (
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/node"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/replay"
 	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
@@ -266,6 +267,10 @@ func BenchmarkReportDriver(b *testing.B) {
 		GatewayIDs:     gateways,
 		MegagateIDs:    map[simnet.NodeID]bool{},
 		BootstrapIters: 5, // keep the fig5/popularity bootstrap off the critical path
+		// latency_breakdown refuses to construct without a span recorder;
+		// an empty tracer keeps "every registered report" true (its Observe
+		// is a no-op, so it costs one virtual call per entry).
+		Tracer: otrace.New(otrace.Config{Sample: 1, Seed: 42}),
 	}
 	names := report.Names()
 	b.ResetTimer()
@@ -495,12 +500,23 @@ func BenchmarkIngestSegmentStore(b *testing.B) {
 	b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "retained-heap-MB")
 }
 
+// maybeBenchTracer returns a span recorder when BSMON_BENCH_TRACE is set, so
+// cmd/bsbench can measure the replay drive untraced and traced in separate
+// processes — the traced-vs-untraced column of BENCH_engine.json.
+func maybeBenchTracer() *otrace.Tracer {
+	if os.Getenv("BSMON_BENCH_TRACE") == "" {
+		return nil
+	}
+	return otrace.New(otrace.Config{Sample: 0.25, Seed: 42})
+}
+
 // BenchmarkReplayDrive measures the trace-driven replay path end to end:
 // events streamed from an on-disk segment store through the unifier and
 // re-issued into a replay world. The events/sec metric is the replay
 // subsystem's throughput from disk to monitor-side observation.
 func BenchmarkReplayDrive(b *testing.B) {
 	maybeEnableMetrics()
+	tracer := maybeBenchTracer()
 	dir := filepath.Join(b.TempDir(), "replay-bench.segments")
 	store, err := ingest.OpenSegmentStore(dir, ingest.SegmentOptions{})
 	if err != nil {
@@ -539,6 +555,7 @@ func BenchmarkReplayDrive(b *testing.B) {
 			Inputs:   []string{dir},
 			TimeWarp: 60,
 			Seed:     int64(i),
+			Tracer:   tracer,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -551,6 +568,9 @@ func BenchmarkReplayDrive(b *testing.B) {
 		if stats.Events != events {
 			b.Fatalf("replayed %d events, wrote %d", stats.Events, events)
 		}
+		// Start each iteration from empty rings: a saturated ring degrades
+		// Record to a drop-counter bump, which would understate the cost.
+		tracer.Reset()
 	}
 	if wall := time.Since(start); wall > 0 {
 		b.ReportMetric(float64(events)*float64(b.N)/wall.Seconds(), "events/sec")

@@ -1,18 +1,24 @@
 // Command bsbench records the repository's performance trajectory in
-// machine-readable form: it runs the hot-path benchmarks twice — bare, and
-// with the obs instrumentation enabled (BSMON_BENCH_METRICS=1) — and writes
-// the parsed results to BENCH_engine.json and BENCH_report.json, including
-// the instrumentation overhead each benchmark paid.
+// machine-readable form: it runs the hot-path benchmarks bare and with the
+// obs instrumentation enabled (BSMON_BENCH_METRICS=1) — plus, for the replay
+// drive, with request tracing enabled (BSMON_BENCH_TRACE=1) — and writes the
+// parsed results to BENCH_engine.json and BENCH_report.json, including the
+// overhead each benchmark paid per mode.
 //
 // Usage:
 //
-//	bsbench [-out DIR] [-benchtime T] [-C MODULE_DIR] [-max-overhead PCT]
+//	bsbench [-out DIR] [-benchtime T] [-C MODULE_DIR] [-only RE]
+//	        [-max-overhead PCT] [-max-trace-overhead PCT]
 //
 // BENCH_report.json holds the report-driver throughput (the "all figures at
 // once" analysis path); BENCH_engine.json holds trace replay and the
-// simulator event loop. -max-overhead makes bsbench exit nonzero when the
+// simulator event loop, with the traced replay recorded alongside the
+// metrics columns. -max-overhead makes bsbench exit nonzero when the
 // instrumented ns/op regresses more than PCT percent over bare — the
-// enforcement knob for the ≤5% instrumentation budget.
+// enforcement knob for the ≤5% instrumentation budget; -max-trace-overhead
+// is the same knob for the traced-vs-untraced replay column. -only restricts
+// the run to configured benchmarks matching a regexp (the CI smoke uses it
+// to budget-check just the replay drive).
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -37,6 +44,10 @@ var benchFiles = map[string][]string{
 	"BENCH_engine.json": {"BenchmarkReplayDrive", "BenchmarkSimnetEventLoop", "BenchmarkEngineScaling"},
 }
 
+// tracedBenches lists the benchmarks that honor BSMON_BENCH_TRACE: they get a
+// third, traced run recorded next to the bare/instrumented pair.
+var tracedBenches = map[string]bool{"BenchmarkReplayDrive": true}
+
 // Measurement is one parsed benchmark line.
 type Measurement struct {
 	N            int     `json:"n"`
@@ -46,14 +57,20 @@ type Measurement struct {
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 }
 
-// Entry pairs a benchmark's bare and instrumented runs.
+// Entry pairs a benchmark's bare and instrumented runs, plus the traced run
+// for benchmarks that have one.
 type Entry struct {
 	Name    string       `json:"name"`
 	Bare    *Measurement `json:"bare"`
 	Metrics *Measurement `json:"metrics_enabled"`
+	Traced  *Measurement `json:"traced,omitempty"`
 	// OverheadPct is the instrumented ns/op regression over bare, in
 	// percent; negative means the instrumented run measured faster (noise).
 	OverheadPct float64 `json:"overhead_pct"`
+	// TraceOverheadPct is the traced-vs-untraced regression for benchmarks
+	// that run a traced mode (the otrace recording cost at its benchmark
+	// sampling rate).
+	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
 }
 
 // File is one BENCH_*.json document.
@@ -78,36 +95,70 @@ func run(args []string) error {
 	count := fs.Int("count", 3, "interleaved bare/instrumented rounds; the fastest of each benchmark is recorded")
 	moduleDir := fs.String("C", ".", "module directory to run go test in")
 	maxOverhead := fs.Float64("max-overhead", 0, "fail when instrumented ns/op regresses more than this percent (0 = record only)")
+	maxTraceOverhead := fs.Float64("max-trace-overhead", 0, "fail when traced ns/op regresses more than this percent over untraced (0 = record only)")
+	only := fs.String("only", "", "regexp restricting the run to matching configured benchmarks")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var names []string
+	var filter *regexp.Regexp
+	if *only != "" {
+		var err error
+		if filter, err = regexp.Compile(*only); err != nil {
+			return fmt.Errorf("-only: %w", err)
+		}
+	}
+	selected := func(name string) bool { return filter == nil || filter.MatchString(name) }
+
+	var names, tracedNames []string
 	for _, ns := range benchFiles {
-		names = append(names, ns...)
+		for _, n := range ns {
+			if !selected(n) {
+				continue
+			}
+			names = append(names, n)
+			if tracedBenches[n] {
+				tracedNames = append(tracedNames, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("-only %q matches no configured benchmark", *only)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
 	}
 	pattern := "^(" + strings.Join(names, "|") + ")$"
 
-	// Alternate bare and instrumented invocations so both modes sample the
-	// same machine conditions — on shared hardware, back-to-back blocks of
-	// one mode read ambient load differences as instrumentation overhead.
+	// Alternate bare, instrumented and traced invocations so all modes
+	// sample the same machine conditions — on shared hardware, back-to-back
+	// blocks of one mode read ambient load differences as overhead.
 	bare := make(map[string]*Measurement)
 	instrumented := make(map[string]*Measurement)
+	traced := make(map[string]*Measurement)
 	for round := 0; round < *count; round++ {
-		b, err := runBenchmarks(*moduleDir, pattern, *benchtime, round, *count, false)
+		b, err := runBenchmarks(*moduleDir, pattern, *benchtime, round, *count, "bare")
 		if err != nil {
 			return err
 		}
 		mergeFastest(bare, b)
-		m, err := runBenchmarks(*moduleDir, pattern, *benchtime, round, *count, true)
+		m, err := runBenchmarks(*moduleDir, pattern, *benchtime, round, *count, "instrumented")
 		if err != nil {
 			return err
 		}
 		mergeFastest(instrumented, m)
+		if len(tracedNames) > 0 {
+			tracePattern := "^(" + strings.Join(tracedNames, "|") + ")$"
+			tm, err := runBenchmarks(*moduleDir, tracePattern, *benchtime, round, *count, "traced")
+			if err != nil {
+				return err
+			}
+			mergeFastest(traced, tm)
+		}
 	}
 
-	var worst float64
-	var worstName string
+	var worst, worstTrace float64
+	var worstName, worstTraceName string
 	for path, ns := range benchFiles {
 		doc := File{
 			Date:      time.Now().UTC().Format("2006-01-02"),
@@ -115,6 +166,9 @@ func run(args []string) error {
 			Benchtime: *benchtime,
 		}
 		for _, name := range ns {
+			if !selected(name) {
+				continue
+			}
 			// A configured name stands for itself plus any sub-benchmarks
 			// (Name/sub). Sub-benchmarks skipped in this environment (e.g.
 			// population sizes gated on CPU count) simply produce no line.
@@ -135,8 +189,20 @@ func run(args []string) error {
 				if e.OverheadPct > worst {
 					worst, worstName = e.OverheadPct, mn
 				}
+				if tm, ok := traced[mn]; ok {
+					e.Traced = tm
+					if b.NsPerOp > 0 {
+						e.TraceOverheadPct = (tm.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+					}
+					if e.TraceOverheadPct > worstTrace {
+						worstTrace, worstTraceName = e.TraceOverheadPct, mn
+					}
+				}
 				doc.Benchmarks = append(doc.Benchmarks, e)
 			}
+		}
+		if len(doc.Benchmarks) == 0 {
+			continue // -only filtered this file's benchmarks out entirely
 		}
 		blob, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -150,6 +216,9 @@ func run(args []string) error {
 	}
 	if *maxOverhead > 0 && worst > *maxOverhead {
 		return fmt.Errorf("%s instrumentation overhead %.1f%% exceeds budget %.1f%%", worstName, worst, *maxOverhead)
+	}
+	if *maxTraceOverhead > 0 && worstTrace > *maxTraceOverhead {
+		return fmt.Errorf("%s tracing overhead %.1f%% exceeds budget %.1f%%", worstTraceName, worstTrace, *maxTraceOverhead)
 	}
 	return nil
 }
@@ -177,18 +246,18 @@ func mergeFastest(acc, round map[string]*Measurement) {
 	}
 }
 
-// runBenchmarks invokes go test -bench once and parses the result lines.
-func runBenchmarks(dir, pattern, benchtime string, round, rounds int, metrics bool) (map[string]*Measurement, error) {
+// runBenchmarks invokes go test -bench once in the given mode ("bare",
+// "instrumented" or "traced") and parses the result lines.
+func runBenchmarks(dir, pattern, benchtime string, round, rounds int, mode string) (map[string]*Measurement, error) {
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
 		"-benchmem", "-benchtime", benchtime, ".")
 	cmd.Dir = dir
 	cmd.Env = os.Environ()
-	if metrics {
+	switch mode {
+	case "instrumented":
 		cmd.Env = append(cmd.Env, "BSMON_BENCH_METRICS=1")
-	}
-	mode := "bare"
-	if metrics {
-		mode = "instrumented"
+	case "traced":
+		cmd.Env = append(cmd.Env, "BSMON_BENCH_TRACE=1")
 	}
 	fmt.Printf("round %d/%d: %s benchmarks...\n", round+1, rounds, mode)
 	out, err := cmd.CombinedOutput()

@@ -8,6 +8,7 @@
 //	              [-engine serial|sharded] [-shards N]
 //	              [-replay INPUTS] [-replay-mode replay|fitted]
 //	              [-amplify N] [-timewarp N]
+//	              [-trace-out FILE] [-trace-sample F]
 //	              [-cpuprofile FILE] [-memprofile FILE] [-metrics-addr ADDR]
 //
 // -replay switches from the synthetic scenarios to trace-driven replay:
@@ -26,6 +27,13 @@
 // set -seed/-engine/-shards flags override the spec from either source.
 // Flags and spec files share one scenario-assembly code path, so a dumped
 // spec reproduces exactly the run its flags would have performed.
+//
+// -trace-out enables the virtual-time causal flight recorder: sampled
+// requests carry spans across workload → gateway → DHT → Bitswap → delivery,
+// exported as Chrome trace-event JSON (open in Perfetto or chrome://tracing)
+// with a .jsonl sidecar, and the report gains a span-driven per-stage latency
+// breakdown. -trace-sample head-samples deterministically by seed, so the
+// same requests are traced across engines and repeated runs.
 //
 // The serial engine is the deterministic reference (same seed, same bytes);
 // the sharded engine runs the scenario across all cores with conservative
@@ -67,6 +75,8 @@ func run(args []string) error {
 	replayMode := fs.String("replay-mode", "replay", "trace replay mode: replay (direct) or fitted")
 	amplify := fs.Float64("amplify", 0, "fitted-replay population/volume multiplier")
 	timewarp := fs.Float64("timewarp", 0, "replay time compression factor (2 = twice as fast)")
+	traceOut := fs.String("trace-out", "", "record causal request traces and write Chrome trace-event JSON (Perfetto-loadable) plus a .jsonl sidecar to this path")
+	traceSample := fs.Float64("trace-sample", 1, "deterministic trace head-sampling rate in [0,1] (with -trace-out)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090) and enable instrumentation")
@@ -88,6 +98,13 @@ func run(args []string) error {
 		// The replay world's monitors come from the trace, not the
 		// synthetic scenario's vantage points.
 		spec.Monitors = nil
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		spec.Trace = true
+		spec.TraceSample = *traceSample
 		if err := spec.Validate(); err != nil {
 			return err
 		}
@@ -120,6 +137,9 @@ func run(args []string) error {
 			return fmt.Errorf("replay: %w", err)
 		}
 		fmt.Println(rep.Render())
+		if err := cmdutil.ExportTrace("bsexperiments", *traceOut, rep.Tracer); err != nil {
+			return err
+		}
 		return prof.Stop()
 	}
 
@@ -129,6 +149,9 @@ func run(args []string) error {
 			return fmt.Errorf("week scenario: %w", err)
 		}
 		fmt.Println(rep.Render())
+		if err := cmdutil.ExportTrace("bsexperiments", *traceOut, rep.Tracer); err != nil {
+			return err
+		}
 	}
 	if *only == "" || *only == "upgrade" {
 		newEngine, err := spec.NewEngine()

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	bsmon -out DIR [-nodes N] [-hours H] [-seed N] [-rotate DUR]
-//	      [-metrics-addr ADDR]
+//	      [-trace-out FILE] [-trace-sample F] [-metrics-addr ADDR]
 //
 // Output per monitor M:
 //
@@ -27,6 +27,8 @@ import (
 
 	"bitswapmon/internal/cmdutil"
 	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/otrace"
+	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
 	"bitswapmon/internal/workload"
@@ -48,9 +50,18 @@ func run(args []string) error {
 	csv := fs.Bool("csv", true, "also write CSV exports")
 	flat := fs.Bool("flat", true, "also write flat .trace compatibility exports")
 	rotate := fs.Duration("rotate", time.Hour, "segment rotation window (virtual time)")
+	traceOut := fs.String("trace-out", "", "record causal request traces and write Chrome trace-event JSON (Perfetto-loadable) plus a .jsonl sidecar to this path")
+	traceSample := fs.Float64("trace-sample", 1, "deterministic trace head-sampling rate in [0,1] (with -trace-out)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090) and enable instrumentation")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var tracer *otrace.Tracer
+	if *traceOut != "" {
+		if *traceSample < 0 || *traceSample > 1 {
+			return fmt.Errorf("-trace-sample %v out of [0,1]", *traceSample)
+		}
+		tracer = otrace.New(otrace.Config{Sample: *traceSample, Seed: *seed})
 	}
 	srv, err := cmdutil.ServeMetrics(*metricsAddr)
 	if err != nil {
@@ -71,6 +82,7 @@ func run(args []string) error {
 			{Name: "us", Region: simnet.RegionUS},
 			{Name: "de", Region: simnet.RegionDE},
 		},
+		Tracer: tracer,
 	})
 	if err != nil {
 		return fmt.Errorf("build scenario: %w", err)
@@ -133,7 +145,10 @@ func run(args []string) error {
 			}
 		}
 	}
-	return nil
+	if tracer != nil {
+		fmt.Println(report.BreakdownFromSpans(tracer.Spans(), tracer.Dropped()).Render())
+	}
+	return cmdutil.ExportTrace("bsmon", *traceOut, tracer)
 }
 
 // exportFlat streams the store into a flat binary trace file, disk to disk.

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	bssweep run -spec sweep.json -root DIR [-workers N] [-dry-run]
+//	            [-trace] [-trace-sample F]
 //	            [-metrics-addr ADDR] [-progress] [-cpuprofile FILE] [-memprofile FILE]
 //	bssweep resume -root DIR [-workers N] [same operational flags as run]
 //	bssweep report -root DIR [-metric M -rows PARAM [-cols PARAM]] [-csv FILE]
@@ -103,6 +104,8 @@ func cmdRun(args []string) error {
 	root := fs.String("root", "", "sweep root directory (created if absent)")
 	workers := fs.Int("workers", 4, "concurrent runs")
 	dryRun := fs.Bool("dry-run", false, "list the expanded runs and exit")
+	traceRuns := fs.Bool("trace", false, "enable causal request tracing in every run (writes trace.json + .jsonl into each run directory)")
+	traceSample := fs.Float64("trace-sample", 1, "deterministic trace head-sampling rate in [0,1] (with -trace)")
 	ops := addOpsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,6 +116,10 @@ func cmdRun(args []string) error {
 	sw, err := sweep.LoadSweep(*specPath)
 	if err != nil {
 		return err
+	}
+	if *traceRuns {
+		sw.Base.Trace = true
+		sw.Base.TraceSample = *traceSample
 	}
 	if *dryRun {
 		runs, err := sweep.Expand(sw)

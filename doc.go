@@ -23,6 +23,14 @@
 // instrumented behind nil-safe handles, and the long-running commands serve
 // /metrics plus /debug/pprof via -metrics-addr.
 //
+// Per-request causal visibility comes from internal/otrace: a virtual-time
+// span recorder whose contexts propagate workload → gateway → DHT → Bitswap
+// → engine delivery, with deterministic seeded head-sampling (serial and
+// sharded engines trace the same requests). Traces export as
+// Perfetto-loadable Chrome trace-event JSON plus JSONL (-trace-out on the
+// commands), and feed the latency_breakdown streaming report — per-stage
+// virtual-time latency distributions for every sampled request.
+//
 // See README.md for the layout, commands and package map. The root package
 // only hosts the benchmark harness (bench_test.go), which regenerates every
 // table and figure of the paper.

@@ -25,6 +25,7 @@ import (
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/dht"
 	"bitswapmon/internal/engine"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/wire"
 )
@@ -41,6 +42,14 @@ type BlockStore interface {
 type ProviderRouter interface {
 	FindProviders(key dht.Key, want int, done func([]dht.PeerInfo))
 	Provide(key dht.Key, done func())
+}
+
+// TracedProviderRouter is the optional tracing capability of a ProviderRouter:
+// provider searches carrying a trace context become dht.lookup spans.
+// *dht.DHT satisfies it; plain routers (test stubs) fall back to
+// FindProviders.
+type TracedProviderRouter interface {
+	FindProvidersTraced(tc otrace.Ctx, key dht.Key, want int, done func([]dht.PeerInfo))
 }
 
 // Config parametrises the engine.
@@ -136,6 +145,8 @@ type wantState struct {
 	session   *Session
 	broadcast bool // root want: broadcast + DHT; false: session-scoped
 	started   time.Time
+	span      *otrace.SpanHandle // bitswap.get span; nil when untraced
+	tc        otrace.Ctx         // span's context, parent of hops and DHT work
 
 	wantHaveSent  map[simnet.NodeID]bool
 	wantBlockSent map[simnet.NodeID]bool
@@ -153,6 +164,7 @@ type Engine struct {
 	store  BlockStore
 	router ProviderRouter
 	cfg    Config
+	tr     engine.Tracing // nil when the engine does not support tracing
 
 	wants map[cid.CID]*wantState
 	// ledger holds, per connected peer, the entries of their want_list
@@ -182,6 +194,7 @@ func New(net engine.Engine, self simnet.NodeID, store BlockStore, router Provide
 		store:  store,
 		router: router,
 		cfg:    cfg,
+		tr:     engine.TracingOf(net),
 		wants:  make(map[cid.CID]*wantState),
 		ledger: make(map[simnet.NodeID]map[cid.CID]wire.EntryType),
 	}
@@ -205,7 +218,18 @@ func (e *Engine) WantlistOf(p simnet.NodeID) map[cid.CID]wire.EntryType {
 // session created (or joined) for the retrieval; cache hits return a fresh
 // empty session.
 func (e *Engine) Get(c cid.CID, done func(data []byte, ok bool)) *Session {
+	return e.GetTraced(otrace.Ctx{}, c, done)
+}
+
+// GetTraced is Get under a trace context: the retrieval becomes a bitswap.get
+// span whose children are the want/have/block hops and any DHT provider
+// search. A local-store hit records a zero-duration bitswap.local_hit marker.
+func (e *Engine) GetTraced(tc otrace.Ctx, c cid.CID, done func(data []byte, ok bool)) *Session {
 	if data, ok := e.store.Get(c); ok {
+		if tc.Sampled() {
+			now := e.now()
+			e.tracer().Start(tc, "bitswap.local_hit", e.self.String(), now).End(now)
+		}
 		done(data, true)
 		return e.newSession(c)
 	}
@@ -222,6 +246,10 @@ func (e *Engine) Get(c cid.CID, done func(data []byte, ok bool)) *Session {
 		wantBlockSent: make(map[simnet.NodeID]bool),
 		callbacks:     []func([]byte, bool){done},
 	}
+	if tc.Sampled() {
+		w.span = e.tracer().StartKeyed(tc, "bitswap.get", e.self.String(), c.String(), e.now())
+		w.tc = w.span.Ctx()
+	}
 	e.wants[c] = w
 	e.broadcastWantHave(w)
 	e.scheduleProviderSearch(w)
@@ -233,6 +261,11 @@ func (e *Engine) Get(c cid.CID, done func(data []byte, ok bool)) *Session {
 // GetFromSession retrieves c by asking only the session's peers: the request
 // pattern for non-root DAG blocks, invisible to passive monitors.
 func (e *Engine) GetFromSession(sess *Session, c cid.CID, done func(data []byte, ok bool)) {
+	e.GetFromSessionTraced(otrace.Ctx{}, sess, c, done)
+}
+
+// GetFromSessionTraced is GetFromSession under a trace context.
+func (e *Engine) GetFromSessionTraced(tc otrace.Ctx, sess *Session, c cid.CID, done func(data []byte, ok bool)) {
 	if data, ok := e.store.Get(c); ok {
 		done(data, true)
 		return
@@ -248,6 +281,10 @@ func (e *Engine) GetFromSession(sess *Session, c cid.CID, done func(data []byte,
 		wantHaveSent:  make(map[simnet.NodeID]bool),
 		wantBlockSent: make(map[simnet.NodeID]bool),
 		callbacks:     []func([]byte, bool){done},
+	}
+	if tc.Sampled() {
+		w.span = e.tracer().StartKeyed(tc, "bitswap.get", e.self.String(), c.String(), e.now())
+		w.tc = w.span.Ctx()
 	}
 	e.wants[c] = w
 	peers := sess.Peers()
@@ -278,6 +315,7 @@ func (e *Engine) Cancel(c cid.CID) {
 	e.sendCancels(w)
 	delete(e.wants, c)
 	e.stats.AbandonedWants++
+	w.span.EndDropped(e.now())
 	for _, cb := range w.callbacks {
 		cb(nil, false)
 	}
@@ -286,6 +324,18 @@ func (e *Engine) Cancel(c cid.CID) {
 func (e *Engine) newSession(root cid.CID) *Session {
 	e.stats.SessionsCreated++
 	return &Session{Root: root, peers: make(map[simnet.NodeID]bool)}
+}
+
+// now returns the exact virtual time of the event currently running for this
+// node (falling back to the engine clock on engines without tracing).
+func (e *Engine) now() time.Time { return engine.EventTime(e.net, e.tr, e.self) }
+
+// tracer returns the engine's span recorder, nil when tracing is off.
+func (e *Engine) tracer() *otrace.Tracer {
+	if e.tr == nil {
+		return nil
+	}
+	return e.tr.Tracer()
 }
 
 // broadcastWantHave sends WANT_HAVE c to every currently connected peer.
@@ -310,7 +360,7 @@ func (e *Engine) sendWantHave(w *wantState, p simnet.NodeID) {
 		CID:          w.c,
 		SendDontHave: e.cfg.SendDontHave,
 	}}}
-	if e.net.Send(e.self, p, msg) == nil {
+	if engine.SendCtx(e.net, e.tr, w.tc, "send.want_have", e.self, p, msg) == nil {
 		w.wantHaveSent[p] = true
 		if typ == wire.WantHave {
 			e.stats.WantHavesSent++
@@ -335,7 +385,7 @@ func (e *Engine) sendWantBlock(w *wantState, p simnet.NodeID) {
 		CID:          w.c,
 		SendDontHave: e.cfg.SendDontHave,
 	}}}
-	if e.net.Send(e.self, p, msg) == nil {
+	if engine.SendCtx(e.net, e.tr, w.tc, "send.want_block", e.self, p, msg) == nil {
 		w.wantBlockSent[p] = true
 		e.stats.WantBlocksSent++
 	}
@@ -357,7 +407,7 @@ func (e *Engine) sendCancels(w *wantState) {
 	sortIDs(ids)
 	msg := &wire.Message{Wantlist: []wire.Entry{{Type: wire.Cancel, CID: w.c}}}
 	for _, p := range ids {
-		if e.net.Send(e.self, p, msg) == nil {
+		if engine.SendCtx(e.net, e.tr, w.tc, "send.cancel", e.self, p, msg) == nil {
 			e.stats.CancelsSent++
 		}
 	}
@@ -380,7 +430,7 @@ func (e *Engine) searchProviders(w *wantState) {
 	}
 	w.searching = true
 	e.stats.DHTSearches++
-	e.router.FindProviders(dht.KeyForCID(w.c), e.cfg.MaxProviders, func(provs []dht.PeerInfo) {
+	cb := func(provs []dht.PeerInfo) {
 		w.searching = false
 		if w.resolved || w.cancelled {
 			return
@@ -400,7 +450,12 @@ func (e *Engine) searchProviders(w *wantState) {
 				e.sendWantHave(w, p.ID)
 			}
 		}
-	})
+	}
+	if tpr, ok := e.router.(TracedProviderRouter); ok && w.tc.Sampled() {
+		tpr.FindProvidersTraced(w.tc, dht.KeyForCID(w.c), e.cfg.MaxProviders, cb)
+		return
+	}
+	e.router.FindProviders(dht.KeyForCID(w.c), e.cfg.MaxProviders, cb)
 }
 
 // scheduleRebroadcast arms the idle loop: every RebroadcastInterval an
@@ -448,6 +503,7 @@ func (e *Engine) scheduleGiveUp(w *wantState) {
 		e.sendCancels(w)
 		delete(e.wants, w.c)
 		e.stats.AbandonedWants++
+		w.span.EndDropped(e.now())
 		for _, cb := range w.callbacks {
 			cb(nil, false)
 		}
@@ -462,8 +518,10 @@ func (e *Engine) resolve(w *wantState, data []byte, ok bool) {
 	delete(e.wants, w.c)
 	if ok {
 		e.stats.ResolvedWants++
+		w.span.End(e.now())
 	} else {
 		e.stats.AbandonedWants++
+		w.span.EndDropped(e.now())
 	}
 	for _, cb := range w.callbacks {
 		cb(data, ok)
@@ -527,7 +585,17 @@ func (e *Engine) HandleMessage(from simnet.NodeID, msg any) bool {
 		e.receiveBlock(from, b)
 	}
 	if reply != nil {
-		_ = e.net.Send(e.self, from, reply)
+		// The reply inherits the inbound want's trace context so the response
+		// hop nests under the requester's bitswap.get span.
+		var tc otrace.Ctx
+		if e.tr != nil {
+			tc = e.tr.InboundCtx(e.self)
+		}
+		hop := "send.resp"
+		if len(reply.Blocks) > 0 {
+			hop = "send.block"
+		}
+		_ = engine.SendCtx(e.net, e.tr, tc, hop, e.self, from, reply)
 	}
 	return true
 }

@@ -3,6 +3,7 @@ package bitswap
 import (
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/merkledag"
+	"bitswapmon/internal/otrace"
 )
 
 // FetchDAG retrieves the entire DAG rooted at root and calls done once with
@@ -14,8 +15,14 @@ import (
 // monitors: "passive monitors will generally only detect requests for root
 // hashes of a Merkle DAG" (Sec. IV-A).
 func (e *Engine) FetchDAG(root cid.CID, done func(ok bool)) {
+	e.FetchDAGTraced(otrace.Ctx{}, root, done)
+}
+
+// FetchDAGTraced is FetchDAG under a trace context: the root retrieval and
+// every session-scoped child retrieval become bitswap.get spans under tc.
+func (e *Engine) FetchDAGTraced(tc otrace.Ctx, root cid.CID, done func(ok bool)) {
 	var sess *Session
-	sess = e.Get(root, func(data []byte, ok bool) {
+	sess = e.GetTraced(tc, root, func(data []byte, ok bool) {
 		if !ok {
 			done(false)
 			return
@@ -31,12 +38,12 @@ func (e *Engine) FetchDAG(root cid.CID, done func(ok bool)) {
 			// children are expected there too.
 			s = e.newSession(root)
 		}
-		e.fetchChildren(s, node, done)
+		e.fetchChildren(tc, s, node, done)
 	})
 }
 
 // fetchChildren walks a decoded node's links, fetching each via the session.
-func (e *Engine) fetchChildren(sess *Session, node *merkledag.Node, done func(ok bool)) {
+func (e *Engine) fetchChildren(tc otrace.Ctx, sess *Session, node *merkledag.Node, done func(ok bool)) {
 	if len(node.Links) == 0 {
 		done(true)
 		return
@@ -54,7 +61,7 @@ func (e *Engine) fetchChildren(sess *Session, node *merkledag.Node, done func(ok
 	}
 	for _, l := range node.Links {
 		link := l
-		e.GetFromSession(sess, link.CID, func(data []byte, ok bool) {
+		e.GetFromSessionTraced(tc, sess, link.CID, func(data []byte, ok bool) {
 			if !ok {
 				complete(false)
 				return
@@ -64,7 +71,7 @@ func (e *Engine) fetchChildren(sess *Session, node *merkledag.Node, done func(ok
 				complete(false)
 				return
 			}
-			e.fetchChildren(sess, child, complete)
+			e.fetchChildren(tc, sess, child, complete)
 		})
 	}
 }
@@ -73,7 +80,12 @@ func (e *Engine) fetchChildren(sess *Session, node *merkledag.Node, done func(ok
 // done receives the assembled content, or ok=false when any block could not
 // be retrieved or the root is not a file.
 func (e *Engine) Assemble(root cid.CID, store merkledag.BlockSource, done func(data []byte, ok bool)) {
-	e.FetchDAG(root, func(ok bool) {
+	e.AssembleTraced(otrace.Ctx{}, root, store, done)
+}
+
+// AssembleTraced is Assemble under a trace context.
+func (e *Engine) AssembleTraced(tc otrace.Ctx, root cid.CID, store merkledag.BlockSource, done func(data []byte, ok bool)) {
+	e.FetchDAGTraced(tc, root, func(ok bool) {
 		if !ok {
 			done(nil, false)
 			return

@@ -13,9 +13,26 @@ import (
 	"bitswapmon/internal/engine"
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/obs"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/report"
 	"bitswapmon/internal/sweep"
 )
+
+// ExportTrace writes tr's recorded spans to path as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing) plus a path+".jsonl" sidecar, and
+// prints a summary line to stderr. A nil tracer or empty path is a no-op, so
+// callers can invoke it unconditionally after a run.
+func ExportTrace(cmd, path string, tr *otrace.Tracer) error {
+	if tr == nil || path == "" {
+		return nil
+	}
+	if err := tr.WriteFiles(path); err != nil {
+		return fmt.Errorf("trace export: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: wrote %d spans to %s (+%s.jsonl), %d dropped by ring overflow\n",
+		cmd, len(tr.Spans()), path, path, tr.Dropped())
+	return nil
+}
 
 // EnableAllMetrics turns on instrumentation in every subsystem, registering
 // into obs.Default. Call it before constructing engines, stores, drivers or

@@ -3,6 +3,7 @@ package dht
 import (
 	"time"
 
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/simnet"
 )
 
@@ -66,7 +67,7 @@ func Crawl(d *DHT, bootstrap []PeerInfo, buckets int, done func(CrawlResult)) {
 			target := p.ID
 			target[cpl/8] ^= 0x80 >> (cpl % 8)
 			inflight++
-			d.sendFindNode(p, target, func(resp findNodeResp, ok bool) {
+			d.sendFindNode(otrace.Ctx{}, p, target, func(resp findNodeResp, ok bool) {
 				inflight--
 				if ok {
 					res.Responded[p.ID] = true

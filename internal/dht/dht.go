@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bitswapmon/internal/engine"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/simnet"
 )
 
@@ -67,6 +68,7 @@ type (
 type pendingRPC struct {
 	onFindNode     func(findNodeResp, bool)
 	onGetProviders func(getProvidersResp, bool)
+	span           *otrace.SpanHandle // dht.rpc span; nil when untraced
 	expired        bool
 }
 
@@ -110,6 +112,7 @@ type DHT struct {
 	net  engine.Engine
 	self PeerInfo
 	cfg  Config
+	tr   engine.Tracing // nil when the engine does not support tracing
 
 	rt      *RoutingTable
 	provs   *ProviderStore
@@ -130,6 +133,7 @@ func New(net engine.Engine, self PeerInfo, cfg Config) *DHT {
 		net:     net,
 		self:    self,
 		cfg:     cfg,
+		tr:      engine.TracingOf(net),
 		rt:      NewRoutingTable(self.ID, cfg.K),
 		provs:   NewProviderStore(cfg.ProviderTTL),
 		pending: make(map[uint64]*pendingRPC),
@@ -182,12 +186,14 @@ func (d *DHT) HandleMessage(from simnet.NodeID, msg any) bool {
 	case findNodeResp:
 		if p, ok := d.pending[m.RPCID]; ok && p.onFindNode != nil {
 			delete(d.pending, m.RPCID)
+			p.span.End(d.now())
 			p.onFindNode(m, true)
 		}
 		return true
 	case getProvidersResp:
 		if p, ok := d.pending[m.RPCID]; ok && p.onGetProviders != nil {
 			delete(d.pending, m.RPCID)
+			p.span.End(d.now())
 			p.onGetProviders(m, true)
 		}
 		return true
@@ -197,8 +203,26 @@ func (d *DHT) HandleMessage(from simnet.NodeID, msg any) bool {
 }
 
 func (d *DHT) reply(to simnet.NodeID, msg any) {
-	// The connection may already be gone; replies are best-effort.
-	_ = d.net.Send(d.self.ID, to, msg)
+	// Replies inherit the inbound request's trace context so the response hop
+	// nests under the caller's dht.rpc span. The connection may already be
+	// gone; replies are best-effort.
+	var tc otrace.Ctx
+	if d.tr != nil {
+		tc = d.tr.InboundCtx(d.self.ID)
+	}
+	_ = engine.SendCtx(d.net, d.tr, tc, "dht.resp", d.self.ID, to, msg)
+}
+
+// now returns the exact virtual time of the event currently running for this
+// node (falling back to the engine clock on engines without tracing).
+func (d *DHT) now() time.Time { return engine.EventTime(d.net, d.tr, d.self.ID) }
+
+// tracer returns the engine's span recorder, nil when tracing is off.
+func (d *DHT) tracer() *otrace.Tracer {
+	if d.tr == nil {
+		return nil
+	}
+	return d.tr.Tracer()
 }
 
 // dial ensures a connection to p exists. DHT RPCs ride on real connections;
@@ -211,34 +235,50 @@ func (d *DHT) dial(p PeerInfo) bool {
 	return d.net.Connect(d.self.ID, p.ID) == nil
 }
 
-func (d *DHT) sendFindNode(p PeerInfo, target simnet.NodeID, cb func(findNodeResp, bool)) {
+// rpcSpan opens a dht.rpc span under tc (nil handle when untraced), keyed by
+// the queried peer: one lookup step issues several RPCs in one event, and the
+// peer is what tells their span IDs apart.
+func (d *DHT) rpcSpan(tc otrace.Ctx, peer simnet.NodeID) *otrace.SpanHandle {
+	if !tc.Sampled() {
+		return nil
+	}
+	// Async: a lookup that reaches its provider target finishes without
+	// awaiting in-flight RPCs.
+	return d.tracer().StartKeyed(tc, "dht.rpc", d.self.ID.String(), peer.String(), d.now()).MarkAsync()
+}
+
+func (d *DHT) sendFindNode(tc otrace.Ctx, p PeerInfo, target simnet.NodeID, cb func(findNodeResp, bool)) {
 	if !p.Server || !d.dial(p) {
 		cb(findNodeResp{}, false)
 		return
 	}
 	d.nextRPC++
 	id := d.nextRPC
-	d.pending[id] = &pendingRPC{onFindNode: cb}
+	span := d.rpcSpan(tc, p.ID)
+	d.pending[id] = &pendingRPC{onFindNode: cb, span: span}
 	d.rpcsSent++
-	if err := d.net.Send(d.self.ID, p.ID, findNodeReq{RPCID: id, Target: target, From: d.self}); err != nil {
+	if err := engine.SendCtx(d.net, d.tr, span.Ctx(), "dht.req", d.self.ID, p.ID, findNodeReq{RPCID: id, Target: target, From: d.self}); err != nil {
 		delete(d.pending, id)
+		span.EndDropped(d.now())
 		cb(findNodeResp{}, false)
 		return
 	}
 	d.expireAfter(id)
 }
 
-func (d *DHT) sendGetProviders(p PeerInfo, key Key, cb func(getProvidersResp, bool)) {
+func (d *DHT) sendGetProviders(tc otrace.Ctx, p PeerInfo, key Key, cb func(getProvidersResp, bool)) {
 	if !p.Server || !d.dial(p) {
 		cb(getProvidersResp{}, false)
 		return
 	}
 	d.nextRPC++
 	id := d.nextRPC
-	d.pending[id] = &pendingRPC{onGetProviders: cb}
+	span := d.rpcSpan(tc, p.ID)
+	d.pending[id] = &pendingRPC{onGetProviders: cb, span: span}
 	d.rpcsSent++
-	if err := d.net.Send(d.self.ID, p.ID, getProvidersReq{RPCID: id, Key: key, From: d.self}); err != nil {
+	if err := engine.SendCtx(d.net, d.tr, span.Ctx(), "dht.req", d.self.ID, p.ID, getProvidersReq{RPCID: id, Key: key, From: d.self}); err != nil {
 		delete(d.pending, id)
+		span.EndDropped(d.now())
 		cb(getProvidersResp{}, false)
 		return
 	}
@@ -254,6 +294,7 @@ func (d *DHT) expireAfter(id uint64) {
 		delete(d.pending, id)
 		d.rpcsTimedOut++
 		p.expired = true
+		p.span.EndDropped(d.now())
 		if p.onFindNode != nil {
 			p.onFindNode(findNodeResp{}, false)
 		}
@@ -271,6 +312,8 @@ type lookup struct {
 	key       Key
 	providers bool // query providers instead of find-node
 	wantProvs int
+	span      *otrace.SpanHandle // dht.lookup span; nil when untraced
+	tc        otrace.Ctx         // span's context, parent of per-RPC spans
 
 	seen     map[simnet.NodeID]bool
 	cand     []lookupCand // every seen peer; sorted by distance when sorted is set
@@ -357,7 +400,7 @@ func (l *lookup) step() {
 		l.inflight++
 		peer := c.PeerInfo
 		if l.providers {
-			l.d.sendGetProviders(peer, l.key, func(resp getProvidersResp, ok bool) {
+			l.d.sendGetProviders(l.tc, peer, l.key, func(resp getProvidersResp, ok bool) {
 				l.inflight--
 				if ok {
 					l.d.rt.Add(peer)
@@ -369,7 +412,7 @@ func (l *lookup) step() {
 				l.step()
 			})
 		} else {
-			l.d.sendFindNode(peer, l.target, func(resp findNodeResp, ok bool) {
+			l.d.sendFindNode(l.tc, peer, l.target, func(resp findNodeResp, ok bool) {
 				l.inflight--
 				if ok {
 					l.d.rt.Add(peer)
@@ -390,6 +433,7 @@ func (l *lookup) finish() {
 		return
 	}
 	l.finished = true
+	l.span.End(l.d.now())
 	cands := l.candidates()
 	if len(cands) > l.d.cfg.K {
 		cands = cands[:l.d.cfg.K]
@@ -424,6 +468,13 @@ func (d *DHT) FindClosest(target simnet.NodeID, done func([]PeerInfo)) {
 // FindProviders searches provider records for key, stopping early once want
 // providers are known (want <= 0 means exhaust the lookup).
 func (d *DHT) FindProviders(key Key, want int, done func([]PeerInfo)) {
+	d.FindProvidersTraced(otrace.Ctx{}, key, want, done)
+}
+
+// FindProvidersTraced is FindProviders under a trace context: the whole
+// lookup becomes a dht.lookup span with one dht.rpc child per GET_PROVIDERS
+// round.
+func (d *DHT) FindProvidersTraced(tc otrace.Ctx, key Key, want int, done func([]PeerInfo)) {
 	if want <= 0 {
 		want = 1 << 30
 	}
@@ -437,6 +488,12 @@ func (d *DHT) FindProviders(key Key, want int, done func([]PeerInfo)) {
 		seen:       make(map[simnet.NodeID]bool),
 		foundProvs: make(map[simnet.NodeID]PeerInfo),
 		onDone:     func(_, provs []PeerInfo) { done(provs) },
+	}
+	if tc.Sampled() {
+		// Async: the requester may resolve from a broadcast HAVE while the
+		// provider search is still running.
+		l.span = d.tracer().Start(tc, "dht.lookup", d.self.ID.String(), d.now()).MarkAsync()
+		l.tc = l.span.Ctx()
 	}
 	l.addCandidates(d.rt.Closest(l.target, d.cfg.K))
 	l.step()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bitswapmon/internal/cid"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/simnet"
 )
 
@@ -215,7 +216,7 @@ func TestClientsDoNotAnswerRPCs(t *testing.T) {
 	responded := false
 	timedOut := false
 	asker := tn.servers[3]
-	asker.sendFindNode(PeerInfo{ID: client.Self().ID, Addr: client.Self().Addr, Server: true},
+	asker.sendFindNode(otrace.Ctx{}, PeerInfo{ID: client.Self().ID, Addr: client.Self().Addr, Server: true},
 		client.Self().ID, func(_ findNodeResp, ok bool) {
 			responded = ok
 			timedOut = !ok

@@ -147,3 +147,4 @@ type Engine interface {
 
 // The serial reference implementation satisfies the interface.
 var _ Engine = (*simnet.Network)(nil)
+var _ Tracing = (*simnet.Network)(nil)

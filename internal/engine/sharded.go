@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/simnet"
 )
 
@@ -117,6 +118,11 @@ type Sharded struct {
 	// m is the telemetry handle resolved at construction; nil (metrics
 	// never enabled) keeps every hot path at a single branch.
 	m *engineMetrics
+
+	// tracer records request spans when set; startNs caches
+	// start.UnixNano() for span stamping.
+	tracer  *otrace.Tracer
+	startNs int64
 }
 
 // connCell is one node's lock-free connection state.
@@ -156,6 +162,13 @@ type shard struct {
 	nextU  int64 // scratch: this shard's next slot (or bound), set by earliest()
 	exactU bool  // scratch: nextU is an exact slot, not a coarse bound
 	hasU   bool
+
+	// curAtNs is the exact virtual time of the event this shard is
+	// executing; curIn is its trace context when it is a traced delivery.
+	// Both are single-goroutine state: written in exec and read only by
+	// event code running on this shard (EventTime/InboundCtx).
+	curAtNs int64
+	curIn   otrace.Ctx
 
 	// drain is the reusable slot-drain heap; see processWindow.
 	drain []sev
@@ -199,6 +212,7 @@ func NewSharded(start time.Time, seed int64, cfg ShardedConfig) *Sharded {
 		shards:    make([]*shard, cfg.Shards),
 	}
 	s.m = engMetrics.Load()
+	s.startNs = start.UnixNano()
 	for i := range s.shards {
 		sh := &shard{
 			eng: s,
@@ -228,6 +242,32 @@ func (s *Sharded) Lookahead() time.Duration { return s.lookahead }
 // Now returns the current virtual time (the current window start while the
 // engine is running).
 func (s *Sharded) Now() time.Time { return s.start.Add(time.Duration(s.nowNs.Load())) }
+
+// SetTracer installs the span recorder (nil disables tracing). Call before
+// the first Run.
+func (s *Sharded) SetTracer(t *otrace.Tracer) { s.tracer = t }
+
+// Tracer returns the installed span recorder.
+func (s *Sharded) Tracer() *otrace.Tracer { return s.tracer }
+
+// EventTime returns the exact virtual time of the event currently executing
+// for id — unlike Now, which is quantized to the window start. Call only
+// from event code running for id; outside a run it falls back to Now.
+func (s *Sharded) EventTime(id NodeID) time.Time {
+	if s.running {
+		if at := s.shards[s.ownerShard(id)].curAtNs; at != 0 {
+			return s.start.Add(time.Duration(at))
+		}
+	}
+	return s.Now()
+}
+
+// InboundCtx returns the trace context of the message currently being
+// handled for id (zero outside HandleMessage or for untraced messages).
+// Call only from event code running for id.
+func (s *Sharded) InboundCtx(id NodeID) otrace.Ctx {
+	return s.shards[s.ownerShard(id)].curIn
+}
 
 // NewRand derives an independent deterministic RNG labelled by name, with
 // the same derivation as the serial engine. Call at build time or between
@@ -626,6 +666,18 @@ func (sh *shard) u01() float64 {
 // destination wheel at the window barrier — so they always land in a window
 // the destination has not started.
 func (s *Sharded) Send(from, to NodeID, msg any) error {
+	return s.send(from, to, msg, otrace.Ctx{}, "")
+}
+
+// SendTraced is Send carrying a trace context: the hop from send to delivery
+// is recorded as a span and the context is exposed to the receiving handler
+// via InboundCtx. Timing and RNG draws are identical to Send; cross-shard
+// lookahead flooring is surfaced as the hop span's QueueNs.
+func (s *Sharded) SendTraced(tc otrace.Ctx, hop string, from, to NodeID, msg any) error {
+	return s.send(from, to, msg, tc, hop)
+}
+
+func (s *Sharded) send(from, to NodeID, msg any, tc otrace.Ctx, hop string) error {
 	fi, ok := s.idx[from]
 	if !ok {
 		return fmt.Errorf("%w: %s", simnet.ErrUnknownNode, from)
@@ -644,7 +696,21 @@ func (s *Sharded) Send(from, to NodeID, msg any) error {
 			s.m.cross.Inc()
 		}
 	}
-	e := sev{atNs: s.nowNs.Load() + delay, msg: msg, from: fi, to: ti}
+	// Anchor the delivery at the sender's exact event time, not the window
+	// start: sends happen inside the sender's event code, on its owner shard
+	// (the affinity rule), so curAtNs is the precise virtual send time. A
+	// window-start anchor would deliver up to one lookahead early — before
+	// the send itself for events late in the window — reordering same-node
+	// deliveries against virtual time and diverging from the serial engine's
+	// exact now+delay semantics.
+	sendNs := s.nowNs.Load()
+	if s.running && sh.curAtNs != 0 {
+		sendNs = sh.curAtNs
+	}
+	e := sev{atNs: sendNs + delay, msg: msg, from: fi, to: ti}
+	if s.tracer != nil && tc.Sampled() {
+		e.tr = &otrace.HopRef{Ctx: tc, Name: hop, SendNs: s.startNs + sendNs}
+	}
 	if fromShard == toShard {
 		// Affinity rule: event-time sends execute on from's owner shard, so
 		// this is the single-writer wheel of the running goroutine (or any
@@ -653,7 +719,13 @@ func (s *Sharded) Send(from, to NodeID, msg any) error {
 		return nil
 	}
 	if delay < s.qNs {
-		e.atNs = s.nowNs.Load() + s.qNs
+		// Conservative lookahead floor: the delivery must land in a window
+		// the destination has not started. sendNs >= the window start, so
+		// sendNs+qNs clears the current window's end.
+		e.atNs = sendNs + s.qNs
+		if e.tr != nil {
+			e.tr.QueueNs = s.qNs - delay
+		}
 	}
 	if !s.running {
 		s.shards[toShard].w.schedule(e)
@@ -668,6 +740,7 @@ func (s *Sharded) Send(from, to NodeID, msg any) error {
 
 // exec runs one drained event on its owner shard's goroutine.
 func (sh *shard) exec(e *sev) {
+	sh.curAtNs = e.atNs
 	if e.fn != nil {
 		e.fn()
 		return
@@ -677,9 +750,19 @@ func (sh *shard) exec(e *sev) {
 	// while the message was in flight.
 	if !s.conn[e.to].online.Load() || !s.hasPeer(*s.conn[e.from].peers.Load(), e.to) {
 		sh.dropped.Add(1)
+		if e.tr != nil {
+			s.tracer.RecordHop(e.tr, s.ids[e.to].String(), s.startNs+e.atNs, true)
+		}
 		return
 	}
 	sh.delivered.Add(1)
+	if e.tr != nil {
+		s.tracer.RecordHop(e.tr, s.ids[e.to].String(), s.startNs+e.atNs, false)
+		sh.curIn = e.tr.Ctx
+		s.handlers[e.to].HandleMessage(s.ids[e.from], e.msg)
+		sh.curIn = otrace.Ctx{}
+		return
+	}
 	s.handlers[e.to].HandleMessage(s.ids[e.from], e.msg)
 }
 
@@ -723,7 +806,9 @@ func (s *Sharded) mergeMailboxes() {
 
 // earliest finds the global minimum pending slot and the exact earliest
 // event time within it, marking which shards have work in that slot. Runs
-// between windows, when all workers are idle.
+// between windows, when all workers are idle. deadNs bounds the current
+// RunUntil; when every pending event provably lies past it, earliest reports
+// "nothing to run" WITHOUT resolving any coarse bound.
 //
 // Shards report their next slot via peekSlot, which never moves the wheel
 // base; a shard whose earliest event lies beyond its current page reports a
@@ -732,7 +817,17 @@ func (s *Sharded) mergeMailboxes() {
 // base ever advances past a slot another shard (or a pending cross-shard
 // merge) still needs. Letting each shard advance eagerly to its own next
 // slot would clamp later merges into an idle shard's far future.
-func (s *Sharded) earliest() (slot int64, minAt int64, any bool) {
+//
+// The deadline guard exists for the same clamping reason, across runs
+// instead of across shards: jumping a base toward a far-future timer (a DHT
+// refresh, say) during a run that ends long before it would leave the base
+// parked in the far future. Events scheduled after the run — idle sends, the
+// next run's traffic — would be clamped by place() into that far slot, and
+// if another shard held a still-earlier far slot they would never come up as
+// the global minimum: silently lost, delivered neither now nor at the far
+// time. Leaving bounds unresolved keeps every base at or before the last
+// deadline actually run, so post-run schedules are never clamped.
+func (s *Sharded) earliest(deadNs int64) (slot int64, minAt int64, any bool) {
 	instrumented := s.m != nil
 	for _, sh := range s.shards {
 		u, exact, ok := sh.w.peekSlot()
@@ -749,6 +844,12 @@ func (s *Sharded) earliest() (slot int64, minAt int64, any bool) {
 			}
 		}
 		if !any {
+			return 0, 0, false
+		}
+		if slot > deadNs/s.qNs {
+			// Slot slot starts at slot*qNs > deadNs: nothing pending can run
+			// in this RunUntil, and resolving the bound would move a base
+			// past the deadline (see the deadline guard note above).
 			return 0, 0, false
 		}
 		resolved := true
@@ -811,7 +912,7 @@ func (s *Sharded) RunUntil(deadline time.Time) {
 	s.running = true
 	for {
 		s.mergeMailboxes()
-		u, m, ok := s.earliest()
+		u, m, ok := s.earliest(deadNs)
 		if !ok || m > deadNs {
 			break
 		}
@@ -919,3 +1020,4 @@ func (sh *shard) processWindow(u, end int64, inclusive bool) {
 }
 
 var _ Engine = (*Sharded)(nil)
+var _ Tracing = (*Sharded)(nil)

@@ -138,6 +138,57 @@ func TestShardedCrossShardDelivery(t *testing.T) {
 	}
 }
 
+// TestShardedIdleSendAfterFarTimers pins the earliest() deadline guard: a
+// run that ends with only far-future timers pending must not advance any
+// wheel base toward them. Before the guard, the sequence below parked shard
+// A's base at its 20-minute timer slot, so an idle send to an A node was
+// clamped into that slot; the global minimum was shard B's 10-minute slot,
+// so the send never came up before any short deadline — silently lost
+// (delivered=0, dropped=0). The DHT refresh timers node.Start schedules
+// reproduce exactly this shape across two staggered bootstraps.
+func TestShardedIdleSendAfterFarTimers(t *testing.T) {
+	s := NewSharded(t0, 1, ShardedConfig{Shards: 2, Latency: simnet.Fixed(10 * time.Millisecond)})
+	ids, hs := addNodes(t, s, 8)
+	a, b := -1, -1
+	for i, id := range ids {
+		if s.ownerShard(id) == 0 {
+			if a < 0 {
+				a = i
+			}
+		} else if b < 0 {
+			b = i
+		}
+	}
+	if a < 0 || b < 0 {
+		t.Fatal("hash placement left a shard empty")
+	}
+	var farA, farB atomic.Int64
+	// The later timer on one shard, then an empty run, then the earlier
+	// timer on the other shard and another empty run: without the guard,
+	// each run jumps its shard's base out to its timer.
+	s.AfterOn(ids[a], 20*time.Minute, func() { farA.Add(1) })
+	s.Run(100 * time.Millisecond)
+	s.AfterOn(ids[b], 10*time.Minute, func() { farB.Add(1) })
+	s.Run(100 * time.Millisecond)
+
+	if err := s.Connect(ids[a], ids[b]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(ids[b], ids[a], "ping"); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(time.Second)
+	if got := hs[a].msgs.Load(); got != 1 {
+		delivered, dropped := s.Stats()
+		t.Fatalf("idle send after far timers: delivered %d messages (stats delivered=%d dropped=%d), want 1", got, delivered, dropped)
+	}
+	// The far timers themselves must still fire once their time comes.
+	s.Run(25 * time.Minute)
+	if farA.Load() != 1 || farB.Load() != 1 {
+		t.Fatalf("far timers fired %d/%d, want 1/1", farA.Load(), farB.Load())
+	}
+}
+
 func TestShardedConnectCallbacksArrive(t *testing.T) {
 	s := NewSharded(t0, 3, ShardedConfig{Shards: 4})
 	ids, hs := addNodes(t, s, 16)

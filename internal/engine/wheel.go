@@ -3,6 +3,8 @@ package engine
 import (
 	"math/bits"
 	"slices"
+
+	"bitswapmon/internal/otrace"
 )
 
 // This file implements the per-shard timer structure of the sharded engine: a
@@ -54,6 +56,10 @@ type sev struct {
 	msg  any    // delivery payload (fn == nil)
 	from int32  // delivery sender, dense node index
 	to   int32  // delivery receiver, dense node index
+	// tr carries a sampled send's trace context across shards (nil for
+	// untraced traffic, which stays at the old sev layout cost plus one
+	// pointer).
+	tr *otrace.HopRef
 }
 
 // bitset256 is the per-level slot occupancy bitmap.

@@ -18,6 +18,7 @@ import (
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/node"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/sweep"
@@ -116,6 +117,12 @@ type WeekReport struct {
 	Tab2   *report.Table2
 	Fig5   *report.Fig5
 	Fig6   *report.Fig6
+
+	// Latency is the span-driven per-stage latency breakdown, present only
+	// when the spec enabled tracing; Tracer is the recorder that produced
+	// it, kept so callers can export the raw spans (Perfetto/JSONL).
+	Latency *report.LatencyBreakdown
+	Tracer  *otrace.Tracer
 
 	GatewaysProbed     int
 	GatewaysIdentified int
@@ -335,6 +342,10 @@ func weekReportFromResults(d *Data, results report.Results) *WeekReport {
 		RebroadShare: traffic.RebroadShare,
 	}
 	rep.SecVC = analysis.ComputeSecVC(w.Monitors, d.Samples, d.Crawl, d.OnlineAvg, w.TotalPopulation())
+	if tr := w.Tracer(); tr != nil {
+		rep.Tracer = tr
+		rep.Latency = report.BreakdownFromSpans(tr.Spans(), tr.Dropped())
+	}
 	identified, total, correct := attacks.CrossReference(d.Probes, w.Registry.NodeIDs())
 	rep.GatewaysProbed = len(d.Probes)
 	rep.GatewaysIdentified = identified
@@ -454,6 +465,10 @@ func (r *WeekReport) Render() string {
 		gw, mg, ng)
 	fmt.Fprintf(&sb, "\nSec. VI-B: probed %d gateways, identified %d; discovered %d node IDs (%d correct)\n",
 		r.GatewaysProbed, r.GatewaysIdentified, r.GatewayIDsFound, r.GatewayIDsCorrect)
+	if r.Latency != nil {
+		sb.WriteString("\n")
+		sb.WriteString(r.Latency.Render())
+	}
 	fmt.Fprintf(&sb, "\nwall time: %v\n", r.Elapsed.Round(time.Millisecond))
 	return sb.String()
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/popularity"
 	"bitswapmon/internal/replay"
 	"bitswapmon/internal/report"
@@ -42,6 +43,12 @@ type ReplayReport struct {
 	// holds for any distribution shape.
 	ModelTopShare  float64
 	ReplayTopShare float64
+
+	// Latency is the span-driven per-stage latency breakdown, present only
+	// when the spec enabled tracing; Tracer is the recorder that produced
+	// it, kept so callers can export the raw spans (Perfetto/JSONL).
+	Latency *report.LatencyBreakdown
+	Tracer  *otrace.Tracer
 
 	Elapsed time.Duration
 }
@@ -159,6 +166,10 @@ func RunReplay(spec sweep.ScenarioSpec) (*ReplayReport, error) {
 	if sess.Model != nil {
 		rep.Mode = replay.ModeFitted
 	}
+	if tr := sess.World.Tracer(); tr != nil {
+		rep.Tracer = tr
+		rep.Latency = report.BreakdownFromSpans(tr.Spans(), tr.Dropped())
+	}
 	popRes := results.Get("popularity").(*replayPopularityResult)
 	rep.ReplayedAlpha = popRes.Alpha
 	if m := sess.Model; m != nil && m.Requests > 0 {
@@ -210,6 +221,10 @@ func (r *ReplayReport) Render() string {
 		fmt.Fprintf(&sb, "top-10 CID request share: model %.3f, replayed %.3f\n", r.ModelTopShare, r.ReplayTopShare)
 	} else if r.ReplayedAlpha > 0 {
 		fmt.Fprintf(&sb, "replayed popularity alpha: %.3f\n", r.ReplayedAlpha)
+	}
+	if r.Latency != nil {
+		sb.WriteString("\n")
+		sb.WriteString(r.Latency.Render())
 	}
 	fmt.Fprintf(&sb, "\nwall time: %v\n", r.Elapsed.Round(time.Millisecond))
 	return sb.String()

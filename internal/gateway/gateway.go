@@ -11,6 +11,7 @@ import (
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/engine"
 	"bitswapmon/internal/node"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/simnet"
 )
 
@@ -85,6 +86,7 @@ type Gateway struct {
 	Node *node.Node
 
 	net   engine.Engine
+	tr    engine.Tracing // nil when the engine does not support tracing
 	cfg   Config
 	cache map[cid.CID]*cacheEntry
 	lru   *list.List
@@ -98,11 +100,25 @@ func New(net engine.Engine, nd *node.Node, name, operator string, cfg Config) *G
 		Operator: operator,
 		Node:     nd,
 		net:      net,
+		tr:       engine.TracingOf(net),
 		cfg:      cfg.withDefaults(),
 		cache:    make(map[cid.CID]*cacheEntry),
 		lru:      list.New(),
 	}
 }
+
+// tracer returns the engine's span recorder, nil when tracing is off.
+func (g *Gateway) tracer() *otrace.Tracer {
+	if g.tr == nil {
+		return nil
+	}
+	return g.tr.Tracer()
+}
+
+// nodeNow returns the exact virtual time of the event currently running for
+// the gateway's node — valid in fetch callbacks, which execute as that
+// node's event code.
+func (g *Gateway) nodeNow() time.Time { return engine.EventTime(g.net, g.tr, g.Node.ID) }
 
 // Functional reports the HTTP frontend state.
 func (g *Gateway) Functional() bool { return g.cfg.Functional }
@@ -127,38 +143,79 @@ func (g *Gateway) CacheHitRatio() float64 {
 // re-validation request. Misses fetch via Bitswap, which broadcasts the CID
 // to all connected peers, including monitors.
 func (g *Gateway) Retrieve(c cid.CID, done func(Result)) {
+	g.RetrieveTraced(0, g.net.Now(), c, done)
+}
+
+// RetrieveTraced is Retrieve as the root of a sampled trace. trace is the
+// deterministic trace ID minted by the caller (0 disables tracing for this
+// request); now is the caller's exact event time, the root span's start. The
+// retrieval becomes a gateway.request root span with a zero-duration
+// cache_hit or cache_miss marker and — on misses, revalidations and broken
+// frontends — a gateway.fetch child wrapping the IPFS-side retrieval.
+func (g *Gateway) RetrieveTraced(trace uint64, now time.Time, c cid.CID, done func(Result)) {
+	var root *otrace.SpanHandle
+	if trace != 0 {
+		root = g.tracer().Root(trace, "gateway.request", g.Name, now)
+	}
+	tc := root.Ctx()
 	g.stats.Requests++
 	if !g.cfg.Functional {
 		// Broken HTTP frontend: the client sees an error, yet the IPFS
 		// side still issues the request (observed in the wild, Sec. VI-B2).
 		g.stats.Failures++
-		g.fetch(c, func(Result) {})
+		g.fetch(tc, true, now, c, func(Result) {})
+		root.EndDropped(now)
 		done(Result{Status: StatusBadGateway})
 		return
 	}
 	if e, ok := g.cache[c]; ok {
 		g.stats.CacheHits++
 		g.lru.MoveToFront(e.elem)
+		if tc.Sampled() {
+			g.tracer().Start(tc, "gateway.cache_hit", g.Name, now).End(now)
+		}
 		age := g.net.Now().Sub(e.fetchedAt)
 		if age > g.cfg.CacheTTL {
 			g.stats.Revalidations++
-			g.fetch(c, func(Result) {}) // async revalidation
+			g.fetch(tc, true, now, c, func(Result) {}) // async revalidation
 		}
+		root.End(now)
 		done(Result{Status: StatusOK, Body: e.data, CacheHit: true})
 		return
 	}
 	g.stats.CacheMisses++
-	g.fetch(c, done)
+	if tc.Sampled() {
+		g.tracer().Start(tc, "gateway.cache_miss", g.Name, now).End(now)
+	}
+	g.fetch(tc, false, now, c, func(r Result) {
+		// finish runs as the gateway node's event code.
+		root.End(g.nodeNow())
+		done(r)
+	})
 }
 
 // fetch retrieves c via the IPFS node with a timeout, caching successes.
-func (g *Gateway) fetch(c cid.CID, done func(Result)) {
+// async marks fetches whose completion nobody awaits (revalidations, broken
+// frontends), which may outlive the request span.
+func (g *Gateway) fetch(tc otrace.Ctx, async bool, now time.Time, c cid.CID, done func(Result)) {
+	var span *otrace.SpanHandle
+	if tc.Sampled() {
+		span = g.tracer().Start(tc, "gateway.fetch", g.Name, now)
+		if async {
+			span.MarkAsync()
+		}
+	}
 	finished := false
 	finish := func(r Result) {
 		if finished {
 			return
 		}
 		finished = true
+		if r.Status == StatusOK {
+			span.End(g.nodeNow())
+		} else {
+			span.EndDropped(g.nodeNow())
+		}
 		done(r)
 	}
 	g.net.AfterOn(g.Node.ID, g.cfg.FetchTimeout, func() {
@@ -168,7 +225,7 @@ func (g *Gateway) fetch(c cid.CID, done func(Result)) {
 			finish(Result{Status: StatusGatewayTimeout})
 		}
 	})
-	g.Node.FetchFile(c, func(data []byte, ok bool) {
+	g.Node.FetchFileTraced(span.Ctx(), c, func(data []byte, ok bool) {
 		if finished {
 			return
 		}

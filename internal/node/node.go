@@ -13,6 +13,7 @@ import (
 	"bitswapmon/internal/dht"
 	"bitswapmon/internal/engine"
 	"bitswapmon/internal/merkledag"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/simnet"
 )
 
@@ -198,15 +199,30 @@ func (n *Node) Fetch(c cid.CID, done func(ok bool)) {
 	n.Bitswap.FetchDAG(c, done)
 }
 
+// FetchTraced is Fetch under a trace context.
+func (n *Node) FetchTraced(tc otrace.Ctx, c cid.CID, done func(ok bool)) {
+	n.Bitswap.FetchDAGTraced(tc, c, done)
+}
+
 // FetchFile retrieves and reassembles the file rooted at c.
 func (n *Node) FetchFile(c cid.CID, done func(data []byte, ok bool)) {
 	n.Bitswap.Assemble(c, n.Store, done)
+}
+
+// FetchFileTraced is FetchFile under a trace context.
+func (n *Node) FetchFileTraced(tc otrace.Ctx, c cid.CID, done func(data []byte, ok bool)) {
+	n.Bitswap.AssembleTraced(tc, c, n.Store, done)
 }
 
 // Request issues a bare root-block want (no DAG walk). Gateways and probing
 // tools use this directly.
 func (n *Node) Request(c cid.CID, done func(data []byte, ok bool)) {
 	n.Bitswap.Get(c, done)
+}
+
+// RequestTraced is Request under a trace context.
+func (n *Node) RequestTraced(tc otrace.Ctx, c cid.CID, done func(data []byte, ok bool)) {
+	n.Bitswap.GetTraced(tc, c, done)
 }
 
 // CancelRequest abandons an outstanding want.

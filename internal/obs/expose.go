@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // TextContentType is the Prometheus text exposition content type.
@@ -141,6 +143,10 @@ func Handler(r *Registry) http.Handler {
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+
+	done chan struct{} // closed when the serve goroutine exits
+	mu   sync.Mutex
+	err  error // first background Serve error, latched
 }
 
 // Serve starts an HTTP server on addr exposing the registry at /metrics and
@@ -163,13 +169,42 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
-	go s.srv.Serve(ln)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		// Serve blocks for the server's lifetime; anything it returns other
+		// than the orderly-shutdown sentinel is a real accept-loop failure
+		// (a closed listener, fd exhaustion). Latch it instead of dropping
+		// it on the floor so Err and Close can surface it.
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.mu.Lock()
+			s.err = err
+			s.mu.Unlock()
+		}
+	}()
 	return s, nil
 }
 
 // Addr returns the bound listen address (host:port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+// Err reports the background serve error, if the accept loop has failed. A
+// healthy (or cleanly closed) server reports nil.
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close shuts the server down immediately and returns the first error the
+// endpoint hit: a background serve failure if there was one, otherwise the
+// shutdown error. It waits for the serve goroutine to exit, so the verdict
+// is final.
+func (s *Server) Close() error {
+	cerr := s.srv.Close()
+	<-s.done
+	if err := s.Err(); err != nil {
+		return err
+	}
+	return cerr
+}

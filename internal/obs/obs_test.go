@@ -368,3 +368,63 @@ func TestServe(t *testing.T) {
 		t.Errorf("GET /debug/pprof/cmdline: %s", pp.Status)
 	}
 }
+
+// TestQuantileOverflowClamp pins the +Inf-bucket behaviour: observations
+// beyond the last finite bound land in the overflow bucket, and quantiles
+// that fall there clamp to the last finite bound instead of interpolating
+// toward infinity.
+func TestQuantileOverflowClamp(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for i := 0; i < 100; i++ {
+		h.Observe(1e9) // far beyond the last finite bound
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 2 {
+			t.Errorf("Quantile(%v) = %v, want clamp to last finite bound 2", q, got)
+		}
+	}
+	// A mixed distribution still clamps once the rank crosses into overflow.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(0.5)
+	h2.Observe(3)
+	h2.Observe(4)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("mixed Quantile(0.99) = %v, want 2", got)
+	}
+}
+
+// TestServeErrLatch kills the accept loop out from under a running server
+// and checks the failure is latched: Err turns non-nil and Close returns it
+// rather than dropping it.
+func TestServeErrLatch(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("healthy server reports Err = %v", err)
+	}
+	srv.ln.Close() // accept loop fails with "use of closed network connection"
+	<-srv.done
+	if err := srv.Err(); err == nil {
+		t.Fatal("Err = nil after accept-loop failure")
+	}
+	if err := srv.Close(); err == nil {
+		t.Fatal("Close = nil, want the latched serve error")
+	}
+}
+
+// TestServeCleanClose pins the orderly path: a server closed before any
+// failure reports no error from either Err or Close.
+func TestServeCleanClose(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close = %v, want nil", err)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("Err after clean close = %v, want nil", err)
+	}
+}

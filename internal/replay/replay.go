@@ -35,6 +35,7 @@ import (
 	"bitswapmon/internal/geoip"
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/wire"
 )
@@ -79,6 +80,11 @@ type Config struct {
 	// deterministic simnet reference. Parallel replays pass e.g.
 	// engine.ShardedFactory(4).
 	NewEngine func(start time.Time, seed int64) engine.Engine
+	// Tracer, when set, records sampled request traces: each replayed event
+	// mints a deterministic trace ID (from Seed, the observed requester and
+	// the event sequence) and, when sampled, becomes a zero-duration request
+	// root span with one hop span per monitor send.
+	Tracer *otrace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +118,12 @@ type World struct {
 	monSets [][]simnet.NodeID // broadcast targets per pool node
 	assign  map[simnet.NodeID]int
 	next    int
+
+	// tr is the engine's tracing capability (nil when unsupported or no
+	// Tracer configured); seq numbers replayed events for trace IDs.
+	tr     engine.Tracing
+	tracer *otrace.Tracer
+	seq    uint64
 }
 
 // replayNode is the pool node's handler: a pure traffic source. Replies
@@ -142,6 +154,13 @@ func Build(cfg Config) (*World, error) {
 		cfg:    cfg,
 		byName: make(map[string]*monitor.Monitor, len(cfg.Monitors)),
 		assign: make(map[simnet.NodeID]int),
+	}
+	if cfg.Tracer != nil {
+		if tr := engine.TracingOf(net); tr != nil {
+			tr.SetTracer(cfg.Tracer)
+			w.tr = tr
+			w.tracer = cfg.Tracer
+		}
 	}
 	geo := geoip.New()
 	rng := net.NewRand("replay")
@@ -199,6 +218,9 @@ func (w *World) MonitorByName(name string) *monitor.Monitor { return w.byName[na
 
 // PoolSize returns the replay node pool size.
 func (w *World) PoolSize() int { return len(w.nodes) }
+
+// Tracer returns the replay's span recorder, nil when tracing is off.
+func (w *World) Tracer() *otrace.Tracer { return w.tracer }
 
 // MappedRequesters returns how many distinct observed requesters have been
 // mapped onto the pool so far.
@@ -306,6 +328,7 @@ func (w *World) drivePump(sn *simnet.Network, src EventSource) (*DriveStats, err
 	stats := &DriveStats{}
 	var lastName string
 	var lastTarget simnet.NodeRef
+	var lastID simnet.NodeID
 	// Pool-node senders resolve to refs once; per-event sends then skip the
 	// node-table lookups inside the network.
 	refs := make([]simnet.NodeRef, len(w.nodes))
@@ -354,6 +377,7 @@ func (w *World) drivePump(sn *simnet.Network, src EventSource) (*DriveStats, err
 		}
 		idx := w.nodeFor(ev.Requester)
 		stats.Events++
+		tc := w.mintRoot(ev.Requester, w.nodes[idx], sn.Now())
 		if ev.Monitor != "" {
 			if ev.Monitor != lastName {
 				m, ok := w.byName[ev.Monitor]
@@ -364,11 +388,23 @@ func (w *World) drivePump(sn *simnet.Network, src EventSource) (*DriveStats, err
 				if !ok {
 					return stats, fmt.Errorf("replay: monitor %q not registered in network", ev.Monitor)
 				}
-				lastName, lastTarget = ev.Monitor, ref
+				lastName, lastTarget, lastID = ev.Monitor, ref, m.ID()
 			}
-			send(refs[idx], lastTarget, ev.Type, ev.CID)
+			if tc.Sampled() {
+				msg := &wire.Message{Wantlist: []wire.Entry{{Type: ev.Type, CID: ev.CID}}}
+				_ = sn.SendTraced(tc, hopName(ev.Type), w.nodes[idx], lastID, msg)
+				stats.Sends++
+			} else {
+				send(refs[idx], lastTarget, ev.Type, ev.CID)
+			}
 		} else {
 			for _, target := range w.monSets[idx] {
+				if tc.Sampled() {
+					msg := &wire.Message{Wantlist: []wire.Entry{{Type: ev.Type, CID: ev.CID}}}
+					_ = sn.SendTraced(tc, hopName(ev.Type), w.nodes[idx], target, msg)
+					stats.Sends++
+					continue
+				}
 				ref, ok := sn.Ref(target)
 				if !ok {
 					continue
@@ -381,6 +417,36 @@ func (w *World) drivePump(sn *simnet.Network, src EventSource) (*DriveStats, err
 	stats.Requesters = len(w.assign)
 	stats.VirtualDuration = sn.Now().Sub(base)
 	return stats, nil
+}
+
+// mintRoot advances the deterministic event sequence and, for sampled
+// events, records a zero-duration request root span at now, returning its
+// context (zero when untraced or unsampled).
+func (w *World) mintRoot(requester, node simnet.NodeID, now time.Time) otrace.Ctx {
+	w.seq++
+	if w.tracer == nil {
+		return otrace.Ctx{}
+	}
+	trace := otrace.TraceID(w.cfg.Seed, requester[:], w.seq)
+	if !w.tracer.ShouldSample(trace) {
+		return otrace.Ctx{}
+	}
+	root := w.tracer.Root(trace, "request", node.String(), now)
+	tc := root.Ctx()
+	root.End(now)
+	return tc
+}
+
+// hopName maps a replayed entry type to its hop span name.
+func hopName(t wire.EntryType) string {
+	switch t {
+	case wire.WantBlock:
+		return "send.want_block"
+	case wire.Cancel:
+		return "send.cancel"
+	default:
+		return "send.want_have"
+	}
 }
 
 // schedule arms one event on its pool node's owner shard.
@@ -399,6 +465,15 @@ func (w *World) schedule(ev Event, at time.Time, stats *DriveStats) error {
 	}
 	stats.Events++
 	stats.Sends += len(targets)
+	// The trace ID is derived here, in deterministic source order; the root
+	// span itself is minted inside the event, at the node's exact event time.
+	var trace uint64
+	w.seq++
+	if w.tracer != nil {
+		if t := otrace.TraceID(w.cfg.Seed, ev.Requester[:], w.seq); w.tracer.ShouldSample(t) {
+			trace = t
+		}
+	}
 	delay := at.Sub(w.Net.Now())
 	if delay < 0 {
 		delay = 0
@@ -406,11 +481,18 @@ func (w *World) schedule(ev Event, at time.Time, stats *DriveStats) error {
 	typ, c := ev.Type, ev.CID
 	net := w.Net
 	w.Net.AfterOn(id, delay, func() {
+		var tc otrace.Ctx
+		if trace != 0 {
+			now := engine.EventTime(net, w.tr, id)
+			root := w.tracer.Root(trace, "request", id.String(), now)
+			tc = root.Ctx()
+			root.End(now)
+		}
 		for _, target := range targets {
 			// One message per target: receivers must never share a message
 			// they may retain or mutate.
 			msg := &wire.Message{Wantlist: []wire.Entry{{Type: typ, CID: c}}}
-			_ = net.Send(id, target, msg)
+			_ = engine.SendCtx(net, w.tr, tc, hopName(typ), id, target, msg)
 		}
 	})
 	return nil

@@ -7,6 +7,7 @@ import (
 
 	"bitswapmon/internal/engine"
 	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/otrace"
 )
 
 // Mode selects how a recorded trace becomes a workload.
@@ -44,6 +45,9 @@ type Spec struct {
 	Start    time.Time
 	// NewEngine selects the simulation engine (nil = serial reference).
 	NewEngine func(start time.Time, seed int64) engine.Engine
+	// Tracer, when set, records sampled request spans during the replay
+	// (see Config.Tracer).
+	Tracer *otrace.Tracer
 }
 
 // Session is a prepared replay: a built world plus the event source that
@@ -81,6 +85,7 @@ func Prepare(spec Spec) (*Session, error) {
 		TimeWarp:    spec.TimeWarp,
 		MonitorFrac: spec.MonitorFrac,
 		NewEngine:   spec.NewEngine,
+		Tracer:      spec.Tracer,
 	}
 	switch spec.Mode {
 	case ModeDirect, "":

@@ -14,6 +14,7 @@ import (
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/geoip"
 	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/popularity"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
@@ -626,5 +627,91 @@ func TestPopularityTooSmall(t *testing.T) {
 	}
 	if !strings.Contains(pop.Render(), "power-law fit (RRP):") {
 		t.Error("render missing fit line")
+	}
+}
+
+func TestLatencyBreakdownNeedsTracer(t *testing.T) {
+	if _, err := New("latency_breakdown", Options{}); !errors.Is(err, ErrNoTracer) {
+		t.Fatalf("err = %v, want ErrNoTracer", err)
+	}
+}
+
+func TestLatencyBreakdownFromSpans(t *testing.T) {
+	tr := otrace.New(otrace.Config{Sample: 1, Seed: 1})
+	rep, err := New("latency_breakdown", Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := func(ns int64) time.Time { return time.Unix(0, ns) }
+	// Two traces: a fetch with two bitswap.gets (one dropped by timeout) and
+	// a lone request, plus a cross-shard hop with queue-wait excess.
+	r1 := tr.Root(1, "request", "gw", vt(0))
+	g1 := tr.Start(r1.Ctx(), "bitswap.get", "n1", vt(100))
+	g1.End(vt(300)) // 200ns
+	g2 := tr.StartKeyed(r1.Ctx(), "bitswap.get", "n1", "other-cid", vt(100))
+	g2.EndDropped(vt(900)) // timeout: excluded from the distribution
+	tr.RecordHop(&otrace.HopRef{Ctx: r1.Ctx(), Name: "send.want_have", SendNs: 150, QueueNs: 40}, "n2", 250, false)
+	r1.End(vt(1000)) // 1000ns
+	r2 := tr.Root(2, "request", "gw", vt(0))
+	r2.End(vt(500)) // 500ns
+
+	b, err := rep.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, ok := b.(*LatencyBreakdown)
+	if !ok {
+		t.Fatalf("Finalize returned %T, want *LatencyBreakdown", b)
+	}
+	if lb.Spans != 5 || lb.Traces != 2 {
+		t.Fatalf("spans=%d traces=%d, want 5/2", lb.Spans, lb.Traces)
+	}
+	stage := func(name string) LatencyStage {
+		for _, s := range lb.Stages {
+			if s.Stage == name {
+				return s
+			}
+		}
+		t.Fatalf("stage %q missing from breakdown", name)
+		return LatencyStage{}
+	}
+	if s := stage("request"); s.Count != 2 || s.MeanNs != 750 || s.MaxNs != 1000 {
+		t.Errorf("request stage wrong: %+v", s)
+	}
+	if s := stage("bitswap.get"); s.Count != 1 || s.Drops != 1 || s.MeanNs != 200 {
+		t.Errorf("bitswap.get stage wrong (drops must be excluded): %+v", s)
+	}
+	if s := stage("send.want_have"); s.Count != 1 || s.MeanNs != 100 {
+		t.Errorf("send.want_have stage wrong: %+v", s)
+	}
+	if s := stage(StageQueueWait); s.Count != 1 || s.MeanNs != 40 {
+		t.Errorf("queue-wait stage wrong: %+v", s)
+	}
+	// Render/CSV/JSON/Metrics must all work on the panel.
+	if out := lb.Render(); !strings.Contains(out, "latency breakdown") || !strings.Contains(out, "bitswap.get") {
+		t.Errorf("Render missing expected content:\n%s", out)
+	}
+	if csv := lb.CSV(); !strings.HasPrefix(csv, "stage,count,drops,") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	if _, err := lb.JSON(); err != nil {
+		t.Errorf("JSON: %v", err)
+	}
+	m := lb.Metrics()
+	if m["count:request"] != 2 || m["drops:bitswap.get"] != 1 {
+		t.Errorf("Metrics wrong: %v", m)
+	}
+	// The spine must sort before the hop stages regardless of map order.
+	var reqIdx, hopIdx int
+	for i, s := range lb.Stages {
+		if s.Stage == "request" {
+			reqIdx = i
+		}
+		if s.Stage == "send.want_have" {
+			hopIdx = i
+		}
+	}
+	if reqIdx >= hopIdx {
+		t.Errorf("stage order wrong: request at %d, send.want_have at %d", reqIdx, hopIdx)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"bitswapmon/internal/cid"
 	"bitswapmon/internal/geoip"
 	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/popularity"
 	"bitswapmon/internal/simnet"
 	"bitswapmon/internal/trace"
@@ -41,6 +42,9 @@ type Options struct {
 	// non-gateway.
 	GatewayIDs  map[simnet.NodeID]bool
 	MegagateIDs map[simnet.NodeID]bool
+	// Tracer is the span recorder a traced run filled. The
+	// latency_breakdown constructor fails with ErrNoTracer when it is nil.
+	Tracer *otrace.Tracer
 }
 
 func (o Options) bucket() time.Duration {

@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"bitswapmon/internal/otrace"
 )
 
 // Handler is the behaviour a node plugs into the network. Handlers are
@@ -83,6 +85,10 @@ type event struct {
 	from    NodeID
 	sf, st  *nodeState
 	sfEpoch uint64
+	// tr carries the trace context of a sampled send (nil otherwise); the
+	// message itself is never wrapped, so handlers and taps see exactly the
+	// traffic of an untraced run.
+	tr *otrace.HopRef
 }
 
 // eventQueue is a binary min-heap ordered by (at, seq). The (at, seq) pair
@@ -171,6 +177,11 @@ type Network struct {
 	// counters
 	delivered uint64
 	dropped   uint64
+
+	// tracer records request spans when set (see internal/otrace); curIn is
+	// the trace context of the delivery currently being handled.
+	tracer *otrace.Tracer
+	curIn  otrace.Ctx
 }
 
 // New creates a network starting at the given virtual time with the given
@@ -189,6 +200,20 @@ func New(start time.Time, seed int64, lm *LatencyModel) *Network {
 
 // Now returns the current virtual time.
 func (n *Network) Now() time.Time { return n.now }
+
+// SetTracer installs the span recorder (nil disables tracing).
+func (n *Network) SetTracer(t *otrace.Tracer) { n.tracer = t }
+
+// Tracer returns the installed span recorder.
+func (n *Network) Tracer() *otrace.Tracer { return n.tracer }
+
+// EventTime returns the exact virtual time of the executing event; the
+// serial clock is already exact, so it equals Now.
+func (n *Network) EventTime(id NodeID) time.Time { return n.now }
+
+// InboundCtx returns the trace context of the message currently being
+// handled (zero outside HandleMessage or for untraced messages).
+func (n *Network) InboundCtx(id NodeID) otrace.Ctx { return n.curIn }
 
 // Latency returns the network's latency model.
 func (n *Network) Latency() *LatencyModel { return n.latency }
@@ -401,7 +426,26 @@ func (n *Network) Send(from, to NodeID, msg any) error {
 		return fmt.Errorf("%w: %s -> %s", ErrNotConnected, from, to)
 	}
 	st := n.nodes[to]
-	n.sendTo(sf, st, from, msg)
+	n.sendTo(sf, st, from, msg, nil)
+	return nil
+}
+
+// SendTraced is Send carrying a trace context: the hop from send to delivery
+// is recorded as a span and the context is exposed to the receiving handler
+// via InboundCtx. Timing and RNG draws are identical to Send.
+func (n *Network) SendTraced(tc otrace.Ctx, hop string, from, to NodeID, msg any) error {
+	sf, ok := n.nodes[from]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, from)
+	}
+	if !sf.peers[to] {
+		return fmt.Errorf("%w: %s -> %s", ErrNotConnected, from, to)
+	}
+	var ref *otrace.HopRef
+	if n.tracer != nil && tc.Sampled() {
+		ref = &otrace.HopRef{Ctx: tc, Name: hop, SendNs: n.now.UnixNano()}
+	}
+	n.sendTo(sf, n.nodes[to], from, msg, ref)
 	return nil
 }
 
@@ -423,11 +467,11 @@ func (n *Network) SendRef(from, to NodeRef, msg any) error {
 	if !sf.peers[st.id] {
 		return fmt.Errorf("%w: %s -> %s", ErrNotConnected, sf.id, st.id)
 	}
-	n.sendTo(sf, st, sf.id, msg)
+	n.sendTo(sf, st, sf.id, msg, nil)
 	return nil
 }
 
-func (n *Network) sendTo(sf, st *nodeState, from NodeID, msg any) {
+func (n *Network) sendTo(sf, st *nodeState, from NodeID, msg any, tr *otrace.HopRef) {
 	if !n.llBaseSet || sf.region != n.llA || st.region != n.llB {
 		n.llA, n.llB = sf.region, st.region
 		n.llBase = n.latency.BaseFor(sf.region, st.region)
@@ -437,6 +481,7 @@ func (n *Network) sendTo(sf, st *nodeState, from NodeID, msg any) {
 	delay := time.Duration(float64(n.llBase) * jitter)
 	e := n.newEvent(n.now.Add(delay), nil)
 	e.msg, e.from, e.sf, e.st, e.sfEpoch = msg, from, sf, st, sf.epoch
+	e.tr = tr
 	n.qPush(e)
 }
 
@@ -499,20 +544,26 @@ func (n *Network) Step() bool {
 		// validated at send time still exists, so only liveness needs a
 		// (field-read) check.
 		sf, st, from, msg := e.sf, e.st, e.from, e.msg
-		sfEpoch := e.sfEpoch
-		e.msg, e.sf, e.st = nil, nil, nil
+		sfEpoch, tr, atNs := e.sfEpoch, e.tr, e.atNs
+		e.msg, e.sf, e.st, e.tr = nil, nil, nil, nil
 		if len(n.pool) < 1024 {
 			n.pool = append(n.pool, e)
 		}
-		if sf.epoch != sfEpoch && !sf.peers[st.id] {
+		if (sf.epoch != sfEpoch && !sf.peers[st.id]) || !st.online {
 			n.dropped++
-			return true
-		}
-		if !st.online {
-			n.dropped++
+			if tr != nil {
+				n.tracer.RecordHop(tr, st.id.String(), atNs, true)
+			}
 			return true
 		}
 		n.delivered++
+		if tr != nil {
+			n.tracer.RecordHop(tr, st.id.String(), atNs, false)
+			n.curIn = tr.Ctx
+			st.handler.HandleMessage(from, msg)
+			n.curIn = otrace.Ctx{}
+			return true
+		}
 		st.handler.HandleMessage(from, msg)
 		return true
 	}

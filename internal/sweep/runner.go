@@ -10,6 +10,7 @@ import (
 	"bitswapmon/internal/attacks"
 	"bitswapmon/internal/ingest"
 	"bitswapmon/internal/monitor"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/replay"
 	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
@@ -193,6 +194,9 @@ func ExecuteRun(dir string, run Run) (*RunSummary, error) {
 	if err := summarize(sum, spec, w, stores, stats); err != nil {
 		return nil, err
 	}
+	if err := writeRunTrace(dir, w.Tracer()); err != nil {
+		return nil, err
+	}
 	for _, v := range onlineSamples {
 		sum.OnlineAvg += v
 	}
@@ -209,6 +213,19 @@ func ExecuteRun(dir string, run Run) (*RunSummary, error) {
 
 func monitorStoreDir(runDir, monName string) string {
 	return filepath.Join(runDir, "mon-"+sanitize(monName)+".segments")
+}
+
+// writeRunTrace exports the run's sampled spans (Chrome trace-event JSON for
+// Perfetto plus a JSONL sidecar) into the run directory. A nil tracer —
+// tracing disabled — is a no-op.
+func writeRunTrace(dir string, tr *otrace.Tracer) error {
+	if tr == nil {
+		return nil
+	}
+	if err := tr.WriteFiles(filepath.Join(dir, "trace.json")); err != nil {
+		return fmt.Errorf("sweep: write trace: %w", err)
+	}
+	return nil
 }
 
 // openMonitorStores redirects every monitor into a per-monitor segment
@@ -352,6 +369,7 @@ func summarize(sum *RunSummary, spec ScenarioSpec, w *workload.World, stores []*
 		GatewayIDs:     w.GatewayNodeIDs(),
 		MegagateIDs:    mega,
 		BootstrapIters: spec.BootstrapIters,
+		Tracer:         w.Tracer(),
 	}
 	if err := summarizeStores(sum, stores, stats, spec.Reports, opts); err != nil {
 		return err
@@ -382,8 +400,9 @@ func executeReplayRun(dir string, run Run, start time.Time) (*RunSummary, error)
 	}
 	// Replay runs have no GeoIP ground truth or gateway fleets; an extra
 	// report that needs them (table2, fig6) must fail here, before the
-	// simulation burns its compute, not at summary time.
-	replayOpts := report.Options{BootstrapIters: spec.BootstrapIters}
+	// simulation burns its compute, not at summary time. The tracer, when
+	// the spec enables tracing, already exists on the replay spec.
+	replayOpts := report.Options{BootstrapIters: spec.BootstrapIters, Tracer: rs.Tracer}
 	if err := report.NewDriver(true).AddByName(spec.Reports, replayOpts); err != nil {
 		return nil, fmt.Errorf("sweep: summary reports for replay run %s: %w", run.ID, err)
 	}
@@ -428,6 +447,9 @@ func executeReplayRun(dir string, run Run, start time.Time) (*RunSummary, error)
 		sum.FittedAlpha = sess.Model.PowerLaw.Alpha
 	}
 	if err := summarizeStores(sum, stores, stats, spec.Reports, replayOpts); err != nil {
+		return nil, err
+	}
+	if err := writeRunTrace(dir, sess.World.Tracer()); err != nil {
 		return nil, err
 	}
 	fillMonitorCoverage(sum, monitors, sess.World.PoolSize())

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"bitswapmon/internal/engine"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/replay"
 	"bitswapmon/internal/report"
 	"bitswapmon/internal/simnet"
@@ -186,6 +187,16 @@ type ScenarioSpec struct {
 	// become aggregatable by name like any canonical metric.
 	Reports []string `json:"reports,omitempty"`
 
+	// Trace enables the virtual-time causal flight recorder: sampled
+	// requests carry spans across workload → gateway → DHT → Bitswap →
+	// delivery, exportable as Perfetto JSON and summarized by the
+	// latency_breakdown report. TraceSample is the deterministic
+	// head-sampling rate (0 selects 1.0: every request). Sampling decisions
+	// depend only on the run seed, so serial and sharded runs of the same
+	// spec trace the same requests.
+	Trace       bool    `json:"trace,omitempty"`
+	TraceSample float64 `json:"trace_sample,omitempty"`
+
 	// Measurement window.
 	Warmup         Duration `json:"warmup,omitempty"`
 	Window         Duration `json:"window"`
@@ -289,6 +300,9 @@ func (s ScenarioSpec) Validate() error {
 		if name == "summary" || name == "traffic" {
 			return fmt.Errorf("sweep: report %q is always part of the run summary; list only extras", name)
 		}
+		if name == "latency_breakdown" && !s.Trace {
+			return fmt.Errorf("sweep: report %q needs tracing enabled (set trace: true)", name)
+		}
 		if seenReports[name] {
 			return fmt.Errorf("sweep: report %q listed twice", name)
 		}
@@ -337,6 +351,7 @@ func (s ScenarioSpec) Validate() error {
 		{"global_hot_frac", s.GlobalHotFrac}, {"global_warm_frac", s.GlobalWarmFrac},
 		{"legacy_frac", s.LegacyFrac}, {"upgrade_daily_frac", s.UpgradeDailyFrac},
 		{"monitor_prob", s.MonitorProb},
+		{"trace_sample", s.TraceSample},
 	} {
 		if f.v < 0 || f.v > 1 {
 			return fmt.Errorf("sweep: %s = %v out of [0,1]", f.name, f.v)
@@ -383,6 +398,7 @@ func (s ScenarioSpec) ReplaySpec(seed int64) (replay.Spec, error) {
 		MonitorFrac: ws.MonitorFrac,
 		Seed:        seed,
 		NewEngine:   newEngine,
+		Tracer:      s.NewTracer(seed),
 	}
 	if ws.Mode == "fitted" {
 		rs.Mode = replay.ModeFitted
@@ -397,6 +413,21 @@ func (s ScenarioSpec) ReplaySpec(seed int64) (replay.Spec, error) {
 		})
 	}
 	return rs, nil
+}
+
+// NewTracer constructs the run's span recorder when the spec enables
+// tracing, nil otherwise. Seeding the sampler from the run seed keeps the
+// sampled request set identical across engines and across retries of the
+// same run.
+func (s ScenarioSpec) NewTracer(seed int64) *otrace.Tracer {
+	if !s.Trace {
+		return nil
+	}
+	sample := s.TraceSample
+	if sample <= 0 {
+		sample = 1
+	}
+	return otrace.New(otrace.Config{Sample: sample, Seed: seed})
 }
 
 // NewEngine returns the engine factory for the spec's engine selection
@@ -447,6 +478,7 @@ func (s ScenarioSpec) WorkloadConfig(seed int64) (workload.Config, error) {
 		GlobalHotFrac:         s.GlobalHotFrac,
 		GlobalWarmFrac:        s.GlobalWarmFrac,
 		WarmItems:             s.WarmItems,
+		Tracer:                s.NewTracer(seed),
 	}
 	if s.Start != "" {
 		cfg.Start, _ = time.Parse(time.RFC3339, s.Start) // validated above

@@ -16,6 +16,7 @@ import (
 	"bitswapmon/internal/merkledag"
 	"bitswapmon/internal/monitor"
 	"bitswapmon/internal/node"
+	"bitswapmon/internal/otrace"
 	"bitswapmon/internal/simnet"
 )
 
@@ -152,6 +153,11 @@ type Config struct {
 	// selects the single-threaded deterministic simnet reference. Parallel
 	// runs pass e.g. engine.ShardedFactory(4).
 	NewEngine func(start time.Time, seed int64) engine.Engine
+	// Tracer, when set, records sampled request traces: every workload and
+	// gateway request mints a deterministic trace ID (from Seed, requester
+	// and request sequence — identical across engines) and, when sampled,
+	// becomes a span tree across gateway, DHT, Bitswap and delivery hops.
+	Tracer *otrace.Tracer
 	// RefreshInterval is the nodes' DHT refresh period. The real client
 	// uses 10 min; in a scaled-down network each lookup touches a much
 	// larger network fraction, so the default here is 1 h to keep the
@@ -266,6 +272,9 @@ type ScenarioNode struct {
 	Legacy bool
 	// reqGen invalidates stale request-loop events across churn cycles.
 	reqGen uint64
+	// reqSeq numbers this node's requests for deterministic trace IDs. It
+	// advances on every issueRequest, independent of engine and sampling.
+	reqSeq uint64
 	// rng drives this node's churn and request processes. Per-node streams
 	// (rather than one world-wide RNG) keep runtime draws race-free and
 	// well-defined when nodes run on different engine shards.
@@ -288,6 +297,10 @@ type World struct {
 
 	cfg Config
 	rng *rand.Rand
+	// tr is the engine's tracing capability (nil when unsupported or when no
+	// Tracer was configured); tracer is the configured span recorder.
+	tr     engine.Tracing
+	tracer *otrace.Tracer
 
 	// statsMu guards the request counters: they are bumped from request
 	// processes that may run on different engine shards.
@@ -320,6 +333,13 @@ func Build(cfg Config) (*World, error) {
 		rng:                   net.NewRand("workload"),
 		RequestsIssued:        make(map[simnet.Region]int),
 		GatewayRequestsIssued: make(map[string]int),
+	}
+	if cfg.Tracer != nil {
+		if tr := engine.TracingOf(net); tr != nil {
+			tr.SetTracer(cfg.Tracer)
+			w.tr = tr
+			w.tracer = cfg.Tracer
+		}
 	}
 
 	if err := w.buildMonitors(); err != nil {
@@ -683,6 +703,7 @@ func (w *World) scheduleNextRequest(sn *ScenarioNode, gen uint64) {
 }
 
 func (w *World) issueRequest(sn *ScenarioNode) {
+	sn.reqSeq++
 	var item *Item
 	switch {
 	case len(sn.personal) > 0 && sn.rng.Float64() < w.cfg.PersonalFrac:
@@ -700,11 +721,35 @@ func (w *World) issueRequest(sn *ScenarioNode) {
 	w.statsMu.Lock()
 	w.RequestsIssued[sn.Country]++
 	w.statsMu.Unlock()
+	// Root span: this callback runs as the node's own event code, so the
+	// exact event time and the resolve callback's clock are both this node's.
+	var span *otrace.SpanHandle
+	var tc otrace.Ctx
+	if w.tracer != nil {
+		trace := otrace.TraceID(w.cfg.Seed, sn.N.ID[:], sn.reqSeq)
+		if w.tracer.ShouldSample(trace) {
+			span = w.tracer.Root(trace, "request", sn.N.ID.String(), engine.EventTime(w.Net, w.tr, sn.N.ID))
+			tc = span.Ctx()
+		}
+	}
+	id := sn.N.ID
 	if item.MultiBlock && item.Resolvable {
-		sn.N.Fetch(item.Root, func(bool) {})
+		sn.N.FetchTraced(tc, item.Root, func(ok bool) {
+			if ok {
+				span.End(engine.EventTime(w.Net, w.tr, id))
+			} else {
+				span.EndDropped(engine.EventTime(w.Net, w.tr, id))
+			}
+		})
 		return
 	}
-	sn.N.Request(item.Root, func([]byte, bool) {})
+	sn.N.RequestTraced(tc, item.Root, func(_ []byte, ok bool) {
+		if ok {
+			span.End(engine.EventTime(w.Net, w.tr, id))
+		} else {
+			span.EndDropped(engine.EventTime(w.Net, w.tr, id))
+		}
+	})
 }
 
 // scheduleUpgrades arms the v0.5 upgrade wave for Fig. 4 scenarios.
@@ -742,6 +787,9 @@ func (w *World) armGatewayTraffic() {
 			continue
 		}
 		opSpec := op
+		// reqSeq numbers this operator's HTTP requests for deterministic
+		// trace IDs (the ticks run in a single control-affine stream).
+		var reqSeq uint64
 		var tick func()
 		tick = func() {
 			g := gws[w.rng.Intn(len(gws))]
@@ -767,7 +815,16 @@ func (w *World) armGatewayTraffic() {
 				w.statsMu.Lock()
 				w.GatewayRequestsIssued[opSpec.Name]++
 				w.statsMu.Unlock()
-				g.Retrieve(root, func(gateway.Result) {})
+				reqSeq++
+				var trace uint64
+				if w.tracer != nil {
+					if t := otrace.TraceID(w.cfg.Seed, []byte(opSpec.Name), reqSeq); w.tracer.ShouldSample(t) {
+						trace = t
+					}
+				}
+				// Gateways are pinned to the control shard, where this tick
+				// runs, so the gateway node's event clock is exact here.
+				g.RetrieveTraced(trace, engine.EventTime(w.Net, w.tr, g.Node.ID), root, func(gateway.Result) {})
 			}
 			gap := time.Duration(w.rng.ExpFloat64() / opSpec.RequestsPerHour * float64(time.Hour))
 			if gap < 100*time.Millisecond {
@@ -856,6 +913,9 @@ func (w *World) OnlineCount() int {
 
 // TotalPopulation returns the total number of population nodes.
 func (w *World) TotalPopulation() int { return len(w.Nodes) }
+
+// Tracer returns the world's span recorder, nil when tracing is off.
+func (w *World) Tracer() *otrace.Tracer { return w.tracer }
 
 // GatewayNodeIDs returns the ground-truth gateway node IDs.
 func (w *World) GatewayNodeIDs() map[simnet.NodeID]bool {

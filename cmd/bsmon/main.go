@@ -16,13 +16,25 @@
 //	DIR/M.trace               — flat binary trace (compatibility export,
 //	                            produced disk-to-disk from the segments)
 //	DIR/M.csv                 — CSV export (with -csv)
+//
+// Both modes shut down cleanly on SIGINT/SIGTERM: the active segment is
+// sealed before exit, so an interrupted store always reopens queryable.
+//
+// With -serve, bsmon becomes a continuous-monitoring daemon instead of a
+// bounded run: the simulation streams indefinitely, rolling windows of
+// registry reports are evaluated live, segment stores are compacted and
+// expired in the background, and an HTTP endpoint serves /metrics, /reports
+// and /healthz. See serve.go.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"bitswapmon/internal/cmdutil"
@@ -41,11 +53,16 @@ func main() {
 	}
 }
 
+// runStep is the virtual-time chunk the run loop advances between shutdown
+// checks: small enough that a signal turns into a sealed store promptly,
+// large enough that loop overhead is negligible.
+const runStep = 15 * time.Minute
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("bsmon", flag.ContinueOnError)
 	outDir := fs.String("out", "traces", "output directory")
 	nodes := fs.Int("nodes", 400, "population size")
-	hours := fs.Int("hours", 24, "measurement window in virtual hours")
+	hours := fs.Int("hours", 24, "measurement window in virtual hours (0 with -serve: run until signalled)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	csv := fs.Bool("csv", true, "also write CSV exports")
 	flat := fs.Bool("flat", true, "also write flat .trace compatibility exports")
@@ -53,9 +70,31 @@ func run(args []string) error {
 	traceOut := fs.String("trace-out", "", "record causal request traces and write Chrome trace-event JSON (Perfetto-loadable) plus a .jsonl sidecar to this path")
 	traceSample := fs.Float64("trace-sample", 1, "deterministic trace head-sampling rate in [0,1] (with -trace-out)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090) and enable instrumentation")
+
+	serve := fs.Bool("serve", false, "run as a continuous-monitoring service: rolling-window reports, retention/compaction, HTTP endpoints")
+	sc := bindServeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// SIGINT/SIGTERM turn into context cancellation: the run loop stops at
+	// the next step boundary and every store seals its active segment, so a
+	// killed bsmon never leaves an unsealed (bsanalyze-rejected) segment.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *serve {
+		sc.out = *outDir
+		sc.nodes = *nodes
+		sc.hours = *hours
+		sc.seed = *seed
+		sc.rotate = *rotate
+		return runServe(ctx, sc)
+	}
+	if *hours <= 0 {
+		return fmt.Errorf("-hours must be positive without -serve")
+	}
+
 	var tracer *otrace.Tracer
 	if *traceOut != "" {
 		if *traceSample < 0 || *traceSample > 1 {
@@ -75,15 +114,7 @@ func run(args []string) error {
 		return fmt.Errorf("create output dir: %w", err)
 	}
 
-	w, err := workload.Build(workload.Config{
-		Seed:  *seed,
-		Nodes: *nodes,
-		Monitors: []workload.MonitorSpec{
-			{Name: "us", Region: simnet.RegionUS},
-			{Name: "de", Region: simnet.RegionDE},
-		},
-		Tracer: tracer,
-	})
+	w, err := buildWorld(*seed, *nodes, tracer)
 	if err != nil {
 		return fmt.Errorf("build scenario: %w", err)
 	}
@@ -93,17 +124,9 @@ func run(args []string) error {
 	stores := make([]*ingest.SegmentStore, len(w.Monitors))
 	stats := make([]*ingest.OnlineStats, len(w.Monitors))
 	for i, m := range w.Monitors {
-		store, err := ingest.OpenSegmentStore(filepath.Join(*outDir, m.Name+".segments"), ingest.SegmentOptions{Rotation: *rotate})
+		store, err := openFreshStore(filepath.Join(*outDir, m.Name+".segments"), ingest.SegmentOptions{Rotation: *rotate})
 		if err != nil {
 			return err
-		}
-		// Virtual time restarts every run, so appending a second run to an
-		// existing store would interleave out-of-order streams and corrupt
-		// downstream unification. Refuse rather than mingle runs — and
-		// treat unsealed leftovers from a crashed run the same way.
-		if tot := store.Totals(); tot.Entries > 0 || len(store.Skipped()) > 0 {
-			return fmt.Errorf("segment store %s already holds data from a previous run (%d sealed entries, %d unsealed files); use a fresh -out directory",
-				filepath.Join(*outDir, m.Name+".segments"), tot.Entries, len(store.Skipped()))
 		}
 		stores[i] = store
 		stats[i] = ingest.NewOnlineStats(ingest.StatsOptions{Bucket: *rotate})
@@ -119,7 +142,10 @@ func run(args []string) error {
 	}()
 
 	fmt.Printf("running %d nodes for %dh of virtual time...\n", *nodes, *hours)
-	w.Run(time.Duration(*hours) * time.Hour)
+	interrupted := runFor(ctx, w, time.Duration(*hours)*time.Hour)
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "bsmon: interrupted — sealing active segments")
+	}
 
 	for i, m := range w.Monitors {
 		if err := stores[i].Close(); err != nil {
@@ -134,6 +160,11 @@ func run(args []string) error {
 			stats[i].DistinctPeers(), stats[i].DistinctCIDs(),
 			filepath.Join(*outDir, m.Name+".segments"))
 
+		// An interrupted run skips the flat/CSV exports: the priority is a
+		// sealed, queryable store on disk, not a full post-processing pass.
+		if interrupted {
+			continue
+		}
 		if *flat {
 			if err := exportFlat(stores[i], filepath.Join(*outDir, m.Name+".trace")); err != nil {
 				return err
@@ -145,10 +176,55 @@ func run(args []string) error {
 			}
 		}
 	}
-	if tracer != nil {
+	if tracer != nil && !interrupted {
 		fmt.Println(report.BreakdownFromSpans(tracer.Spans(), tracer.Dropped()).Render())
 	}
 	return cmdutil.ExportTrace("bsmon", *traceOut, tracer)
+}
+
+// buildWorld constructs the standard two-monitor scenario both modes run.
+func buildWorld(seed int64, nodes int, tracer *otrace.Tracer) (*workload.World, error) {
+	return workload.Build(workload.Config{
+		Seed:  seed,
+		Nodes: nodes,
+		Monitors: []workload.MonitorSpec{
+			{Name: "us", Region: simnet.RegionUS},
+			{Name: "de", Region: simnet.RegionDE},
+		},
+		Tracer: tracer,
+	})
+}
+
+// openFreshStore opens a segment store and refuses one already holding
+// data: virtual time restarts every run, so appending a second run would
+// interleave out-of-order streams and corrupt downstream unification —
+// and unsealed leftovers from a crashed run are treated the same way.
+func openFreshStore(dir string, opts ingest.SegmentOptions) (*ingest.SegmentStore, error) {
+	store, err := ingest.OpenSegmentStore(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if tot := store.Totals(); tot.Entries > 0 || len(store.Skipped()) > 0 {
+		return nil, fmt.Errorf("segment store %s already holds data from a previous run (%d sealed entries, %d unsealed files); use a fresh -out directory",
+			dir, tot.Entries, len(store.Skipped()))
+	}
+	return store, nil
+}
+
+// runFor advances the simulation in runStep chunks until total virtual time
+// has elapsed or ctx is cancelled, reporting whether it was interrupted.
+func runFor(ctx context.Context, w *workload.World, total time.Duration) bool {
+	for elapsed := time.Duration(0); elapsed < total; elapsed += runStep {
+		if ctx.Err() != nil {
+			return true
+		}
+		step := runStep
+		if rem := total - elapsed; rem < step {
+			step = rem
+		}
+		w.Run(step)
+	}
+	return ctx.Err() != nil
 }
 
 // exportFlat streams the store into a flat binary trace file, disk to disk.

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bitswapmon/internal/cmdutil"
+	"bitswapmon/internal/ingest"
+	"bitswapmon/internal/report"
+)
+
+// serveConfig is the -serve mode configuration: the shared run flags copied
+// from main plus the service-specific knobs bound by bindServeFlags.
+type serveConfig struct {
+	// Copied from the shared flags by run().
+	out    string
+	nodes  int
+	hours  int
+	seed   int64
+	rotate time.Duration
+
+	addr     string
+	addrFile string
+
+	window  time.Duration
+	slide   time.Duration
+	keep    int
+	reports string
+
+	retain        time.Duration
+	compactRun    int
+	compactSmall  int
+	maintainEvery time.Duration
+
+	step time.Duration
+	pace time.Duration
+}
+
+// bindServeFlags registers the -serve mode flags on fs and returns the
+// struct they fill.
+func bindServeFlags(fs *flag.FlagSet) *serveConfig {
+	sc := &serveConfig{}
+	fs.StringVar(&sc.addr, "serve-addr", "127.0.0.1:9464", "service HTTP address for /metrics, /reports and /healthz (port 0 picks an ephemeral port)")
+	fs.StringVar(&sc.addrFile, "addr-file", "", "write the bound HTTP address to this file once listening (lets scripts discover an ephemeral port)")
+	fs.DurationVar(&sc.window, "window", time.Hour, "report window width (virtual time)")
+	fs.DurationVar(&sc.slide, "window-slide", 0, "window stride; 0 means tumbling (= width), smaller values give sliding windows and must divide the width")
+	fs.IntVar(&sc.keep, "windows-keep", 24, "closed windows retained in memory and as report_window_metric recency slots")
+	fs.StringVar(&sc.reports, "window-reports", "traffic", "comma-separated registry reports evaluated per window")
+	fs.DurationVar(&sc.retain, "retain", 0, "delete raw segments entirely older than this horizon behind the newest data (virtual time; 0 keeps everything)")
+	fs.IntVar(&sc.compactRun, "compact-run", 0, "minimum run of small adjacent segments worth merging (0 = default)")
+	fs.IntVar(&sc.compactSmall, "compact-small", 0, "segments under this many entries are compactable (0 = default)")
+	fs.DurationVar(&sc.maintainEvery, "maintain-every", 2*time.Second, "wall-clock period of compaction/retention passes")
+	fs.DurationVar(&sc.step, "step", 15*time.Minute, "virtual time advanced per service loop iteration")
+	fs.DurationVar(&sc.pace, "pace", 20*time.Millisecond, "wall-clock sleep between loop iterations (0 runs virtual time as fast as possible)")
+	return sc
+}
+
+// runServe is the continuous-monitoring daemon: the simulation streams into
+// per-monitor segment stores and a unified windowed report driver, a
+// Maintainer compacts and expires each store in the background, and one HTTP
+// endpoint exposes /metrics, /reports and /healthz. It runs until ctx is
+// cancelled (SIGINT/SIGTERM) or, with -hours > 0, until that much virtual
+// time has elapsed; shutdown seals every active segment, flushes and
+// finalizes the open windows, and runs a final compaction pass.
+func runServe(ctx context.Context, sc *serveConfig) error {
+	// Telemetry handles resolve at construction time, so instrumentation
+	// must be on before any store, driver, or world exists.
+	cmdutil.EnableAllMetrics()
+
+	if sc.step <= 0 {
+		return fmt.Errorf("-step must be positive")
+	}
+	if err := os.MkdirAll(sc.out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+
+	w, err := buildWorld(sc.seed, sc.nodes, nil)
+	if err != nil {
+		return fmt.Errorf("build scenario: %w", err)
+	}
+
+	// Durable window retention: every closed window appends one JSON line.
+	// Raw segments expire on the -retain horizon; these rolled-up report
+	// results are what remains of the expired time range.
+	windowLog, err := os.OpenFile(filepath.Join(sc.out, "windows.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("open window log: %w", err)
+	}
+	defer windowLog.Close()
+	logEnc := json.NewEncoder(windowLog)
+
+	var names []string
+	for _, name := range strings.Split(sc.reports, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	wd, err := report.NewWindowedDriver(report.WindowOptions{
+		Width:   sc.window,
+		Slide:   sc.slide,
+		Keep:    sc.keep,
+		Reports: names,
+		Opts: report.Options{
+			Geo:        w.Geo,
+			GatewayIDs: w.GatewayNodeIDs(),
+			Rand:       func() *rand.Rand { return w.Net.NewRand("serve-windows") },
+		},
+		Dedup:   true,
+		OnClose: func(res report.WindowResult) error { return logEnc.Encode(res) },
+	})
+	if err != nil {
+		return err
+	}
+
+	// Wiring: every monitor tees its raw stream into its own segment store
+	// and into one shared UnifySink, which orders and flags the merged
+	// stream (Sec. IV-B) before the windowed driver sees it.
+	uni := ingest.NewUnifySink(wd)
+	maintainOpts := ingest.MaintainOptions{
+		Interval: sc.maintainEvery,
+		Compaction: ingest.CompactionPolicy{
+			MinRun:       sc.compactRun,
+			SmallEntries: sc.compactSmall,
+		},
+		Retention: ingest.RetentionPolicy{MaxAge: sc.retain},
+	}
+	stores := make([]*ingest.SegmentStore, len(w.Monitors))
+	maintainers := make([]*ingest.Maintainer, len(w.Monitors))
+	for i, m := range w.Monitors {
+		store, err := openFreshStore(filepath.Join(sc.out, m.Name+".segments"), ingest.SegmentOptions{Rotation: sc.rotate})
+		if err != nil {
+			return err
+		}
+		stores[i] = store
+		maintainers[i] = ingest.NewMaintainer(store, maintainOpts)
+		m.SetSink(ingest.Tee(store, uni))
+	}
+	defer func() {
+		// Whatever goes wrong, stop maintenance before sealing stores so no
+		// background pass races the defered Close, then seal.
+		for _, mt := range maintainers {
+			if mt != nil {
+				mt.Close()
+			}
+		}
+		for _, store := range stores {
+			store.Close()
+		}
+	}()
+
+	srv, err := cmdutil.ServeOps(sc.addr, map[string]http.Handler{
+		"/reports": reportsHandler(wd),
+		"/healthz": healthzHandler(maintainers),
+	})
+	if err != nil {
+		return err
+	}
+	if srv == nil {
+		return fmt.Errorf("-serve needs a non-empty -serve-addr")
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "bsmon: serving on http://%s (/metrics /reports /healthz)\n", srv.Addr())
+	if sc.addrFile != "" {
+		if err := os.WriteFile(sc.addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
+
+	// The service loop: advance virtual time one step, optionally pace
+	// against the wall clock, check for capture failures, repeat until the
+	// signal context cancels or the optional -hours bound is reached.
+	bound := time.Duration(sc.hours) * time.Hour
+	var elapsed time.Duration
+	var pacer *time.Ticker
+	if sc.pace > 0 {
+		pacer = time.NewTicker(sc.pace)
+		defer pacer.Stop()
+	}
+loop:
+	for ctx.Err() == nil && (bound <= 0 || elapsed < bound) {
+		step := sc.step
+		if bound > 0 {
+			if rem := bound - elapsed; rem < step {
+				step = rem
+			}
+		}
+		w.Run(step)
+		elapsed += step
+		for i, m := range w.Monitors {
+			if err := m.SinkErr(); err != nil {
+				return fmt.Errorf("monitor %s: capture: %w", m.Name, err)
+			}
+			if err := maintainers[i].Err(); err != nil {
+				return fmt.Errorf("monitor %s: maintenance: %w", m.Name, err)
+			}
+		}
+		if pacer != nil {
+			select {
+			case <-ctx.Done():
+				break loop
+			case <-pacer.C:
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "bsmon: signal received — shutting down cleanly")
+	}
+
+	// Orderly shutdown. Order matters:
+	//   1. seal every store (the active segment becomes a sealed, queryable
+	//      segment) and surface any latched capture error;
+	//   2. flush the unifier's final timestamp batch into the windowed
+	//      driver, then finalize the still-open windows (marked partial);
+	//   3. close each Maintainer — it runs one final compaction/retention
+	//      pass over the now-complete segment set and writes a fresh index.
+	for i, m := range w.Monitors {
+		if err := stores[i].Close(); err != nil {
+			return fmt.Errorf("monitor %s: seal store: %w", m.Name, err)
+		}
+		if err := m.SinkErr(); err != nil {
+			return fmt.Errorf("monitor %s: capture: %w", m.Name, err)
+		}
+	}
+	if err := uni.Flush(); err != nil {
+		return fmt.Errorf("unify flush: %w", err)
+	}
+	results, err := wd.Close()
+	if err != nil {
+		return err
+	}
+	var totalStats ingest.MaintainStats
+	for i, mt := range maintainers {
+		if err := mt.Close(); err != nil {
+			return fmt.Errorf("monitor %s: final maintenance: %w", w.Monitors[i].Name, err)
+		}
+		totalStats = totalStats.Add(mt.Stats())
+		maintainers[i] = nil // the deferred cleanup must not double-close
+	}
+	fmt.Printf("bsmon: served %s of virtual time, %d windows closed (%d retained), maintenance: %+v\n",
+		elapsed, wd.Snapshot().ClosedTotal, len(results), totalStats)
+	return nil
+}
+
+// reportsHandler serves the windowed driver's state as JSON: retained
+// closed windows plus live numbers for the still-open ones.
+func reportsHandler(wd *report.WindowedDriver) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		enc.Encode(wd.Snapshot())
+	})
+}
+
+// healthzHandler reports service health: 200 with maintenance totals while
+// every background loop is clean, 500 with the first error otherwise. It
+// deliberately reads only mutex-guarded state — monitor sink errors are
+// owned by the simulation loop and surface through it.
+func healthzHandler(maintainers []*ingest.Maintainer) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		var stats ingest.MaintainStats
+		for _, mt := range maintainers {
+			if err := mt.Err(); err != nil {
+				http.Error(rw, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			stats = stats.Add(mt.Stats())
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(map[string]any{"status": "ok", "maintenance": stats})
+	})
+}

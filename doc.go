@@ -10,6 +10,15 @@
 // statistics) instead of accumulating them, and analyses read the trace
 // back one segment at a time.
 //
+// Capture also scales past a bounded run: bsmon -serve is a
+// continuous-monitoring daemon. Registry reports are evaluated over rolling
+// windows of the live stream (report.WindowedDriver, published as the
+// report_window_metric gauge family and served as JSON on /reports), while
+// an ingest.Maintainer compacts small sealed segments into generation-2
+// segments and expires raw data behind a retention horizon — rolled-up
+// window results stay durable after their raw segments are gone, and
+// SIGTERM always leaves sealed, reopenable stores.
+//
 // Analysis is registry-driven: every table and figure is a streaming
 // internal/report Report (Observe one entry, Finalize a Result), and a
 // Driver tees a single pass — over files, segment stores, or a live

@@ -6,6 +6,7 @@ package cmdutil
 
 import (
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -35,13 +36,15 @@ func ExportTrace(cmd, path string, tr *otrace.Tracer) error {
 }
 
 // EnableAllMetrics turns on instrumentation in every subsystem, registering
-// into obs.Default. Call it before constructing engines, stores, drivers or
-// orchestrators — each resolves its telemetry handle at construction.
+// into obs.Default. Call it before constructing engines, stores, drivers,
+// tracers or orchestrators — each resolves its telemetry handle at
+// construction.
 func EnableAllMetrics() {
 	engine.EnableMetrics(nil)
 	ingest.EnableMetrics(nil)
 	sweep.EnableMetrics(nil)
 	report.EnableMetrics(nil)
+	otrace.EnableMetrics(nil)
 }
 
 // ServeMetrics enables all subsystem metrics and starts the HTTP endpoint on
@@ -49,11 +52,18 @@ func EnableAllMetrics() {
 // An empty addr is a no-op returning nil — callers can defer-close the
 // result unconditionally.
 func ServeMetrics(addr string) (*obs.Server, error) {
+	return ServeOps(addr, nil)
+}
+
+// ServeOps is ServeMetrics with additional endpoints mounted on the same
+// mux — the service-mode surface (e.g. bsmon -serve adds /reports and
+// /healthz). An empty addr is a no-op returning nil.
+func ServeOps(addr string, extra map[string]http.Handler) (*obs.Server, error) {
 	if addr == "" {
 		return nil, nil
 	}
 	EnableAllMetrics()
-	srv, err := obs.Serve(addr, nil)
+	srv, err := obs.ServeWith(addr, nil, extra)
 	if err != nil {
 		return nil, err
 	}

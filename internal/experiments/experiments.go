@@ -124,6 +124,12 @@ type WeekReport struct {
 	Latency *report.LatencyBreakdown
 	Tracer  *otrace.Tracer
 
+	// Windows holds the rolling-window traffic evaluation of the live path
+	// (RunWeekSpec): the same stream the full-week reports consume, cut
+	// into tumbling windows — the service-mode view of the week scenario.
+	// Nil on the collected-data path (ComputeReport).
+	Windows []report.WindowResult
+
 	GatewaysProbed     int
 	GatewaysIdentified int
 	GatewayIDsFound    int
@@ -390,14 +396,32 @@ func RunWeekSpec(spec sweep.ScenarioSpec) (*WeekReport, error) {
 		iters = 30
 	}
 	var drv *report.Driver
+	var wd *report.WindowedDriver
 	var uni *ingest.UnifySink
 	data, err := collectSpec(spec, func(w *workload.World) (ingest.Sink, error) {
 		d, err := weekDriver(w, iters)
 		if err != nil {
 			return nil, err
 		}
+		// Beside the full-week reports, evaluate the traffic report over
+		// 6h tumbling windows of the same unified stream — the continuous-
+		// monitoring view (and the report_window_metric live gauges).
+		wd, err = report.NewWindowedDriver(report.WindowOptions{
+			Width:   6 * time.Hour,
+			Keep:    64,
+			Reports: []string{"traffic"},
+			Opts: report.Options{
+				Geo:         w.Geo,
+				GatewayIDs:  w.GatewayNodeIDs(),
+				MegagateIDs: megagateIDs(w),
+			},
+			Dedup: true,
+		})
+		if err != nil {
+			return nil, err
+		}
 		drv = d
-		uni = ingest.NewUnifySink(d)
+		uni = ingest.NewUnifySink(ingest.Tee(d, wd))
 		return uni, nil
 	})
 	if err != nil {
@@ -410,7 +434,12 @@ func RunWeekSpec(spec sweep.ScenarioSpec) (*WeekReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	windows, err := wd.Close()
+	if err != nil {
+		return nil, err
+	}
 	rep := weekReportFromResults(data, results)
+	rep.Windows = windows
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
@@ -468,6 +497,19 @@ func (r *WeekReport) Render() string {
 	if r.Latency != nil {
 		sb.WriteString("\n")
 		sb.WriteString(r.Latency.Render())
+	}
+	if len(r.Windows) > 0 {
+		fmt.Fprintf(&sb, "\nRolling traffic windows (%d tumbling windows):\n", len(r.Windows))
+		for _, res := range r.Windows {
+			m := res.Metrics["traffic"]
+			fmt.Fprintf(&sb, "  [%s, %s) %6d entries, %5.1f%% rebroadcast, %4.1f%% gateway",
+				res.Start.Format("01-02 15:04"), res.End.Format("15:04"),
+				res.Entries, 100*m["rebroad_share"], 100*m["gateway_share"])
+			if res.Partial {
+				sb.WriteString("  (partial)")
+			}
+			sb.WriteString("\n")
+		}
 	}
 	fmt.Fprintf(&sb, "\nwall time: %v\n", r.Elapsed.Round(time.Millisecond))
 	return sb.String()

@@ -1,0 +1,100 @@
+package ingest
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// The footer index is a JSON snapshot of every sealed segment's footer,
+// written atomically (temp file + rename) by maintenance passes and by
+// Close. Opening a store with a current index costs one JSON read instead of
+// one footer seek per segment file — the difference between milliseconds and
+// minutes on a directory holding months of segments. The index is advisory:
+// an entry is trusted only while the file's size still matches (a compaction
+// rewrite or a fresh seal invalidates it), and any segment the index does
+// not cover falls back to reading its own footer, so a stale, missing or
+// corrupt index can never change query results.
+const indexFileName = "index.json"
+
+const indexVersion = 1
+
+type indexFile struct {
+	Version  int            `json:"version"`
+	Segments []indexedEntry `json:"segments"`
+}
+
+type indexedEntry struct {
+	// Name is the segment file's base name (the index survives moving the
+	// store directory).
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	Footer Footer `json:"footer"`
+}
+
+// segmentIndex is the loaded form, keyed by base name.
+type segmentIndex map[string]indexedEntry
+
+// readIndex loads dir's footer index. Any failure (absent, unreadable,
+// wrong version, corrupt) yields an empty index: callers fall back to
+// per-file footers.
+func readIndex(dir string) segmentIndex {
+	blob, err := os.ReadFile(filepath.Join(dir, indexFileName))
+	if err != nil {
+		return nil
+	}
+	var f indexFile
+	if err := json.Unmarshal(blob, &f); err != nil || f.Version != indexVersion {
+		return nil
+	}
+	idx := make(segmentIndex, len(f.Segments))
+	for _, e := range f.Segments {
+		idx[e.Name] = e
+	}
+	return idx
+}
+
+// lookup returns the indexed footer for path iff the entry is still
+// current: the file exists with the recorded size.
+func (idx segmentIndex) lookup(path string) (Footer, bool) {
+	e, ok := idx[filepath.Base(path)]
+	if !ok {
+		return Footer{}, false
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() != e.Size {
+		return Footer{}, false
+	}
+	return e.Footer, true
+}
+
+// WriteIndex persists the sealed-segment footer index to dir/index.json
+// atomically. Maintenance passes call it after compaction and retention;
+// call it directly after sealing a store you expect to reopen often.
+func (s *SegmentStore) WriteIndex() error {
+	s.mu.Lock()
+	f := indexFile{Version: indexVersion, Segments: make([]indexedEntry, 0, len(s.sealed))}
+	for _, seg := range s.sealed {
+		st, err := os.Stat(seg.Path)
+		if err != nil {
+			// A segment the index cannot vouch for is simply left out; the
+			// next open reads its footer directly.
+			continue
+		}
+		f.Segments = append(f.Segments, indexedEntry{
+			Name:   filepath.Base(seg.Path),
+			Size:   st.Size(),
+			Footer: seg.Footer,
+		})
+	}
+	s.mu.Unlock()
+	blob, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, indexFileName+".tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, indexFileName))
+}

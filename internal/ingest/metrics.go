@@ -18,6 +18,9 @@ type ingestMetrics struct {
 	rebroadcast  *obs.Counter   // ingest_dedup_rebroadcast_hits_total
 	interMonitor *obs.Counter   // ingest_dedup_inter_monitor_hits_total
 	evictions    *obs.Counter   // ingest_dedup_window_evictions_total
+	compactions  *obs.Counter   // ingest_compactions_total
+	compacted    *obs.Counter   // ingest_compacted_segments_total
+	expired      *obs.Counter   // ingest_retention_expired_segments_total
 }
 
 var ingMetrics atomic.Pointer[ingestMetrics]
@@ -46,5 +49,11 @@ func EnableMetrics(r *obs.Registry) {
 			"Entries flagged as duplicates seen at another monitor within the inter-monitor window."),
 		evictions: r.Counter("ingest_dedup_window_evictions_total",
 			"Dedup window entries evicted as the watermark advanced past them."),
+		compactions: r.Counter("ingest_compactions_total",
+			"Generation-2 segments produced by merging runs of small sealed segments."),
+		compacted: r.Counter("ingest_compacted_segments_total",
+			"Input segments absorbed into generation-2 segments."),
+		expired: r.Counter("ingest_retention_expired_segments_total",
+			"Sealed segments deleted because their whole time range aged past the retention horizon."),
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"bitswapmon/internal/trace"
@@ -40,6 +41,16 @@ type Footer struct {
 	PerType map[string]int `json:"per_type"`
 	// PerMonitor counts entries by recording monitor.
 	PerMonitor map[string]int `json:"per_monitor"`
+	// Gen is the compaction generation: 0 for segments written directly by
+	// the store, 2 for segments produced by merging a run of small sealed
+	// segments. Absent (zero) in pre-compaction footers.
+	Gen int `json:"gen,omitempty"`
+	// SeqMax is the highest input sequence number a compacted segment
+	// absorbed (the segment file itself keeps the lowest input's name and
+	// sequence). Zero for uncompacted segments. OpenSegmentStore uses the
+	// [Seq, SeqMax] interval to finish a compaction that crashed between
+	// renaming the merged file into place and deleting its inputs.
+	SeqMax int `json:"seq_max,omitempty"`
 }
 
 func newFooter() *Footer {
@@ -125,10 +136,21 @@ func (o SegmentOptions) withDefaults() SegmentOptions {
 // an active segment file (so resident memory is one compression buffer, not
 // the trace); sealed segments carry footers so queries can skip segments by
 // time range without decompressing them. SegmentStore satisfies Sink.
+//
+// Write and Query remain single-caller (the simulation's event loop), but
+// the sealed-segment index is mutex-guarded so one Maintainer may compact
+// and expire sealed segments concurrently with the writer — the service-mode
+// arrangement. Queries must not run concurrently with maintenance: a
+// maintenance pass may delete or rewrite a sealed file a lazy iterator has
+// not opened yet.
 type SegmentStore struct {
 	dir  string
 	opts SegmentOptions
 
+	// mu guards sealed and skipped: the only store state shared between the
+	// writer (seal) and a background Maintainer (compaction, retention,
+	// index writes).
+	mu     sync.Mutex
 	sealed []SegmentInfo
 	// skipped lists files that looked like segments but had no valid
 	// footer (e.g. after a crash) and were ignored when opening.
@@ -146,12 +168,27 @@ type SegmentStore struct {
 }
 
 // OpenSegmentStore opens (creating if necessary) a segment store rooted at
-// dir. Existing sealed segments are indexed by reading their footers only.
+// dir. Existing sealed segments are indexed from the persistent footer index
+// where it is current (one JSON read for the whole directory) and by reading
+// individual footers otherwise, so opening a store over months of segments
+// does not decompress any data — and, with a fresh index, does not even open
+// the segment files. Opening also finishes interrupted maintenance: stale
+// compaction temporaries are removed, and leftover inputs of a compaction
+// that crashed after renaming the merged segment into place are deleted
+// (their entries live on inside the merged segment).
 func OpenSegmentStore(dir string, opts SegmentOptions) (*SegmentStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ingest: create store dir: %w", err)
 	}
 	s := &SegmentStore{dir: dir, opts: opts.withDefaults(), m: ingMetrics.Load()}
+	if tmps, err := filepath.Glob(filepath.Join(dir, "*"+compactSuffix)); err == nil {
+		for _, tmp := range tmps {
+			// A temporary never renamed into place: the compaction it
+			// belonged to never happened, so the inputs are all still live.
+			os.Remove(tmp)
+		}
+	}
+	idx := readIndex(dir)
 	names, err := filepath.Glob(filepath.Join(dir, "*"+segmentSuffix))
 	if err != nil {
 		return nil, err
@@ -168,15 +205,55 @@ func OpenSegmentStore(dir string, opts SegmentOptions) (*SegmentStore, error) {
 			// to be unsealed, so new segments never overwrite it.
 			s.seq = seq + 1
 		}
-		ft, err := ReadFooter(path)
-		if err != nil {
-			s.skipped = append(s.skipped, path)
-			continue
+		ft, ok := idx.lookup(path)
+		if !ok {
+			ft, err = ReadFooter(path)
+			if err != nil {
+				s.skipped = append(s.skipped, path)
+				continue
+			}
 		}
 		s.sealed = append(s.sealed, SegmentInfo{Path: path, Seq: seq, Footer: ft})
 	}
+	s.recoverCompactions()
 	sortSegments(s.sealed)
 	return s, nil
+}
+
+// recoverCompactions finishes compactions that crashed between the rename
+// and deleting the merged inputs: any uncompacted segment whose sequence
+// number falls inside another segment's absorbed [Seq, SeqMax] interval is a
+// leftover input whose entries already live in the merged segment, so it is
+// deleted rather than indexed (keeping it would replay its entries twice).
+func (s *SegmentStore) recoverCompactions() {
+	type span struct{ lo, hi int }
+	var covered []span
+	for _, seg := range s.sealed {
+		if seg.Footer.Gen >= compactedGen && seg.Footer.SeqMax > seg.Seq {
+			covered = append(covered, span{lo: seg.Seq, hi: seg.Footer.SeqMax})
+		}
+	}
+	if len(covered) == 0 {
+		return
+	}
+	kept := s.sealed[:0]
+	for _, seg := range s.sealed {
+		leftover := false
+		if seg.Footer.Gen < compactedGen {
+			for _, sp := range covered {
+				if seg.Seq > sp.lo && seg.Seq <= sp.hi {
+					leftover = true
+					break
+				}
+			}
+		}
+		if leftover {
+			os.Remove(seg.Path)
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	s.sealed = kept
 }
 
 func sortSegments(segs []SegmentInfo) {
@@ -254,12 +331,12 @@ func (s *SegmentStore) seal() error {
 	s.f, s.w, s.active, s.activePath = nil, nil, nil, ""
 	if err := w.Close(); err != nil {
 		f.Close()
-		s.skipped = append(s.skipped, path)
+		s.markSkipped(path)
 		return fmt.Errorf("ingest: finalize segment stream: %w", err)
 	}
 	if err := writeFooter(f, *active); err != nil {
 		f.Close()
-		s.skipped = append(s.skipped, path)
+		s.markSkipped(path)
 		return err
 	}
 	var segBytes int64
@@ -269,7 +346,7 @@ func (s *SegmentStore) seal() error {
 		}
 	}
 	if err := f.Close(); err != nil {
-		s.skipped = append(s.skipped, path)
+		s.markSkipped(path)
 		return fmt.Errorf("ingest: close segment: %w", err)
 	}
 	if s.m != nil {
@@ -283,9 +360,17 @@ func (s *SegmentStore) seal() error {
 		// drop the file rather than index a zero-range segment.
 		return os.Remove(info.Path)
 	}
+	s.mu.Lock()
 	s.sealed = append(s.sealed, info)
 	sortSegments(s.sealed)
+	s.mu.Unlock()
 	return nil
+}
+
+func (s *SegmentStore) markSkipped(path string) {
+	s.mu.Lock()
+	s.skipped = append(s.skipped, path)
+	s.mu.Unlock()
 }
 
 func writeFooter(w io.Writer, ft Footer) error {
@@ -347,6 +432,8 @@ func (s *SegmentStore) Close() error { return s.seal() }
 
 // Segments returns the sealed segments in time order.
 func (s *SegmentStore) Segments() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]SegmentInfo, len(s.sealed))
 	copy(out, s.sealed)
 	return out
@@ -355,6 +442,8 @@ func (s *SegmentStore) Segments() []SegmentInfo {
 // Skipped returns files in the store directory that were ignored for lack
 // of a valid footer (e.g. a segment left unsealed by a crash).
 func (s *SegmentStore) Skipped() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, len(s.skipped))
 	copy(out, s.skipped)
 	return out
@@ -363,6 +452,8 @@ func (s *SegmentStore) Skipped() []string {
 // Totals aggregates all sealed footers (entry counts, time range, per-type
 // and per-monitor counts) without reading any entry data.
 func (s *SegmentStore) Totals() Footer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	t := newFooter()
 	for _, seg := range s.sealed {
 		t.merge(seg.Footer)
@@ -382,6 +473,8 @@ func (s *SegmentStore) Query(from, to time.Time, keep func(trace.Entry) bool) (*
 	if err := s.seal(); err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var segs []SegmentInfo
 	for _, seg := range s.sealed {
 		if seg.Footer.overlaps(from, to) {

@@ -155,11 +155,22 @@ type Server struct {
 // behind -metrics-addr. Pass addr with port 0 to bind an ephemeral port;
 // Addr reports the bound address.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeWith(addr, r, nil)
+}
+
+// ServeWith is Serve with additional handlers mounted on the same mux — how
+// a service-mode daemon adds /reports and /healthz beside /metrics. Patterns
+// clashing with the built-in mounts panic (http.ServeMux semantics), so keep
+// extras off /metrics and /debug/pprof.
+func ServeWith(addr string, r *Registry, extra map[string]http.Handler) (*Server, error) {
 	if r == nil {
 		r = Default
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -109,6 +109,10 @@ type Tracer struct {
 
 	dropMu sync.Mutex
 	drops  uint64
+
+	// m is the obs-bridge handle resolved at New; nil (metrics never
+	// enabled) keeps Record at a single branch.
+	m *otraceMetrics
 }
 
 type ring struct {
@@ -132,6 +136,7 @@ func New(cfg Config) *Tracer {
 	t := &Tracer{
 		seed:  mix64(uint64(cfg.Seed)),
 		rings: make([]ring, cfg.Rings),
+		m:     otMetrics.Load(),
 	}
 	if cfg.Sample >= 1 {
 		t.threshold = ^uint64(0)
@@ -320,12 +325,20 @@ func (t *Tracer) Record(s Span) {
 	}
 	r := &t.rings[mix64(s.Trace)%uint64(len(t.rings))]
 	r.mu.Lock()
-	if len(r.spans) < r.cap {
+	recorded := len(r.spans) < r.cap
+	if recorded {
 		r.spans = append(r.spans, s)
 	} else {
 		r.drops++
 	}
 	r.mu.Unlock()
+	if t.m != nil {
+		if recorded {
+			t.m.spans.Inc()
+		} else {
+			t.m.drops.Inc()
+		}
+	}
 }
 
 // RecordHop records a finished engine delivery hop: the span from SendNs to

@@ -16,6 +16,16 @@ type reportMetrics struct {
 	observe  *obs.HistogramVec // report_observe_seconds{report}
 	finalize *obs.HistogramVec // report_finalize_seconds{report}
 	live     *obs.GaugeVec     // report_live_metric{report,metric}
+
+	// Rolling-window evaluation (WindowedDriver). The window label is a
+	// recency slot — "0" is the newest closed window, "1" the one before it,
+	// bounded by WindowOptions.Keep — so label cardinality stays fixed no
+	// matter how long the service runs; windowStart maps each slot back to
+	// its window's start time.
+	window        *obs.GaugeVec // report_window_metric{report,metric,window}
+	windowStart   *obs.GaugeVec // report_window_start_seconds{window}
+	windowsClosed *obs.Counter  // report_windows_closed_total
+	windowLate    *obs.Counter  // report_window_late_entries_total
 }
 
 var repMetrics atomic.Pointer[reportMetrics]
@@ -40,6 +50,16 @@ func EnableMetrics(r *obs.Registry) {
 		live: r.GaugeVec("report_live_metric",
 			"Report metrics published while a live run is still in flight (final values at Finalize).",
 			"report", "metric"),
+		window: r.GaugeVec("report_window_metric",
+			"Per-window report metrics from rolling-window evaluation; window is a recency slot (0 = newest closed).",
+			"report", "metric", "window"),
+		windowStart: r.GaugeVec("report_window_start_seconds",
+			"Start of the window each recency slot currently holds, as Unix seconds of virtual time.",
+			"window"),
+		windowsClosed: r.Counter("report_windows_closed_total",
+			"Windows finalized by rolling-window drivers."),
+		windowLate: r.Counter("report_window_late_entries_total",
+			"Entries that arrived after their window had already been finalized and were dropped."),
 	})
 }
 

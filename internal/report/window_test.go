@@ -1,0 +1,297 @@
+package report
+
+import (
+	"bytes"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bitswapmon/internal/obs"
+	"bitswapmon/internal/trace"
+	"bitswapmon/internal/wire"
+)
+
+// feedWindows writes the fixture's unified trace into a fresh driver and
+// closes it, returning all window results plus the driver.
+func feedWindows(t *testing.T, entries []trace.Entry, opts WindowOptions) ([]WindowResult, *WindowedDriver) {
+	t.Helper()
+	wd, err := NewWindowedDriver(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := wd.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := wd.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, wd
+}
+
+func TestWindowedTumblingPartitions(t *testing.T) {
+	f := newFixture(t, 1)
+	width := 10 * time.Minute
+	results, wd := feedWindows(t, f.unified, WindowOptions{
+		Width:   width,
+		Keep:    1 << 20, // retain everything: this test audits the full partition
+		Reports: []string{"traffic"},
+		Dedup:   true,
+	})
+	if len(results) < 3 {
+		t.Fatalf("fixture spans %d windows, want several", len(results))
+	}
+	total := 0
+	for i, res := range results {
+		total += res.Entries
+		if !res.End.Equal(res.Start.Add(width)) {
+			t.Fatalf("window %d spans [%s, %s), want width %s", i, res.Start, res.End, width)
+		}
+		if res.Start.UnixNano()%int64(width) != 0 {
+			t.Fatalf("window %d start %s not aligned to width", i, res.Start)
+		}
+		if i > 0 && res.Start.Before(results[i-1].Start) {
+			t.Fatalf("windows out of order at %d", i)
+		}
+	}
+	if total != len(f.unified) {
+		t.Fatalf("tumbling windows saw %d entries, stream has %d", total, len(f.unified))
+	}
+	if snap := wd.Snapshot(); snap.LateEntries != 0 {
+		t.Fatalf("ordered stream produced %d late entries", snap.LateEntries)
+	}
+
+	// A middle (complete) window's numbers must equal a standalone traffic
+	// report evaluated over exactly that window's slice of the stream.
+	mid := results[len(results)/2]
+	if mid.Partial {
+		t.Fatal("middle window marked partial")
+	}
+	r, err := New("traffic", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range f.unified {
+		if e.Timestamp.Before(mid.Start) || !e.Timestamp.Before(mid.End) {
+			continue
+		}
+		if e.IsDuplicate() && r.WantsDedup() {
+			continue
+		}
+		if err := r.Observe(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := r.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mid.Metrics["traffic"], out.Metrics()) {
+		t.Fatalf("window metrics diverge from standalone report:\n  window: %v\n  direct: %v",
+			mid.Metrics["traffic"], out.Metrics())
+	}
+}
+
+func TestWindowedSlidingCoverage(t *testing.T) {
+	f := newFixture(t, 2)
+	results, wd := feedWindows(t, f.unified, WindowOptions{
+		Width:   10 * time.Minute,
+		Slide:   5 * time.Minute,
+		Keep:    1 << 20,
+		Reports: []string{"traffic"},
+		Dedup:   true,
+	})
+	// Every entry lands in exactly width/slide = 2 overlapping windows.
+	total := 0
+	for _, res := range results {
+		total += res.Entries
+	}
+	if want := 2 * len(f.unified); total != want {
+		t.Fatalf("sliding windows saw %d entry-observations, want %d", total, want)
+	}
+	for i := 1; i < len(results); i++ {
+		if got := results[i].Start.Sub(results[i-1].Start); got != 5*time.Minute {
+			t.Fatalf("stride between windows %d and %d is %s", i-1, i, got)
+		}
+	}
+	if snap := wd.Snapshot(); snap.LateEntries != 0 {
+		t.Fatalf("ordered stream produced %d late entries", snap.LateEntries)
+	}
+}
+
+func TestWindowedCloseOnWatermark(t *testing.T) {
+	wd, err := NewWindowedDriver(WindowOptions{Width: time.Minute, Reports: []string{"traffic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := func(at time.Time) trace.Entry {
+		return trace.Entry{Timestamp: at, Monitor: "us", Type: wire.WantHave}
+	}
+	if err := wd.Write(e(t0.Add(10 * time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.Write(e(t0.Add(50 * time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	snap := wd.Snapshot()
+	if len(snap.Closed) != 0 || len(snap.Open) != 1 || snap.Open[0].Entries != 2 {
+		t.Fatalf("before the boundary: %+v", snap)
+	}
+	if snap.Open[0].Live["traffic"] == nil {
+		t.Fatal("open window carries no live traffic metrics")
+	}
+	// Crossing the boundary closes the first window and opens the second.
+	if err := wd.Write(e(t0.Add(70 * time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	snap = wd.Snapshot()
+	if len(snap.Closed) != 1 || snap.Closed[0].Entries != 2 || snap.Closed[0].Partial {
+		t.Fatalf("after the boundary: %+v", snap)
+	}
+	if len(snap.Open) != 1 || snap.Open[0].Entries != 1 {
+		t.Fatalf("second window: %+v", snap.Open)
+	}
+
+	// A late entry for the closed window is dropped and counted, not
+	// reopened.
+	if err := wd.Write(e(t0.Add(30 * time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	snap = wd.Snapshot()
+	if snap.LateEntries != 1 {
+		t.Fatalf("late entry not counted: %+v", snap)
+	}
+	if len(snap.Closed) != 1 || snap.Closed[0].Entries != 2 {
+		t.Fatal("late entry mutated a closed window")
+	}
+}
+
+func TestWindowedCloseFlushesPartials(t *testing.T) {
+	var hooked []WindowResult
+	wd, err := NewWindowedDriver(WindowOptions{
+		Width:   time.Minute,
+		Reports: []string{"traffic"},
+		OnClose: func(res WindowResult) error { hooked = append(hooked, res); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range []int{10, 70, 130} {
+		e := trace.Entry{Timestamp: t0.Add(time.Duration(sec) * time.Second), Monitor: "us", Type: wire.WantHave}
+		if err := wd.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := wd.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 windows, got %d", len(results))
+	}
+	if results[0].Partial || results[1].Partial {
+		t.Fatal("watermark-closed windows marked partial")
+	}
+	if !results[2].Partial {
+		t.Fatal("flushed open window not marked partial")
+	}
+	if !reflect.DeepEqual(hooked, results) {
+		t.Fatal("OnClose hook saw different windows than Close returned")
+	}
+	// The driver is finalized: further writes fail.
+	if err := wd.Write(trace.Entry{Timestamp: t0.Add(time.Hour), Monitor: "us"}); err == nil {
+		t.Fatal("write after Close succeeded")
+	}
+}
+
+func TestWindowedDriverOptionValidation(t *testing.T) {
+	if _, err := NewWindowedDriver(WindowOptions{Reports: []string{"no-such-report"}}); err == nil {
+		t.Fatal("unknown report accepted")
+	}
+	if _, err := NewWindowedDriver(WindowOptions{}); err == nil {
+		t.Fatal("empty report list accepted")
+	}
+	if _, err := NewWindowedDriver(WindowOptions{Width: 10 * time.Minute, Slide: 3 * time.Minute, Reports: []string{"traffic"}}); err == nil {
+		t.Fatal("non-dividing slide accepted")
+	}
+	if _, err := NewWindowedDriver(WindowOptions{Width: 10 * time.Minute, Slide: 20 * time.Minute, Reports: []string{"traffic"}}); err == nil {
+		t.Fatal("slide above width accepted")
+	}
+}
+
+func TestWindowedKeepBoundsRetention(t *testing.T) {
+	f := newFixture(t, 3)
+	results, wd := feedWindows(t, f.unified, WindowOptions{
+		Width:   5 * time.Minute,
+		Keep:    3,
+		Reports: []string{"traffic"},
+		Dedup:   true,
+	})
+	if len(results) != 3 {
+		t.Fatalf("retained %d windows, want Keep=3", len(results))
+	}
+	snap := wd.Snapshot()
+	if int(snap.ClosedTotal) <= len(results) {
+		t.Fatalf("total %d should exceed retained %d", snap.ClosedTotal, len(results))
+	}
+	// The retained windows are the newest ones, oldest first.
+	for i := 1; i < len(results); i++ {
+		if got := results[i].Start.Sub(results[i-1].Start); got != 5*time.Minute {
+			t.Fatalf("retained windows not adjacent newest: stride %s", got)
+		}
+	}
+}
+
+// TestWindowGaugePublication scrapes a fresh registry and asserts the
+// recency-slot gauge family: slot "0" is the newest closed window, with
+// report_window_start_seconds mapping slots to window starts.
+func TestWindowGaugePublication(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(obs.NewRegistry()) // isolate later tests from reg
+
+	f := newFixture(t, 4)
+	results, _ := feedWindows(t, f.unified, WindowOptions{
+		Width:   10 * time.Minute,
+		Keep:    4,
+		Reports: []string{"traffic"},
+		Dedup:   true,
+	})
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`report_window_metric{report="traffic",metric="dedup_entries",window="0"}`,
+		`report_window_metric{report="traffic",metric="dedup_entries",window="1"}`,
+		`report_window_start_seconds{window="0"}`,
+		"report_windows_closed_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	// Slot 0 carries the newest window's numbers.
+	newest := results[len(results)-1]
+	wantLine := `report_window_metric{report="traffic",metric="dedup_entries",window="0"} ` +
+		formatGaugeValue(newest.Metrics["traffic"]["dedup_entries"])
+	if !strings.Contains(text, wantLine) {
+		t.Fatalf("slot 0 does not hold newest window (want %q):\n%s", wantLine, text)
+	}
+	wantStart := `report_window_start_seconds{window="0"} ` + formatGaugeValue(float64(newest.Start.Unix()))
+	if !strings.Contains(text, wantStart) {
+		t.Fatalf("slot 0 start gauge wrong (want %q)", wantStart)
+	}
+}
+
+// formatGaugeValue mirrors the obs exposition format for gauge values
+// (shortest round-trip 'g' formatting).
+func formatGaugeValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

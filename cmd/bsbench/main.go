@@ -159,7 +159,13 @@ func run(args []string) error {
 
 	var worst, worstTrace float64
 	var worstName, worstTraceName string
-	for path, ns := range benchFiles {
+	paths := make([]string, 0, len(benchFiles))
+	for path := range benchFiles {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		ns := benchFiles[path]
 		doc := File{
 			Date:      time.Now().UTC().Format("2006-01-02"),
 			GoVersion: runtime.Version(),

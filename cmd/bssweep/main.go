@@ -38,6 +38,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -286,9 +287,16 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Manifest entries load as a map keyed by run ID; warn in sorted order
+	// so repeated report invocations print identically.
+	runIDs := make([]string, 0, len(entries))
+	for id := range entries {
+		runIDs = append(runIDs, id)
+	}
+	sort.Strings(runIDs)
 	failed := 0
-	for _, e := range entries {
-		if e.Status == sweep.StatusFailed {
+	for _, id := range runIDs {
+		if e := entries[id]; e.Status == sweep.StatusFailed {
 			failed++
 			fmt.Fprintf(os.Stderr, "bssweep: warning: run %s failed: %s\n", e.RunID, e.Error)
 		}

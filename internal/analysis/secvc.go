@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"bitswapmon/internal/dht"
@@ -122,8 +123,15 @@ func ComputeSecVC(monitors []*monitor.Monitor, samples []monitor.Sample,
 func (s SecVC) Render() string {
 	var sb strings.Builder
 	sb.WriteString("Sec. V-C — monitoring coverage and network size\n")
-	for name, n := range s.UniquePeers {
-		fmt.Fprintf(&sb, "unique peers (%s): %d (bitswap-active: %d)\n", name, n, s.ActivePeers[name])
+	// Map iteration order would shuffle the panel between runs; monitors
+	// render in sorted-name order.
+	names := make([]string, 0, len(s.UniquePeers))
+	for name := range s.UniquePeers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "unique peers (%s): %d (bitswap-active: %d)\n", name, s.UniquePeers[name], s.ActivePeers[name])
 	}
 	fmt.Fprintf(&sb, "union unique peers: %d (active: %d)\n", s.UnionUniquePeers, s.UnionActivePeers)
 	fmt.Fprintf(&sb, "avg connections: %v, avg union: %.1f, avg intersection: %.1f\n",

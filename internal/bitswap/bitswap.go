@@ -477,9 +477,11 @@ func (e *Engine) scheduleRebroadcast(w *wantState) {
 				e.searchProviders(w)
 			}
 		} else {
+			//bsvet:shardaffinity w is e's own wantState; same node as the e.self affinity
 			for _, p := range w.session.Peers() {
 				delete(w.wantBlockSent, p)
 			}
+			//bsvet:shardaffinity w is e's own wantState; same node as the e.self affinity
 			for i, p := range w.session.Peers() {
 				if i >= e.cfg.WantBlockFanout {
 					break
@@ -499,7 +501,7 @@ func (e *Engine) scheduleGiveUp(w *wantState) {
 		if w.resolved || w.cancelled {
 			return
 		}
-		w.cancelled = true
+		w.cancelled = true //bsvet:shardaffinity w is e's own wantState; same node as the e.self affinity
 		e.sendCancels(w)
 		delete(e.wants, w.c)
 		e.stats.AbandonedWants++

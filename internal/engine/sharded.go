@@ -899,9 +899,9 @@ func (s *Sharded) RunUntil(deadline time.Time) {
 			defer wg.Done()
 			for c := range ch {
 				if instrumented {
-					t0 := time.Now()
+					t0 := time.Now() //bsvet:walltime self-timed shard wall clock feeds metrics, not sim state
 					sh.processWindow(c.u, c.end, c.inclusive)
-					sh.procNs.Store(time.Since(t0).Nanoseconds())
+					sh.procNs.Store(time.Since(t0).Nanoseconds()) //bsvet:walltime instrumentation only
 				} else {
 					sh.processWindow(c.u, c.end, c.inclusive)
 				}
@@ -931,7 +931,7 @@ func (s *Sharded) RunUntil(deadline time.Time) {
 		}
 		var windowStart time.Time
 		if instrumented {
-			windowStart = time.Now()
+			windowStart = time.Now() //bsvet:walltime barrier-wait instrumentation, not sim state
 		}
 		// Only shards with work in this slot are signalled; idle shards
 		// stay parked at the barrier.
@@ -948,7 +948,7 @@ func (s *Sharded) RunUntil(deadline time.Time) {
 		if instrumented {
 			// Barrier wait per shard: how long it sat idle after finishing
 			// its own window while the slowest shard caught up.
-			wall := time.Since(windowStart).Nanoseconds()
+			wall := time.Since(windowStart).Nanoseconds() //bsvet:walltime instrumentation only
 			for _, sh := range s.shards {
 				if !sh.hasU || sh.nextU != u {
 					continue

@@ -1,0 +1,72 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fuzzSeedFooter renders a structurally valid sealed-segment tail (payload
+// + footer blob + length + magic) so the corpus starts one mutation away
+// from real framing.
+func fuzzSeedFooter(f *testing.F) []byte {
+	ft := newFooter()
+	ft.Entries = 42
+	ft.First = time.Unix(0, 1).UTC()
+	ft.Last = time.Unix(0, 2).UTC()
+	var buf bytes.Buffer
+	buf.WriteString("gzip payload stand-in")
+	if err := writeFooter(&buf, *ft); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFooter hammers sealed-segment footer parsing: arbitrary file
+// contents must come back as (Footer, nil) or an error, never a panic or
+// an unbounded allocation.
+func FuzzReadFooter(f *testing.F) {
+	seed := fuzzSeedFooter(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-1]) // clipped magic
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "seg.trace")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = ReadFooter(path)
+	})
+}
+
+// FuzzReadIndex hammers the advisory footer index: any index.json content
+// must load as a usable (possibly empty) index, and lookups against it must
+// never panic — corrupt indexes degrade to per-file footers by contract.
+func FuzzReadIndex(f *testing.F) {
+	valid, err := json.Marshal(indexFile{
+		Version: indexVersion,
+		Segments: []indexedEntry{
+			{Name: "seg-000001.trace", Size: 123, Footer: *newFooter()},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"version":999}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, indexFileName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		idx := readIndex(dir)
+		_, _ = idx.lookup(filepath.Join(dir, "seg-000001.trace"))
+		_, _ = idx.lookup(filepath.Join(dir, "absent.trace"))
+	})
+}

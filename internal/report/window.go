@@ -313,10 +313,10 @@ func (d *WindowedDriver) publish() {
 	for slot := 0; slot < len(d.closed); slot++ {
 		res := d.closed[len(d.closed)-1-slot]
 		label := strconv.Itoa(slot)
-		d.m.windowStart.With(label).Set(float64(res.Start.Unix()))
+		d.m.windowStart.With(label).Set(float64(res.Start.Unix())) //bsvet:obshandle once per window close, documented cold path
 		for report, metrics := range res.Metrics {
 			for metric, v := range metrics {
-				d.m.window.With(report, metric, label).Set(v)
+				d.m.window.With(report, metric, label).Set(v) //bsvet:obshandle once per window close, documented cold path
 			}
 		}
 	}

@@ -1,0 +1,20 @@
+package analyzers
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"bitswapmon/tools/analyzers/maporder"
+	"bitswapmon/tools/analyzers/nowalltime"
+	"bitswapmon/tools/analyzers/obshandle"
+	"bitswapmon/tools/analyzers/shardaffinity"
+)
+
+// All returns the bsvet analyzer suite in a stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		nowalltime.Analyzer,
+		obshandle.Analyzer,
+		shardaffinity.Analyzer,
+	}
+}

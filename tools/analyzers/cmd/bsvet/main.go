@@ -1,0 +1,19 @@
+// Bsvet is the repo's custom vet tool: the bsvet analyzer suite packaged
+// with the unitchecker protocol, so the standard build system drives it:
+//
+//	cd tools/analyzers && go build -o "$HOME/go/bin/bsvet" ./cmd/bsvet
+//	go vet -vettool="$HOME/go/bin/bsvet" ./...
+//
+// See bitswapmon/tools/analyzers for what each analyzer enforces and the
+// //bsvet: directive syntax.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"bitswapmon/tools/analyzers"
+)
+
+func main() {
+	unitchecker.Main(analyzers.All()...)
+}

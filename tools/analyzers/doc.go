@@ -1,0 +1,45 @@
+// Package analyzers is the bsvet static-analysis suite: go/analysis passes
+// that mechanically enforce the simulator's cross-cutting contracts, the
+// ones the compiler cannot see and equivalence tests only catch after the
+// fact.
+//
+// The suite ships four analyzers:
+//
+//   - nowalltime — simulation-facing packages (engine, simnet, bitswap, dht,
+//     workload, replay, report, monitor) must not read the host clock
+//     (time.Now/Since/timers) or draw from the global math/rand source; only
+//     the engine Clock and seeded RNG streams keep output byte-identical
+//     across runs and engines. Suppress with //bsvet:walltime.
+//
+//   - maporder — iteration over a map must not emit into ordered sinks
+//     (string builders, io.Writers, CSV/JSON encoders, trace sinks) from the
+//     loop body; Go randomizes map order per run, so such loops are the
+//     classic source of non-reproducible reports. Suppress with
+//     //bsvet:maporder.
+//
+//   - shardaffinity — node-owned protocol state (types from bitswap, dht,
+//     node) may only be touched from callbacks posted with the owning
+//     node's affinity (AfterOn/Post); control-affine After/At callbacks and
+//     wrong-node affinities are flagged. Suppress with //bsvet:shardaffinity.
+//
+//   - obshandle — obs metric handles must be resolved once at construction
+//     into atomic.Pointer-guarded structs; Registry registrations and
+//     Vec.With projections inside Observe methods or loop bodies are
+//     flagged. Suppress with //bsvet:obshandle.
+//
+// # Running
+//
+// cmd/bsvet packages the suite as a vet tool:
+//
+//	cd tools/analyzers && go build -o "$HOME/go/bin/bsvet" ./cmd/bsvet
+//	go vet -vettool="$HOME/go/bin/bsvet" ./...
+//
+// A directive comment suppresses a finding when placed on the flagged line
+// or the line above, and names exactly one analyzer:
+//
+//	t0 := time.Now() //bsvet:walltime self-timing for metrics, not sim state
+//
+// The module vendors the golang.org/x/tools analysis framework (the same
+// snapshot the Go distribution uses for cmd/vet) so the main module stays
+// dependency-free and builds need no network.
+package analyzers

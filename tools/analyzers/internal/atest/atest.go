@@ -1,0 +1,236 @@
+// Package atest is a small analysistest replacement: it loads testdata
+// packages from source, runs one analyzer over them, and checks the
+// reported diagnostics against // want "regexp" comments.
+//
+// golang.org/x/tools/go/analysis/analysistest depends on go/packages and a
+// module cache; this module vendors only the analysis framework snapshot
+// shipped inside the Go distribution, which does not include it. The subset
+// implemented here is what the bsvet suites need:
+//
+//   - testdata layout testdata/src/<pkg>/*.go, packages importable by bare
+//     path from sibling testdata packages; stdlib imports resolve through
+//     the source importer (no network, no module cache);
+//   - // want "re" ["re" ...] comments anchored to their line, matched as
+//     unanchored regexps against diagnostics on that line;
+//   - unexpected or missing diagnostics fail the test with positions.
+//
+// Facts and analyzer dependencies (Requires) are not supported; the bsvet
+// analyzers use neither.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes each named testdata package with a and checks // want
+// expectations in that package's files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	if len(a.Requires) > 0 || len(a.FactTypes) > 0 {
+		t.Fatalf("atest: analyzer %s uses Requires/Facts, which atest does not support", a.Name)
+	}
+	l := &loader{
+		dir:  testdata,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loaded),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	for _, path := range pkgs {
+		lp, err := l.load(path)
+		if err != nil {
+			t.Fatalf("atest: load %s: %v", path, err)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:          a,
+			Fset:              l.fset,
+			Files:             lp.files,
+			Pkg:               lp.pkg,
+			TypesInfo:         lp.info,
+			TypesSizes:        types.SizesFor("gc", "amd64"),
+			ResultOf:          map[*analysis.Analyzer]any{},
+			Report:            func(d analysis.Diagnostic) { diags = append(diags, d) },
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("atest: %s on %s: %v", a.Name, path, err)
+		}
+		check(t, l.fset, lp.files, diags)
+	}
+}
+
+// want is one expected-diagnostic regexp at a position.
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// check matches diagnostics against // want comments, both keyed by
+// (file base name, line).
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*want)
+	key := func(pos token.Pos) string {
+		p := fset.Position(pos)
+		return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				k := key(c.Pos())
+				for _, expr := range splitQuoted(t, text[len("want "):], key(c.Pos())) {
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", k, expr, err)
+					}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key(d.Pos)
+		matched := false
+		for _, w := range wants[k] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", k, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+// splitQuoted parses a sequence of Go-quoted strings: "a" "b c" `d`.
+func splitQuoted(t *testing.T, s, where string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want comment near %q", where, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want string %q", where, s)
+		}
+		raw := s[:end+2]
+		val, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want string %s: %v", where, raw, err)
+		}
+		out = append(out, val)
+		s = s[end+2:]
+	}
+}
+
+// loader loads testdata packages (and, through the source importer, their
+// stdlib dependencies) into one FileSet.
+type loader struct {
+	dir  string
+	fset *token.FileSet
+	pkgs map[string]*loaded
+	std  types.Importer
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// load parses and type-checks testdata/src/<path>.
+func (l *loader) load(path string) (*loaded, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.dir, "src", filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*testdataImporter)(l)}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+// testdataImporter resolves imports against testdata first, then stdlib.
+type testdataImporter loader
+
+func (i *testdataImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(i)
+	if st, err := os.Stat(filepath.Join(l.dir, "src", filepath.FromSlash(path))); err == nil && st.IsDir() {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,115 @@
+// Package bsvetutil holds the small amount of machinery shared by the bsvet
+// analyzers: the simulation-facing package set and //bsvet: suppression
+// directives.
+//
+// # Directives
+//
+// A finding is suppressed by a comment of the form
+//
+//	//bsvet:<name>            — e.g. //bsvet:walltime
+//	//bsvet:<name> <reason>   — optional free-text justification
+//
+// placed either on the flagged line itself (trailing comment) or on the line
+// immediately above it. Each analyzer only honours its own directive name, so
+// an exemption never silences more than it names.
+package bsvetutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// simFacing lists the packages whose code runs inside (or renders output of)
+// the deterministic simulation: only engine-provided virtual time and seeded
+// per-node RNG streams are legal there, and anything they emit must be
+// byte-identical across runs and across the serial/sharded engines.
+var simFacing = []string{
+	"engine",
+	"simnet",
+	"bitswap",
+	"dht",
+	"workload",
+	"replay",
+	"report",
+	"monitor",
+}
+
+// SimFacing reports whether the package at path is simulation-facing. It
+// matches both the real module layout (bitswapmon/internal/engine) and bare
+// testdata package paths (engine), and treats a package's external test
+// package (path_test) like the package itself.
+func SimFacing(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, name := range simFacing {
+		if path == name || strings.HasSuffix(path, "internal/"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressor returns a predicate reporting whether a diagnostic at pos is
+// silenced by a //bsvet:<name> directive in the pass's files.
+func Suppressor(pass *analysis.Pass, name string) func(pos token.Pos) bool {
+	want := "bsvet:" + name
+	// lines[file] holds the set of line numbers carrying the directive.
+	lines := make(map[*token.File]map[int]bool)
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				if !strings.HasPrefix(text, want) {
+					continue
+				}
+				rest := text[len(want):]
+				// Require an exact directive name: //bsvet:walltime must not
+				// also satisfy //bsvet:wall.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' && !strings.HasPrefix(rest, "*/") {
+					continue
+				}
+				set := lines[tf]
+				if set == nil {
+					set = make(map[int]bool)
+					lines[tf] = set
+				}
+				set[tf.Line(c.Pos())] = true
+			}
+		}
+	}
+	return func(pos token.Pos) bool {
+		tf := pass.Fset.File(pos)
+		set := lines[tf]
+		if set == nil {
+			return false
+		}
+		line := tf.Line(pos)
+		return set[line] || set[line-1]
+	}
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	tf := pass.Fset.File(pos)
+	return tf != nil && strings.HasSuffix(tf.Name(), "_test.go")
+}
+
+// PkgName resolves an expression to the *types.PkgName it names, or nil if
+// the expression is not a package qualifier (e.g. the x in x.Sel where x is a
+// variable).
+func PkgName(pass *analysis.Pass, e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return pn
+}

@@ -1,0 +1,161 @@
+// Package maporder flags iteration over a map that writes directly into an
+// ordered output sink — a string builder, an io.Writer, a CSV/JSON encoder,
+// a trace sink — inside the loop body.
+//
+// Go randomizes map iteration order per run, so any bytes emitted from
+// inside a map range land in a different order on every execution: the
+// classic source of non-byte-identical reports, CSVs and traces. The fix is
+// always the same shape — collect the keys, sort them, then range over the
+// sorted slice and emit. Emission into per-iteration locals (a builder
+// declared inside the loop) is fine and not flagged, as is pure accumulation
+// (sums, counters, filling another map), which is order-independent.
+//
+// Deliberately order-free emission (e.g. debug dumps) is annotated
+// //bsvet:maporder.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bitswapmon/tools/analyzers/internal/bsvetutil"
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration that emits to ordered output sinks in the loop body (suppress with //bsvet:maporder)",
+	URL:  "bitswapmon/tools/analyzers/maporder",
+	Run:  run,
+}
+
+// emitMethods are method names that append to an ordered output: stream and
+// builder writes, encoder emission, and trace-sink recording.
+var emitMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteAll":    true,
+	"Encode":      true,
+	"Record":      true,
+}
+
+// emitFuncs are fmt package-level functions that write to a stream.
+var emitFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	suppressed := bsvetutil.Suppressor(pass, "maporder")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(pass, rs) {
+				return true
+			}
+			checkBody(pass, rs, suppressed)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// rangesOverMap reports whether rs iterates in map order: directly over a
+// map value, or over the unsorted iterators maps.Keys/Values/All.
+func rangesOverMap(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	if tv, ok := pass.TypesInfo.Types[rs.X]; ok {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return true
+		}
+	}
+	call, ok := rs.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pn := bsvetutil.PkgName(pass, sel.X)
+	if pn == nil || pn.Imported().Path() != "maps" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Keys", "Values", "All":
+		return true
+	}
+	return false
+}
+
+// checkBody flags every emission call lexically inside the map-range body,
+// except ones whose receiver is declared inside that body (a per-iteration
+// local cannot leak iteration order into shared output).
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt, suppressed func(token.Pos) bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pn := bsvetutil.PkgName(pass, sel.X); pn != nil {
+			if pn.Imported().Path() == "fmt" && emitFuncs[sel.Sel.Name] && !suppressed(call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"fmt.%s inside range over a map emits in nondeterministic order; iterate sorted keys instead (//bsvet:maporder to allow)",
+					sel.Sel.Name)
+			}
+			return true
+		}
+		if !emitMethods[sel.Sel.Name] {
+			return true
+		}
+		// Method call: only flag genuine methods, not field-stored funcs.
+		if pass.TypesInfo.Selections[sel] == nil {
+			return true
+		}
+		if declaredWithin(pass, sel.X, rs.Body) {
+			return true
+		}
+		if !suppressed(call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"%s inside range over a map emits in nondeterministic order; iterate sorted keys instead (//bsvet:maporder to allow)",
+				sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// declaredWithin reports whether the root identifier of e names an object
+// declared inside body.
+func declaredWithin(pass *analysis.Pass, e ast.Expr, body *ast.BlockStmt) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[x]
+			}
+			return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// Emission through a freshly returned value (x.Writer().Write):
+			// treat conservatively as shared.
+			return false
+		default:
+			return false
+		}
+	}
+}

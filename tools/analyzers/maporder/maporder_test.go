@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"bitswapmon/tools/analyzers/internal/atest"
+	"bitswapmon/tools/analyzers/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	atest.Run(t, "testdata", maporder.Analyzer, "a")
+}

@@ -1,0 +1,71 @@
+// Positive, negative and directive-suppressed cases for maporder.
+package a
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"maps"
+	"sort"
+	"strings"
+)
+
+type sink struct{}
+
+func (sink) Record(string) {}
+
+func bad(m map[string]int, sb *strings.Builder, buf *bytes.Buffer, s sink) {
+	for k := range m {
+		sb.WriteString(k) // want `WriteString inside range over a map`
+	}
+	for k, v := range m {
+		fmt.Fprintf(buf, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over a map`
+	}
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println inside range over a map`
+	}
+	enc := json.NewEncoder(buf)
+	for k := range m {
+		_ = enc.Encode(k) // want `Encode inside range over a map`
+	}
+	for k := range m {
+		s.Record(k) // want `Record inside range over a map`
+	}
+}
+
+func badIterator(m map[string]int, sb *strings.Builder) {
+	for k := range maps.Keys(m) {
+		sb.WriteString(k) // want `WriteString inside range over a map`
+	}
+}
+
+func good(m map[string]int, sb *strings.Builder) {
+	// The canonical fix: sorted keys, emission outside the map range.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteString(k)
+	}
+	// A builder local to the iteration cannot leak map order.
+	parts := make([]string, 0, len(m))
+	for k := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		parts = append(parts, b.String())
+	}
+	// Order-independent accumulation.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	_ = total
+}
+
+func annotated(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) //bsvet:maporder debug dump, order irrelevant
+	}
+}

@@ -1,0 +1,12 @@
+package nowalltime_test
+
+import (
+	"testing"
+
+	"bitswapmon/tools/analyzers/internal/atest"
+	"bitswapmon/tools/analyzers/nowalltime"
+)
+
+func TestNoWallTime(t *testing.T) {
+	atest.Run(t, "testdata", nowalltime.Analyzer, "engine", "cmdtool")
+}

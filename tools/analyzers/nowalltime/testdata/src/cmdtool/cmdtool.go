@@ -1,0 +1,15 @@
+// A non-simulation-facing package: wall-clock use is legal here, so the
+// analyzer must stay silent.
+package cmdtool
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Wall() time.Duration {
+	t0 := time.Now()
+	_ = rand.Intn(10)
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}

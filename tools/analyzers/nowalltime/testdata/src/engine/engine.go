@@ -1,0 +1,40 @@
+// Positive, negative and directive-suppressed cases for nowalltime inside a
+// simulation-facing package (bare path "engine" matches the sim set).
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	t0 := time.Now()             // want `time\.Now is a read of the host clock`
+	_ = time.Since(t0)           // want `time\.Since is a read of the host clock`
+	_ = time.Until(t0)           // want `time\.Until is a read of the host clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep is a wall-clock sleep`
+	_ = time.After(time.Second)  // want `time\.After is a wall-clock timer`
+	_ = time.NewTimer(1)         // want `time\.NewTimer is a wall-clock timer`
+	f := time.Now                // want `time\.Now is a read of the host clock`
+	_ = f
+}
+
+func badRand() {
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the process-global source`
+	_ = rand.Int63()                   // want `rand\.Int63 draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+}
+
+func good() {
+	rng := rand.New(rand.NewSource(42))
+	_ = rng.Intn(10)
+	_ = time.Unix(0, 0)
+	_ = 5 * time.Millisecond
+	var t time.Time
+	_ = t.Add(time.Second)
+}
+
+func annotated() {
+	t0 := time.Now() //bsvet:walltime self-timing instrumentation
+	//bsvet:walltime directive on the preceding line also counts
+	_ = time.Since(t0)
+}

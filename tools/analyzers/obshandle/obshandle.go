@@ -1,0 +1,131 @@
+// Package obshandle enforces the once-resolved metric-handle pattern on hot
+// paths.
+//
+// The obs layer keeps instrumentation overhead inside the ±5% budget by
+// resolving every metric handle exactly once, at construction: a package
+// calls Registry.Counter/…/HistogramVec in its EnableMetrics and stores the
+// result (and any Vec.With projections) in an atomic.Pointer-guarded struct,
+// so the hot path pays one nil check, never a registry mutex or a label-map
+// probe. Looking a handle up per event — a Registry method or Vec.With call
+// inside an Observe method or a loop body — silently reintroduces a hash-
+// and-lock per event and blows the budget without failing any test.
+//
+// The analyzer flags Registry registration methods (Counter, Gauge,
+// Histogram, CounterVec, GaugeVec, HistogramVec) and Vec handle projection
+// (With) on obs types when the call sits inside a method named Observe or
+// inside any for/range body. Cold-path loops (window close-out, exposition)
+// are annotated //bsvet:obshandle. Test files are exempt.
+package obshandle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bitswapmon/tools/analyzers/internal/bsvetutil"
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the obshandle pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "obshandle",
+	Doc:  "flag per-event obs metric-handle lookups in Observe methods and loop bodies (suppress with //bsvet:obshandle)",
+	URL:  "bitswapmon/tools/analyzers/obshandle",
+	Run:  run,
+}
+
+// lookupMethods maps obs receiver type names to the methods that perform a
+// registry or label-map lookup.
+var lookupMethods = map[string]map[string]bool{
+	"Registry": {
+		"Counter": true, "Gauge": true, "Histogram": true,
+		"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+	},
+	"CounterVec":   {"With": true},
+	"GaugeVec":     {"With": true},
+	"HistogramVec": {"With": true},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	suppressed := bsvetutil.Suppressor(pass, "obshandle")
+	for _, f := range pass.Files {
+		if len(f.Decls) == 0 {
+			continue
+		}
+		if bsvetutil.IsTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walk(pass, fd.Body, fd.Name.Name == "Observe", suppressed)
+		}
+	}
+	return nil, nil
+}
+
+// walk traverses a subtree; hot marks per-event context (an Observe method,
+// or any enclosing loop — including loops outside a function literal, since
+// a literal built per iteration runs per iteration).
+func walk(pass *analysis.Pass, root ast.Node, hot bool, suppressed func(token.Pos) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil || n == root {
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			walk(pass, x, true, suppressed)
+			return false
+		case *ast.RangeStmt:
+			walk(pass, x, true, suppressed)
+			return false
+		case *ast.CallExpr:
+			if !hot {
+				return true
+			}
+			recv, method := lookupCall(pass, x)
+			if recv != "" && !suppressed(x.Pos()) {
+				pass.Reportf(x.Pos(),
+					"obs.%s.%s looked up in a hot context; resolve the handle once at construction into an atomic.Pointer field (//bsvet:obshandle to allow)",
+					recv, method)
+			}
+		}
+		return true
+	})
+}
+
+// lookupCall reports whether call is a registry/label-map lookup on an obs
+// type, returning the receiver type and method names.
+func lookupCall(pass *analysis.Pass, call *ast.CallExpr) (recv, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || pass.TypesInfo.Selections[sel] == nil {
+		return "", ""
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", ""
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return "", ""
+	}
+	if path := pkg.Path(); path != "obs" && !strings.HasSuffix(path, "internal/obs") {
+		return "", ""
+	}
+	methods := lookupMethods[named.Obj().Name()]
+	if methods == nil || !methods[sel.Sel.Name] {
+		return "", ""
+	}
+	return named.Obj().Name(), sel.Sel.Name
+}

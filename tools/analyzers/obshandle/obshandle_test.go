@@ -1,0 +1,12 @@
+package obshandle_test
+
+import (
+	"testing"
+
+	"bitswapmon/tools/analyzers/internal/atest"
+	"bitswapmon/tools/analyzers/obshandle"
+)
+
+func TestObsHandle(t *testing.T) {
+	atest.Run(t, "testdata", obshandle.Analyzer, "hot")
+}

@@ -1,0 +1,10 @@
+// Test files are exempt: hammer tests register metrics in loops on purpose.
+package hot
+
+import "obs"
+
+func hammer(reg *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		reg.Counter("x", "events").Inc()
+	}
+}

@@ -1,0 +1,54 @@
+// Positive, negative and directive-suppressed cases for obshandle.
+package hot
+
+import "obs"
+
+type driver struct {
+	reg *obs.Registry
+	vec *obs.CounterVec
+	c   *obs.Counter
+}
+
+// Observe is the per-entry hot path of the report contract: any handle
+// lookup here pays a registry mutex or label-map probe per event.
+func (d *driver) Observe(e int) {
+	c := d.reg.Counter("x", "events") // want `obs\.Registry\.Counter looked up in a hot context`
+	c.Inc()
+	d.vec.With("a").Inc() // want `obs\.CounterVec\.With looked up in a hot context`
+}
+
+func (d *driver) drain(keys []string) {
+	for _, k := range keys {
+		d.vec.With(k).Inc() // want `obs\.CounterVec\.With looked up in a hot context`
+	}
+}
+
+func (d *driver) nestedLit(keys []string) {
+	for _, k := range keys {
+		fn := func() {
+			d.vec.With(k).Inc() // want `obs\.CounterVec\.With looked up in a hot context`
+		}
+		fn()
+	}
+}
+
+// Construction-time resolution is the sanctioned pattern.
+func newDriver(reg *obs.Registry) *driver {
+	d := &driver{reg: reg}
+	d.c = reg.Counter("x", "events")
+	d.vec = reg.CounterVec("y", "events by label", "l")
+	return d
+}
+
+// Pre-resolved handles in hot paths are fine.
+func (d *driver) fastPath(keys []string) {
+	for range keys {
+		d.c.Inc()
+	}
+}
+
+func coldLoop(d *driver, keys []string) {
+	for _, k := range keys {
+		d.vec.With(k).Inc() //bsvet:obshandle window close-out, runs once per window
+	}
+}

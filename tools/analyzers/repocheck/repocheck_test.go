@@ -1,0 +1,39 @@
+// Package repocheck asserts the bsvet suite runs clean over the main
+// module: it builds cmd/bsvet and drives it through `go vet -vettool` the
+// way CI does. A new violation anywhere in the repo fails this test with
+// the analyzer's diagnostic.
+package repocheck
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestBsvetCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping whole-repo vet run")
+	}
+	moduleDir, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repoRoot := filepath.Dir(filepath.Dir(moduleDir))
+	if _, err := os.Stat(filepath.Join(repoRoot, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", repoRoot, err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "bsvet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/bsvet")
+	build.Dir = moduleDir
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build bsvet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = repoRoot
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("bsvet found violations:\n%s", out)
+	}
+}

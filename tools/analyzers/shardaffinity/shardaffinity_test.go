@@ -1,0 +1,12 @@
+package shardaffinity_test
+
+import (
+	"testing"
+
+	"bitswapmon/tools/analyzers/internal/atest"
+	"bitswapmon/tools/analyzers/shardaffinity"
+)
+
+func TestShardAffinity(t *testing.T) {
+	atest.Run(t, "testdata", shardaffinity.Analyzer, "workload")
+}

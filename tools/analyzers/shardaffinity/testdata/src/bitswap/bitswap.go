@@ -1,0 +1,8 @@
+// Stub per-node protocol state: the package name "bitswap" marks its types
+// as node-owned.
+package bitswap
+
+type Engine struct{ Wants map[string]bool }
+
+func (e *Engine) Request(c string)          {}
+func (e *Engine) SetLegacyWantBlock(v bool) {}

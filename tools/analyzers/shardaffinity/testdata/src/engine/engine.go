@@ -1,0 +1,14 @@
+// Stub of the real engine surface: a type whose method set carries AfterOn
+// is treated as engine-shaped by the analyzer.
+package engine
+
+import "time"
+
+type NodeID uint64
+
+type Engine struct{}
+
+func (e *Engine) After(d time.Duration, fn func())              {}
+func (e *Engine) At(t time.Time, fn func())                     {}
+func (e *Engine) AfterOn(id NodeID, d time.Duration, fn func()) {}
+func (e *Engine) Post(id NodeID, fn func())                     {}

@@ -1,0 +1,14 @@
+// Stub node aggregate; its types are node-owned state.
+package node
+
+import (
+	"bitswap"
+	"engine"
+)
+
+type Node struct {
+	ID      engine.NodeID
+	Bitswap *bitswap.Engine
+	Counter int
+	Wants   map[string]int
+}

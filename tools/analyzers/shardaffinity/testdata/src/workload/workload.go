@@ -1,0 +1,67 @@
+// Positive, negative and directive-suppressed cases for shardaffinity in a
+// simulation-facing package.
+package workload
+
+import (
+	"time"
+
+	"engine"
+	"node"
+)
+
+type W struct {
+	Net   *engine.Engine
+	Nodes []*node.Node
+	Total int
+}
+
+func (w *W) controlBad(nd *node.Node) {
+	w.Net.After(time.Second, func() {
+		nd.Bitswap.Request("c") // want `node-owned state \(nd\.Bitswap\) touched from a control-affine After callback`
+		nd.Counter++            // want `node-owned state \(nd\) touched from a control-affine After callback`
+		nd.Wants["c"] = 1       // want `node-owned state \(nd\) touched from a control-affine After callback`
+	})
+	w.Net.At(time.Time{}, func() {
+		nd.Bitswap.SetLegacyWantBlock(false) // want `node-owned state \(nd\.Bitswap\) touched from a control-affine At callback`
+	})
+}
+
+// The sanctioned marshalling pattern: a control loop posts node work with
+// the owning node's affinity. Nothing to flag.
+func (w *W) controlGood(nd *node.Node) {
+	w.Net.After(time.Second, func() {
+		w.Total++ // global orchestration state is fine on the control shard
+		w.Net.Post(nd.ID, func() {
+			nd.Bitswap.SetLegacyWantBlock(false)
+		})
+	})
+}
+
+func (w *W) affinityBad(a, b *node.Node) {
+	w.Net.AfterOn(a.ID, time.Second, func() {
+		b.Bitswap.Request("c") // want `AfterOn callback with affinity a touches node state through b\.Bitswap`
+	})
+	w.Net.Post(a.ID, func() {
+		b.Counter++ // want `Post callback with affinity a touches node state through b`
+	})
+}
+
+func (w *W) affinityGood(a *node.Node) {
+	w.Net.AfterOn(a.ID, time.Second, func() {
+		a.Bitswap.Request("c")
+		a.Counter++
+	})
+	// A node resolved inside the callback runs on the owning shard by
+	// construction; the analyzer cannot tie it to the affinity argument and
+	// stays silent rather than guess.
+	w.Net.Post(a.ID, func() {
+		nd := w.Nodes[0]
+		nd.Counter++
+	})
+}
+
+func (w *W) annotated(nd *node.Node) {
+	w.Net.After(time.Second, func() {
+		nd.Bitswap.Request("c") //bsvet:shardaffinity node pinned to the control shard
+	})
+}
